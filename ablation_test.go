@@ -1,0 +1,174 @@
+package repro
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//   - ROpt (Algorithm 2's read-only fast path) vs plain Algorithm 1: what
+//     skipping Help buys read-only operations;
+//   - the empty-AffectSet Find extension for the BST (Section 6);
+//   - elimination vs a bare central stack;
+//   - the hand-tuned batched persistence (Isb-Opt) vs Algorithm 1/2
+//     placement (Isb) on identical workloads.
+//
+// Run with: go test -bench=Ablation -benchmem .
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bst"
+	"repro/internal/list"
+	"repro/internal/pmem"
+	"repro/internal/stack"
+)
+
+// ablListFinds measures a find-only workload and reports persistence
+// instructions per op along with the time.
+func ablListFinds(b *testing.B, build func(*pmem.Heap) *list.List) {
+	mk := func() (*pmem.Heap, *list.List, *pmem.Proc) {
+		h := pmem.NewHeap(pmem.Config{
+			Words: 1 << 24, Procs: 1,
+			PWBLatency: pmem.DefaultPWBLatency, PSyncLatency: pmem.DefaultPSyncLatency,
+		})
+		l := build(h)
+		p := h.Proc(0)
+		for k := uint64(1); k <= 200; k++ {
+			l.Insert(p, k)
+		}
+		p.ResetStats()
+		return h, l, p
+	}
+	_, l, p := mk()
+	var agg pmem.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%200000 == 199999 {
+			b.StopTimer()
+			agg.Add(p.Stats()) // keep per-op metrics exact across recycles
+			_, l, p = mk()
+			b.StartTimer()
+		}
+		l.Find(p, uint64(i%400)+1)
+	}
+	agg.Add(p.Stats())
+	ops := float64(b.N)
+	b.ReportMetric(float64(agg.Barriers)/ops, "barriers/op")
+	b.ReportMetric(float64(agg.Flushes)/ops, "flushes/op")
+	b.ReportMetric(float64(agg.CASes)/ops, "cas/op")
+}
+
+// BenchmarkAblationROptOn: Algorithm 2 — Finds skip Help entirely.
+func BenchmarkAblationROptOn(b *testing.B) { ablListFinds(b, list.New) }
+
+// BenchmarkAblationROptOff: plain Algorithm 1 — Finds install, tag, and
+// clean up like updates. The gap is what the ROpt optimization buys.
+func BenchmarkAblationROptOff(b *testing.B) { ablListFinds(b, list.NewNoROpt) }
+
+// BenchmarkAblationBSTFind / FindFast: the Section 6 empty-AffectSet
+// extension against the regular single-element ROpt Find.
+func ablBSTFinds(b *testing.B, fast bool) {
+	h := pmem.NewHeap(pmem.Config{
+		Words: 1 << 24, Procs: 1,
+		PWBLatency: pmem.DefaultPWBLatency, PSyncLatency: pmem.DefaultPSyncLatency,
+	})
+	t := bst.New(h)
+	p := h.Proc(0)
+	for k := uint64(1); k <= 200; k++ {
+		t.Insert(p, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%200000 == 199999 {
+			b.StopTimer()
+			h = pmem.NewHeap(pmem.Config{Words: 1 << 24, Procs: 1,
+				PWBLatency: pmem.DefaultPWBLatency, PSyncLatency: pmem.DefaultPSyncLatency})
+			t = bst.New(h)
+			p = h.Proc(0)
+			for k := uint64(1); k <= 200; k++ {
+				t.Insert(p, k)
+			}
+			b.StartTimer()
+		}
+		k := uint64(i%400) + 1
+		if fast {
+			t.FindFast(p, k)
+		} else {
+			t.Find(p, k)
+		}
+	}
+}
+
+func BenchmarkAblationBSTFind(b *testing.B)     { ablBSTFinds(b, false) }
+func BenchmarkAblationBSTFindFast(b *testing.B) { ablBSTFinds(b, true) }
+
+// BenchmarkAblationElimination: a pusher/popper pair on the stack with and
+// without the elimination layer.
+func ablStack(b *testing.B, spins int) {
+	// Arena-bounded rounds: a fresh heap every 50k push/pop pairs.
+	const round = 50000
+	b.ResetTimer()
+	for done := 0; done < b.N; done += round {
+		n := b.N - done
+		if n > round {
+			n = round
+		}
+		b.StopTimer()
+		h := pmem.NewHeap(pmem.Config{Words: 1 << 24, Procs: 2})
+		s := stack.New(h, spins)
+		b.StartTimer()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			p := h.Proc(0)
+			for i := 0; i < n; i++ {
+				s.Push(p, uint64(i%1000)+1)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			p := h.Proc(1)
+			for i := 0; i < n; i++ {
+				s.Pop(p)
+			}
+		}()
+		wg.Wait()
+	}
+}
+
+func BenchmarkAblationEliminationOff(b *testing.B) { ablStack(b, 0) }
+
+func BenchmarkAblationEliminationOn(b *testing.B) { ablStack(b, stack.DefaultElimSpins) }
+
+// BenchmarkAblationPersistBatching: identical mixed workload on the Isb
+// (per-CAS pwb) vs Isb-Opt (phase-batched barrier) engines.
+func ablMixed(b *testing.B, build func(*pmem.Heap) *list.List) {
+	h := pmem.NewHeap(pmem.Config{
+		Words: 1 << 24, Procs: 1,
+		PWBLatency: pmem.DefaultPWBLatency, PSyncLatency: pmem.DefaultPSyncLatency,
+	})
+	l := build(h)
+	p := h.Proc(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%50000 == 49999 {
+			b.StopTimer()
+			h = pmem.NewHeap(pmem.Config{Words: 1 << 24, Procs: 1,
+				PWBLatency: pmem.DefaultPWBLatency, PSyncLatency: pmem.DefaultPSyncLatency})
+			l = build(h)
+			p = h.Proc(0)
+			b.StartTimer()
+		}
+		k := uint64(i%256) + 1
+		switch i % 3 {
+		case 0:
+			l.Insert(p, k)
+		case 1:
+			l.Find(p, k)
+		default:
+			l.Delete(p, k)
+		}
+	}
+}
+
+func BenchmarkAblationPersistPerCAS(b *testing.B)  { ablMixed(b, list.New) }
+func BenchmarkAblationPersistBatched(b *testing.B) { ablMixed(b, list.NewOpt) }

@@ -1,0 +1,207 @@
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/figures"
+	"repro/internal/harness"
+	"repro/internal/pmem"
+)
+
+// ---------------------------------------------------------------------------
+// Figure benchmarks: each regenerates one evaluation figure (compact sweep).
+// Run `go run ./cmd/benchfig -fig <id>` for full sweeps with printed rows.
+// ---------------------------------------------------------------------------
+
+func benchFigure(b *testing.B, id string) {
+	f, ok := figures.ByID(id)
+	if !ok {
+		b.Fatalf("unknown figure %s", id)
+	}
+	p := figures.QuickParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Run(io.Discard, p)
+	}
+}
+
+func BenchmarkFig1a(b *testing.B) { benchFigure(b, "1a") }
+func BenchmarkFig1b(b *testing.B) { benchFigure(b, "1b") }
+func BenchmarkFig1c(b *testing.B) { benchFigure(b, "1c") }
+func BenchmarkFig1d(b *testing.B) { benchFigure(b, "1d") }
+func BenchmarkFig1e(b *testing.B) { benchFigure(b, "1e") }
+func BenchmarkFig1f(b *testing.B) { benchFigure(b, "1f") }
+func BenchmarkFig3(b *testing.B)  { benchFigure(b, "3") }
+func BenchmarkFig4(b *testing.B)  { benchFigure(b, "4") }
+func BenchmarkFig5(b *testing.B)  { benchFigure(b, "5") }
+func BenchmarkFig6(b *testing.B)  { benchFigure(b, "6") }
+func BenchmarkFig7(b *testing.B)  { benchFigure(b, "7") }
+
+// ---------------------------------------------------------------------------
+// Per-algorithm throughput micro-benchmarks (one data point each), reporting
+// the paper's per-operation persistence metrics.
+// ---------------------------------------------------------------------------
+
+func benchListAlgo(b *testing.B, algo string, model pmem.Model) {
+	cfg := harness.Config{
+		Algo: algo, Threads: 2, KeyRange: 500, FindPct: 70,
+		OpsPerThread: 2000, Model: model, Seed: 11,
+	}
+	if model == pmem.SharedCache {
+		cfg.PWBLatency = pmem.DefaultPWBLatency
+		cfg.PSyncLatency = pmem.DefaultPSyncLatency
+	}
+	var last harness.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last = harness.RunList(cfg)
+	}
+	b.ReportMetric(last.OpsPerSec, "listops/s")
+	b.ReportMetric(last.BarriersPerOp, "barriers/op")
+	b.ReportMetric(last.FlushesPerOp, "flushes/op")
+}
+
+func BenchmarkListIsb(b *testing.B)      { benchListAlgo(b, harness.AlgoIsb, pmem.SharedCache) }
+func BenchmarkListIsbOpt(b *testing.B)   { benchListAlgo(b, harness.AlgoIsbOpt, pmem.SharedCache) }
+func BenchmarkListCapsules(b *testing.B) { benchListAlgo(b, harness.AlgoCapsules, pmem.SharedCache) }
+func BenchmarkListCapsulesOpt(b *testing.B) {
+	benchListAlgo(b, harness.AlgoCapsulesOpt, pmem.SharedCache)
+}
+func BenchmarkListDTOpt(b *testing.B) { benchListAlgo(b, harness.AlgoDTOpt, pmem.SharedCache) }
+func BenchmarkListHarrisPrivate(b *testing.B) {
+	benchListAlgo(b, harness.AlgoHarris, pmem.PrivateCache)
+}
+
+func benchQueueAlgo(b *testing.B, algo string) {
+	cfg := harness.Config{
+		Algo: algo, Threads: 2, OpsPerThread: 2000,
+		Model: pmem.SharedCache, Seed: 3, QueuePrefill: 2000,
+		PWBLatency: pmem.DefaultPWBLatency, PSyncLatency: pmem.DefaultPSyncLatency,
+	}
+	var last harness.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last = harness.RunQueue(cfg)
+	}
+	b.ReportMetric(last.OpsPerSec, "queueops/s")
+	b.ReportMetric(last.BarriersPerOp, "barriers/op")
+}
+
+func BenchmarkQueueIsb(b *testing.B)      { benchQueueAlgo(b, harness.QueueIsb) }
+func BenchmarkQueueLog(b *testing.B)      { benchQueueAlgo(b, harness.QueueLog) }
+func BenchmarkQueueCapsGen(b *testing.B)  { benchQueueAlgo(b, harness.QueueCapsulesGeneral) }
+func BenchmarkQueueCapsNorm(b *testing.B) { benchQueueAlgo(b, harness.QueueCapsulesNormal) }
+func BenchmarkQueueMS(b *testing.B)       { benchQueueAlgo(b, harness.QueueMS) }
+
+// ---------------------------------------------------------------------------
+// Core-structure operation benchmarks through the public API (per-op cost).
+// ---------------------------------------------------------------------------
+
+func BenchmarkListInsertDelete(b *testing.B) {
+	rt := New(Config{Procs: 1, HeapWords: 1 << 24})
+	l := rt.NewList()
+	p := rt.Proc(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%50000 == 49999 { // recycle the arena (no reclamation by design)
+			rt = New(Config{Procs: 1, HeapWords: 1 << 24})
+			l = rt.NewList()
+			p = rt.Proc(0)
+		}
+		k := uint64(i%512) + 1
+		l.Insert(p, k)
+		l.Delete(p, k)
+	}
+}
+
+func BenchmarkListFind(b *testing.B) {
+	rt := New(Config{Procs: 1, HeapWords: 1 << 24})
+	l := rt.NewList()
+	p := rt.Proc(0)
+	for k := uint64(1); k <= 256; k++ {
+		l.Insert(p, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%200000 == 199999 { // Finds allocate an Info record per call
+			rt = New(Config{Procs: 1, HeapWords: 1 << 24})
+			l = rt.NewList()
+			p = rt.Proc(0)
+			for k := uint64(1); k <= 256; k++ {
+				l.Insert(p, k)
+			}
+		}
+		l.Find(p, uint64(i%512)+1)
+	}
+}
+
+func BenchmarkBSTInsertDelete(b *testing.B) {
+	rt := New(Config{Procs: 1, HeapWords: 1 << 24})
+	t := rt.NewBST()
+	p := rt.Proc(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%50000 == 49999 {
+			rt = New(Config{Procs: 1, HeapWords: 1 << 24})
+			t = rt.NewBST()
+			p = rt.Proc(0)
+		}
+		k := uint64(i%512) + 1
+		t.Insert(p, k)
+		t.Delete(p, k)
+	}
+}
+
+func BenchmarkQueueEnqDeq(b *testing.B) {
+	rt := New(Config{Procs: 1, HeapWords: 1 << 24})
+	q := rt.NewQueue()
+	p := rt.Proc(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%50000 == 49999 {
+			rt = New(Config{Procs: 1, HeapWords: 1 << 24})
+			q = rt.NewQueue()
+			p = rt.Proc(0)
+		}
+		q.Enqueue(p, uint64(i)+1)
+		q.Dequeue(p)
+	}
+}
+
+func BenchmarkStackPushPop(b *testing.B) {
+	rt := New(Config{Procs: 1, HeapWords: 1 << 24})
+	s := rt.NewStack(0)
+	p := rt.Proc(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%50000 == 49999 {
+			rt = New(Config{Procs: 1, HeapWords: 1 << 24})
+			s = rt.NewStack(0)
+			p = rt.Proc(0)
+		}
+		s.Push(p, uint64(i)+1)
+		s.Pop(p)
+	}
+}
+
+// BenchmarkCrashRecoveryLatency measures a full crash + restart + detectable
+// recovery round-trip for one interrupted list insert.
+func BenchmarkCrashRecoveryLatency(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt := New(Config{Procs: 1, CrashSim: true, HeapWords: 1 << 20})
+		l := rt.NewList()
+		p := rt.Proc(0)
+		l.Insert(p, 1)
+		rt.ScheduleCrash(15)
+		if rt.Run(func() { l.Insert(p, 2) }) {
+			rt.CancelCrash()
+			continue
+		}
+		rt.Restart()
+		if !l.Recover(p, OpInsert, 2) {
+			b.Fatal("recovery failed")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command benchfig regenerates the paper's evaluation figures on the
+// simulated persistent heap.
+//
+// Usage:
+//
+//	benchfig -fig 1a                 # one figure
+//	benchfig -fig all                # every figure
+//	benchfig -fig 7 -threads 1,2,4,8,16 -ops 50000
+//
+// Each run prints one row per (algorithm, thread count): throughput plus
+// per-operation pbarrier and stand-alone-flush counts — the quantities the
+// paper's Figures 1, 3–7 plot. Absolute values depend on the host; the
+// shapes are the reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	figID := flag.String("fig", "all", "figure id (1a,1b,1c,1d,1e,1f,3,4,5,6,7) or 'all'")
+	threads := flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+	ops := flag.Int("ops", 20000, "operations per thread per data point")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	list := flag.Bool("list", false, "list available figures and exit")
+	flag.Parse()
+
+	if *list {
+		for _, f := range figures.All() {
+			fmt.Printf("%-3s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	var ths []int
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "benchfig: bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		ths = append(ths, n)
+	}
+	params := figures.Params{Threads: ths, Ops: *ops, Seed: *seed}
+
+	run := func(f figures.Figure) {
+		fmt.Printf("== Figure %s: %s ==\n", f.ID, f.Title)
+		f.Run(os.Stdout, params)
+		fmt.Println()
+	}
+	if *figID == "all" {
+		for _, f := range figures.All() {
+			run(f)
+		}
+		return
+	}
+	f, ok := figures.ByID(*figID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q (use -list)\n", *figID)
+		os.Exit(2)
+	}
+	run(f)
+}

@@ -1,0 +1,252 @@
+// Command crashtest soaks the detectably recoverable structures under
+// randomized system-wide crash storms and verifies detectability plus
+// linearizability of the recorded histories.
+//
+// Usage:
+//
+//	crashtest -structure list -procs 4 -ops 60 -crashes 8 -rounds 50 -seed 1
+//	crashtest -structure all
+//
+// Every round builds a fresh tracked heap, runs the storm, and checks:
+// every operation resolved to a definite response (detectability), the
+// structure's invariants hold, and the history is linearizable (per-key WGL
+// for sets; whole-history WGL for queue/stack).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/bst"
+	"repro/internal/crash"
+	"repro/internal/isb"
+	"repro/internal/linearize"
+	"repro/internal/list"
+	"repro/internal/pmem"
+	"repro/internal/queue"
+	"repro/internal/stack"
+)
+
+type listTarget struct{ l *list.List }
+
+func (t listTarget) Begin(p *pmem.Proc) { t.l.Begin(p) }
+func (t listTarget) Invoke(p *pmem.Proc, op crash.Op) uint64 {
+	switch op.Kind {
+	case list.OpInsert:
+		return isb.BoolResp(t.l.Insert(p, op.Arg))
+	case list.OpDelete:
+		return isb.BoolResp(t.l.Delete(p, op.Arg))
+	default:
+		return isb.BoolResp(t.l.Find(p, op.Arg))
+	}
+}
+func (t listTarget) Recover(p *pmem.Proc, op crash.Op) uint64 {
+	return isb.BoolResp(t.l.Recover(p, op.Kind, op.Arg))
+}
+
+type bstTarget struct{ b *bst.BST }
+
+func (t bstTarget) Begin(p *pmem.Proc) { t.b.Begin(p) }
+func (t bstTarget) Invoke(p *pmem.Proc, op crash.Op) uint64 {
+	switch op.Kind {
+	case bst.OpInsert:
+		return isb.BoolResp(t.b.Insert(p, op.Arg))
+	case bst.OpDelete:
+		return isb.BoolResp(t.b.Delete(p, op.Arg))
+	default:
+		return isb.BoolResp(t.b.Find(p, op.Arg))
+	}
+}
+func (t bstTarget) Recover(p *pmem.Proc, op crash.Op) uint64 {
+	return isb.BoolResp(t.b.Recover(p, op.Kind, op.Arg))
+}
+
+type queueTarget struct{ q *queue.Queue }
+
+func (t queueTarget) Begin(p *pmem.Proc) { t.q.Begin(p) }
+func (t queueTarget) Invoke(p *pmem.Proc, op crash.Op) uint64 {
+	if op.Kind == queue.OpEnq {
+		t.q.Enqueue(p, op.Arg)
+		return isb.RespTrue
+	}
+	if v, ok := t.q.Dequeue(p); ok {
+		return isb.EncodeValue(v)
+	}
+	return isb.RespEmpty
+}
+func (t queueTarget) Recover(p *pmem.Proc, op crash.Op) uint64 {
+	return t.q.Recover(p, op.Kind, op.Arg)
+}
+
+type stackTarget struct{ s *stack.Stack }
+
+func (t stackTarget) Begin(p *pmem.Proc) { t.s.Begin(p) }
+func (t stackTarget) Invoke(p *pmem.Proc, op crash.Op) uint64 {
+	if op.Kind == stack.OpPush {
+		t.s.Push(p, op.Arg)
+		return isb.RespTrue
+	}
+	if v, ok := t.s.Pop(p); ok {
+		return isb.EncodeValue(v)
+	}
+	return isb.RespEmpty
+}
+func (t stackTarget) Recover(p *pmem.Proc, op crash.Op) uint64 {
+	return t.s.Recover(p, op.Kind, op.Arg)
+}
+
+func main() {
+	structure := flag.String("structure", "all", "list | bst | queue | stack | all")
+	procs := flag.Int("procs", 4, "concurrent processes")
+	ops := flag.Int("ops", 40, "operations per process per round")
+	crashes := flag.Int("crashes", 6, "crashes per round")
+	rounds := flag.Int("rounds", 25, "independent rounds per structure")
+	seed := flag.Int64("seed", 1, "base seed")
+	keys := flag.Uint64("keys", 16, "key range for set structures")
+	flag.Parse()
+
+	structs := []string{"list", "bst", "queue", "stack"}
+	if *structure != "all" {
+		structs = []string{*structure}
+	}
+	fail := false
+	for _, s := range structs {
+		okRounds, recovered, fired := 0, 0, 0
+		for r := 0; r < *rounds; r++ {
+			rs := *seed + int64(r)*7919
+			err, rec, crs := runRound(s, rs, *procs, *ops, *crashes, *keys)
+			recovered += rec
+			fired += crs
+			if err != "" {
+				fmt.Printf("FAIL %-6s round %d (seed %d): %s\n", s, r, rs, err)
+				fail = true
+				continue
+			}
+			okRounds++
+		}
+		fmt.Printf("%-6s: %d/%d rounds ok, %d crashes fired, %d operations recovered\n",
+			s, okRounds, *rounds, fired, recovered)
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+func runRound(structure string, seed int64, procs, ops, crashes int, keys uint64) (string, int, int) {
+	h := pmem.NewHeap(pmem.Config{Words: 1 << 22, Procs: procs, Tracked: true, Seed: uint64(seed) + 1})
+	var target crash.Target
+	var check func(res crash.Result) string
+	var gen func(id, i int, rng *rand.Rand) crash.Op
+
+	setGen := func(insK, delK, findK uint64) func(id, i int, rng *rand.Rand) crash.Op {
+		return func(id, i int, rng *rand.Rand) crash.Op {
+			k := uint64(rng.Intn(int(keys))) + 1
+			switch rng.Intn(3) {
+			case 0:
+				return crash.Op{Kind: insK, Arg: k}
+			case 1:
+				return crash.Op{Kind: delK, Arg: k}
+			default:
+				return crash.Op{Kind: findK, Arg: k}
+			}
+		}
+	}
+	setCheck := func(inv func() string) func(res crash.Result) string {
+		return func(res crash.Result) string {
+			if msg := inv(); msg != "" {
+				return msg
+			}
+			if k, ok := linearize.CheckSetHistory(res.History); !ok {
+				return fmt.Sprintf("history not linearizable at key %d", k)
+			}
+			return ""
+		}
+	}
+
+	switch structure {
+	case "list":
+		l := list.New(h)
+		target = listTarget{l}
+		gen = setGen(list.OpInsert, list.OpDelete, list.OpFind)
+		check = setCheck(l.CheckInvariants)
+	case "bst":
+		b := bst.New(h)
+		target = bstTarget{b}
+		gen = setGen(bst.OpInsert, bst.OpDelete, bst.OpFind)
+		check = setCheck(b.CheckInvariants)
+	case "queue":
+		q := queue.New(h)
+		target = queueTarget{q}
+		var next atomic.Uint64
+		gen = func(id, i int, rng *rand.Rand) crash.Op {
+			if rng.Intn(2) == 0 {
+				return crash.Op{Kind: queue.OpEnq, Arg: next.Add(1)}
+			}
+			return crash.Op{Kind: queue.OpDeq}
+		}
+		check = func(res crash.Result) string {
+			if msg := q.CheckInvariants(); msg != "" {
+				return msg
+			}
+			hist := mapKinds(res, queue.OpEnq, linearize.KindEnq, linearize.KindDeq)
+			if !linearize.Check(linearize.QueueModel(), hist) {
+				return "queue history not linearizable"
+			}
+			return ""
+		}
+	case "stack":
+		s := stack.New(h, stack.DefaultElimSpins)
+		target = stackTarget{s}
+		var next atomic.Uint64
+		gen = func(id, i int, rng *rand.Rand) crash.Op {
+			if rng.Intn(2) == 0 {
+				return crash.Op{Kind: stack.OpPush, Arg: next.Add(1)}
+			}
+			return crash.Op{Kind: stack.OpPop}
+		}
+		check = func(res crash.Result) string {
+			if msg := s.CheckInvariants(); msg != "" {
+				return msg
+			}
+			hist := mapKinds(res, stack.OpPush, linearize.KindPush, linearize.KindPop)
+			if !linearize.Check(linearize.StackModel(), hist) {
+				return "stack history not linearizable"
+			}
+			return ""
+		}
+	default:
+		return "unknown structure " + structure, 0, 0
+	}
+
+	// Whole-history WGL structures must stay within the checker capacity.
+	if (structure == "queue" || structure == "stack") && procs*ops > linearize.MaxOps {
+		ops = linearize.MaxOps / procs
+	}
+	res := crash.Run(crash.Config{
+		Heap: h, Target: target, Procs: procs, OpsPerProc: ops,
+		Gen: gen, Crashes: crashes,
+		MeanAccessGap: procs * ops * 40 / (crashes + 1),
+		Seed:          seed,
+	})
+	if len(res.History) != procs*ops {
+		return fmt.Sprintf("only %d/%d operations resolved", len(res.History), procs*ops),
+			res.RecoveredOps, res.CrashesFired
+	}
+	return check(res), res.RecoveredOps, res.CrashesFired
+}
+
+func mapKinds(res crash.Result, addKind, addTo, otherTo uint64) []linearize.Operation {
+	hist := make([]linearize.Operation, len(res.History))
+	copy(hist, res.History)
+	for i := range hist {
+		if hist[i].Kind == addKind {
+			hist[i].Kind = addTo
+		} else {
+			hist[i].Kind = otherTo
+		}
+	}
+	return hist
+}

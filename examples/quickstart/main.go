@@ -1,0 +1,45 @@
+// Quickstart: a detectably recoverable sorted set surviving a simulated
+// power failure in the middle of an insert.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	rt := repro.New(repro.Config{Procs: 1, CrashSim: true})
+	l := rt.NewList()
+	p := rt.Proc(0)
+
+	for _, k := range []uint64{10, 20, 30} {
+		l.Insert(p, k)
+	}
+	fmt.Println("initial keys:", l.Keys())
+
+	// Arm a crash a few memory accesses into the next operation: the
+	// machine "loses power" while Insert(25) is half-done.
+	rt.ScheduleCrash(12)
+	if rt.Run(func() { l.Insert(p, 25) }) {
+		fmt.Println("the crash missed the operation window")
+		rt.CancelCrash()
+	} else {
+		fmt.Println("crash! volatile state lost mid-insert")
+		rt.Restart() // unflushed cache lines are gone; NVRAM remains
+
+		// Detectable recovery: the per-process recovery data (RD_q, CP_q)
+		// and the persisted Info structure let the process determine
+		// whether its insert took effect — and finish it if it had not.
+		resp := l.Recover(p, repro.OpInsert, 25)
+		fmt.Println("recovered insert response:", resp)
+	}
+
+	fmt.Println("keys after recovery:", l.Keys())
+	if !l.Find(p, 25) {
+		panic("key 25 missing after detectable recovery")
+	}
+	fmt.Println("Find(25):", l.Find(p, 25))
+}

@@ -1,0 +1,134 @@
+// taskqueue: a crash-tolerant work queue. Producers enqueue tasks and
+// consumers dequeue them while the machine repeatedly crashes; detectable
+// recovery guarantees every task is handed out exactly once — no lost and
+// no duplicated work — which the final audit verifies.
+//
+//	go run ./examples/taskqueue
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro"
+)
+
+const (
+	producers = 2
+	consumers = 2
+	tasksEach = 250
+	crashGap  = 1800
+)
+
+func main() {
+	procs := producers + consumers
+	rt := repro.New(repro.Config{Procs: procs, CrashSim: true, HeapWords: 1 << 23})
+	q := rt.NewQueue()
+
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	parked, generation, crashes := 0, 0, 0
+	active := procs
+	park := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		parked++
+		g := generation
+		if parked == active && rt.Crashing() {
+			rt.Restart()
+			crashes++
+			generation++
+			parked = 0
+			rt.ScheduleCrash(crashGap)
+			cond.Broadcast()
+		}
+		for generation == g {
+			cond.Wait()
+		}
+	}
+	leave := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		active--
+		if parked == active && active > 0 && rt.Crashing() {
+			rt.Restart()
+			crashes++
+			generation++
+			parked = 0
+			cond.Broadcast()
+		}
+	}
+
+	rt.ScheduleCrash(crashGap)
+
+	var wg sync.WaitGroup
+	// Producers enqueue globally unique task ids.
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer leave()
+			p := rt.Proc(w)
+			for i := 0; i < tasksEach; i++ {
+				task := uint64(w)*1_000_000 + uint64(i) + 1
+				for !rt.Run(func() { q.Begin(p) }) {
+					park()
+				}
+				ok := rt.Run(func() { q.Enqueue(p, task) })
+				for !ok {
+					park()
+					ok = rt.Run(func() { q.RecoverEnqueue(p, task) })
+				}
+			}
+		}(w)
+	}
+	// Consumers drain until they have collectively seen all tasks.
+	totalTasks := producers * tasksEach
+	var seenMu sync.Mutex
+	seen := map[uint64]int{}
+	for w := 0; w < consumers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer leave()
+			p := rt.Proc(producers + w)
+			for {
+				seenMu.Lock()
+				done := len(seen) >= totalTasks
+				seenMu.Unlock()
+				if done {
+					return
+				}
+				for !rt.Run(func() { q.Begin(p) }) {
+					park()
+				}
+				var task uint64
+				var got bool
+				ok := rt.Run(func() { task, got = q.Dequeue(p) })
+				for !ok {
+					park()
+					ok = rt.Run(func() { task, got = q.RecoverDequeue(p) })
+				}
+				if got {
+					seenMu.Lock()
+					seen[task]++
+					seenMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	dups := 0
+	for _, n := range seen {
+		if n != 1 {
+			dups++
+		}
+	}
+	fmt.Printf("%d tasks produced, %d consumed, %d crashes survived, %d duplicates\n",
+		totalTasks, len(seen), crashes, dups)
+	if len(seen) != totalTasks || dups != 0 {
+		panic("exactly-once delivery violated")
+	}
+	fmt.Println("audit passed: every task delivered exactly once across crashes")
+}

@@ -1,0 +1,303 @@
+// Package capsqueue implements the capsules-based detectably recoverable
+// MS-queue the paper compares against in Figure 7: the capsules
+// transformation (Ben-David et al., SPAA 2019) applied to the Michael-Scott
+// queue over recoverable CAS locations.
+//
+// Two variants mirror the paper's: General applies the barrier-after-every-
+// shared-access durability transformation; Normal is the normalized
+// two-capsule form with hand-tuned persistence. Enqueue's critical CAS is
+// the link CAS on the last node's next location; dequeue's is the Head
+// swing (its exactly-once outcome determines the dequeued node). The Tail
+// word is an auxiliary hint swung with plain CASes.
+package capsqueue
+
+import (
+	"repro/internal/pmem"
+	"repro/internal/rcas"
+)
+
+// Node field offsets (words); next is an rcas location.
+const (
+	nVal  = 0
+	nNext = 1
+
+	nodeWords = 2
+)
+
+// Capsule record offsets (one line per process).
+const (
+	cPhase   = 0 // 0 none, 1 search, 2 critical CAS, 4 done
+	cOp      = 1
+	cLoc     = 2
+	cOld     = 3
+	cNew     = 4
+	cSeq     = 5
+	cResult  = 6
+	cCounter = 7
+)
+
+// Operation kinds.
+const (
+	OpEnq uint64 = 10
+	OpDeq uint64 = 11
+)
+
+// Responses (isb encoding).
+const (
+	RespTrue  uint64 = 2
+	RespEmpty uint64 = 3
+	respVBase uint64 = 16
+)
+
+func EncodeValue(v uint64) uint64 { return v + respVBase }
+func DecodeValue(r uint64) uint64 { return r - respVBase }
+
+// Variant selects the persistence placement.
+type Variant int
+
+const (
+	General Variant = iota
+	Normal
+)
+
+const seqBlock = 64
+
+// Queue is the capsules-transformed MS-queue.
+type Queue struct {
+	h       *pmem.Heap
+	sp      *rcas.Space
+	variant Variant
+	headLoc pmem.Addr // rcas location holding the dummy pointer
+	tail    pmem.Addr // plain hint word
+	recs    pmem.Addr
+
+	seqNext, seqLimit []uint64
+}
+
+// New builds an empty queue.
+func New(h *pmem.Heap, variant Variant) *Queue {
+	q := &Queue{h: h, sp: rcas.NewSpace(h), variant: variant}
+	p := h.Proc(0)
+	n := uint64(h.NumProcs())
+	raw := p.Alloc((n + 1) * pmem.WordsPerLine)
+	q.recs = (raw + pmem.WordsPerLine - 1) &^ (pmem.WordsPerLine - 1)
+	anchors := p.Alloc(2 * pmem.WordsPerLine)
+	q.headLoc = anchors
+	q.tail = anchors + pmem.WordsPerLine
+	dummy := newNode(p, 0)
+	q.sp.InitLoc(p, dummy+nNext, 0)
+	q.sp.InitLoc(p, q.headLoc, uint64(dummy))
+	p.Store(q.tail, uint64(dummy))
+	p.PBarrierRange(dummy, nodeWords)
+	p.PBarrier(q.tail)
+	p.PSync()
+	q.seqNext = make([]uint64, h.NumProcs())
+	q.seqLimit = make([]uint64, h.NumProcs())
+	return q
+}
+
+func newNode(p *pmem.Proc, val uint64) pmem.Addr {
+	nd := p.Alloc(nodeWords)
+	p.Store(nd+nVal, val)
+	return nd
+}
+
+func (q *Queue) rec(p *pmem.Proc) pmem.Addr {
+	return q.recs + pmem.Addr(p.ID()*pmem.WordsPerLine)
+}
+
+// Begin is the system-side invocation step.
+func (q *Queue) Begin(p *pmem.Proc) {
+	r := q.rec(p)
+	p.Store(r+cPhase, 0)
+	p.PWB(r + cPhase)
+	p.PSync()
+}
+
+func (q *Queue) gbar(p *pmem.Proc, a pmem.Addr) {
+	if q.variant == General {
+		p.PBarrier(a)
+	}
+}
+
+func (q *Queue) read(p *pmem.Proc, loc pmem.Addr) uint64 {
+	v := q.sp.Read(p, loc)
+	q.gbar(p, loc)
+	return v
+}
+
+func (q *Queue) nextSeq(p *pmem.Proc) uint64 {
+	id := p.ID()
+	if q.seqNext[id] >= q.seqLimit[id] {
+		r := q.rec(p)
+		base := p.Load(r + cCounter)
+		p.Store(r+cCounter, base+seqBlock)
+		p.PWB(r + cCounter)
+		p.PSync()
+		q.seqNext[id] = base + 1
+		q.seqLimit[id] = base + seqBlock
+	}
+	s := q.seqNext[id]
+	q.seqNext[id]++
+	return s
+}
+
+func (q *Queue) checkpoint(p *pmem.Proc, phase, op, loc, old, new, seq uint64) {
+	r := q.rec(p)
+	p.Store(r+cPhase, phase)
+	p.Store(r+cOp, op)
+	p.Store(r+cLoc, loc)
+	p.Store(r+cOld, old)
+	p.Store(r+cNew, new)
+	p.Store(r+cSeq, seq)
+	p.PBarrierRange(r, pmem.WordsPerLine)
+	p.PSync()
+}
+
+func (q *Queue) finish(p *pmem.Proc, resp uint64) {
+	r := q.rec(p)
+	p.Store(r+cResult, resp)
+	p.Store(r+cPhase, 4)
+	p.PBarrierRange(r, pmem.WordsPerLine)
+	p.PSync()
+}
+
+// findLast chases next locations from the Tail hint.
+func (q *Queue) findLast(p *pmem.Proc) pmem.Addr {
+	last := pmem.Addr(p.Load(q.tail))
+	q.gbar(p, q.tail)
+	for {
+		next := pmem.Addr(q.read(p, last+nNext))
+		if next == pmem.Null {
+			return last
+		}
+		p.CASBool(q.tail, uint64(last), uint64(next))
+		q.gbar(p, q.tail)
+		last = next
+	}
+}
+
+// Enqueue appends v.
+func (q *Queue) Enqueue(p *pmem.Proc, v uint64) {
+	q.checkpoint(p, 1, OpEnq, 0, 0, v, 0)
+	q.enqueueFrom(p, v)
+}
+
+func (q *Queue) enqueueFrom(p *pmem.Proc, v uint64) {
+	nd := newNode(p, v)
+	q.sp.InitLoc(p, nd+nNext, 0)
+	p.PBarrierRange(nd, nodeWords)
+	for {
+		last := q.findLast(p)
+		seq := q.nextSeq(p)
+		q.checkpoint(p, 2, OpEnq, uint64(last+nNext), 0, uint64(nd), seq)
+		if q.sp.CAS(p, last+nNext, 0, uint64(nd), seq) == 0 {
+			q.gbar(p, last+nNext)
+			p.CASBool(q.tail, uint64(last), uint64(nd))
+			q.gbar(p, q.tail)
+			q.finish(p, RespTrue)
+			return
+		}
+	}
+}
+
+// Dequeue removes the oldest value; ok=false on empty.
+func (q *Queue) Dequeue(p *pmem.Proc) (uint64, bool) {
+	q.checkpoint(p, 1, OpDeq, 0, 0, 0, 0)
+	return q.dequeueFrom(p)
+}
+
+func (q *Queue) dequeueFrom(p *pmem.Proc) (uint64, bool) {
+	for {
+		dummy := pmem.Addr(q.read(p, q.headLoc))
+		next := pmem.Addr(q.read(p, dummy+nNext))
+		if next == pmem.Null {
+			if pmem.Addr(q.read(p, q.headLoc)) != dummy {
+				continue
+			}
+			q.finish(p, RespEmpty)
+			return 0, false
+		}
+		seq := q.nextSeq(p)
+		q.checkpoint(p, 2, OpDeq, uint64(q.headLoc), uint64(dummy), uint64(next), seq)
+		if q.sp.CAS(p, q.headLoc, uint64(dummy), uint64(next), seq) == uint64(dummy) {
+			q.gbar(p, q.headLoc)
+			v := p.Load(next + nVal)
+			q.gbar(p, next+nVal)
+			q.finish(p, EncodeValue(v))
+			return v, true
+		}
+	}
+}
+
+// Recover resumes an interrupted operation; arg is the enqueue value (for
+// re-invocation) and ignored for dequeues. Returns the encoded response.
+func (q *Queue) Recover(p *pmem.Proc, op, arg uint64) uint64 {
+	id := p.ID()
+	q.seqNext[id], q.seqLimit[id] = 0, 0
+	r := q.rec(p)
+	if p.Load(r+cPhase) == 0 || p.Load(r+cOp) != op {
+		return q.reinvoke(p, op, arg)
+	}
+	switch p.Load(r + cPhase) {
+	case 4:
+		return p.Load(r + cResult)
+	case 2:
+		loc := pmem.Addr(p.Load(r + cLoc))
+		seq := p.Load(r + cSeq)
+		if q.sp.Recover(p, loc, seq) == rcas.Succeeded {
+			if op == OpEnq {
+				q.finish(p, RespTrue)
+				return RespTrue
+			}
+			next := pmem.Addr(p.Load(r + cNew))
+			v := p.Load(next + nVal)
+			q.finish(p, EncodeValue(v))
+			return EncodeValue(v)
+		}
+		return q.resume(p, op, arg)
+	default:
+		return q.resume(p, op, arg)
+	}
+}
+
+func (q *Queue) reinvoke(p *pmem.Proc, op, arg uint64) uint64 {
+	if op == OpEnq {
+		q.Enqueue(p, arg)
+		return RespTrue
+	}
+	if v, ok := q.Dequeue(p); ok {
+		return EncodeValue(v)
+	}
+	return RespEmpty
+}
+
+func (q *Queue) resume(p *pmem.Proc, op, arg uint64) uint64 {
+	if op == OpEnq {
+		q.enqueueFrom(p, arg)
+		return RespTrue
+	}
+	if v, ok := q.dequeueFrom(p); ok {
+		return EncodeValue(v)
+	}
+	return RespEmpty
+}
+
+// Values snapshots queued values (test helper; quiescence).
+func (q *Queue) Values() []uint64 {
+	h := q.h
+	var out []uint64
+	readVol := func(loc pmem.Addr) uint64 {
+		d := pmem.Addr(h.ReadVolatile(loc))
+		return h.ReadVolatile(d)
+	}
+	curr := pmem.Addr(readVol(q.headLoc))
+	for {
+		next := pmem.Addr(readVol(curr + nNext))
+		if next == pmem.Null {
+			return out
+		}
+		out = append(out, h.ReadVolatile(next+nVal))
+		curr = next
+	}
+}

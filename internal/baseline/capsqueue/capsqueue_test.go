@@ -1,0 +1,123 @@
+package capsqueue
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func newQ(t *testing.T, procs int, v Variant) (*Queue, *pmem.Heap) {
+	t.Helper()
+	h := pmem.NewHeap(pmem.Config{Words: 1 << 22, Procs: procs, Tracked: true})
+	return New(h, v), h
+}
+
+func TestFIFOBothVariants(t *testing.T) {
+	for _, variant := range []Variant{General, Normal} {
+		q, h := newQ(t, 1, variant)
+		p := h.Proc(0)
+		if _, ok := q.Dequeue(p); ok {
+			t.Fatalf("variant %d: dequeue on empty", variant)
+		}
+		for v := uint64(1); v <= 60; v++ {
+			q.Enqueue(p, v)
+		}
+		for v := uint64(1); v <= 60; v++ {
+			got, ok := q.Dequeue(p)
+			if !ok || got != v {
+				t.Fatalf("variant %d: Dequeue = (%d,%v), want (%d,true)", variant, got, ok, v)
+			}
+		}
+	}
+}
+
+func TestConcurrentNoDuplicates(t *testing.T) {
+	const procs, perProc = 3, 200
+	q, h := newQ(t, 2*procs, Normal)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	for id := 0; id < procs; id++ {
+		wg.Add(2)
+		go func(id int) {
+			defer wg.Done()
+			p := h.Proc(id)
+			for j := 0; j < perProc; j++ {
+				q.Enqueue(p, uint64(id)*1_000_000+uint64(j)+1)
+			}
+		}(id)
+		go func(id int) {
+			defer wg.Done()
+			p := h.Proc(procs + id)
+			got := 0
+			for got < perProc {
+				if v, ok := q.Dequeue(p); ok {
+					mu.Lock()
+					dup := seen[v]
+					seen[v] = true
+					mu.Unlock()
+					if dup {
+						t.Errorf("value %d dequeued twice", v)
+						return
+					}
+					got++
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if len(seen) != procs*perProc {
+		t.Fatalf("%d dequeued, want %d", len(seen), procs*perProc)
+	}
+}
+
+func TestCrashSweepBothOps(t *testing.T) {
+	for _, variant := range []Variant{General, Normal} {
+		for offset := uint64(1); offset <= 50; offset++ {
+			h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1, Tracked: true})
+			q := New(h, variant)
+			p := h.Proc(0)
+			q.Enqueue(p, 1)
+
+			q.Begin(p) // system-side invocation step
+			h.ScheduleCrashAt(h.AccessCount() + offset)
+			crashed := !pmem.RunOp(func() { q.Enqueue(p, 2) })
+			h.DisarmCrash()
+			if crashed {
+				h.ResetAfterCrash()
+				if r := q.Recover(p, OpEnq, 2); r != RespTrue {
+					t.Fatalf("variant %d offset %d: enqueue recovery = %d", variant, offset, r)
+				}
+			}
+
+			q.Begin(p)
+			h.ScheduleCrashAt(h.AccessCount() + offset)
+			var v uint64
+			var ok bool
+			crashed = !pmem.RunOp(func() { v, ok = q.Dequeue(p) })
+			h.DisarmCrash()
+			if crashed {
+				h.ResetAfterCrash()
+				r := q.Recover(p, OpDeq, 0)
+				if r == RespEmpty {
+					t.Fatalf("variant %d offset %d: dequeue recovered empty", variant, offset)
+				}
+				v, ok = DecodeValue(r), true
+			}
+			if !ok || v != 1 {
+				t.Fatalf("variant %d offset %d: dequeue (%d,%v), want (1,true)", variant, offset, v, ok)
+			}
+			v2, ok2 := q.Dequeue(p)
+			if !ok2 || v2 != 2 {
+				t.Fatalf("variant %d offset %d: second dequeue (%d,%v)", variant, offset, v2, ok2)
+			}
+			if _, ok := q.Dequeue(p); ok {
+				t.Fatalf("variant %d offset %d: phantom element", variant, offset)
+			}
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package capsules implements the paper's Capsules baselines: Harris' list
+// made detectably recoverable with the capsules transformation of
+// Ben-David, Blelloch, Friedman and Wei (SPAA 2019), on top of the
+// recoverable CAS of internal/rcas.
+//
+// Two variants are provided, matching the paper's evaluation:
+//
+//   - General — the code is wrapped with the durability transformation of
+//     Izraelevitz et al. (DISC 2016): a persistence barrier after every
+//     access to shared memory. This is the paper's "Capsules" curve, whose
+//     throughput collapses under the barrier count.
+//   - Normalized — the hand-tuned normalized form ("Capsules-Opt"): each
+//     operation splits into two capsules (search; critical CAS), each
+//     checkpointing its continuation state with a single barrier, plus the
+//     marked-node traversal rule: a barrier for every logically deleted
+//     node the search walks through (this is the thread-count-dependent
+//     persistence cost the paper measures in Figure 1b).
+//
+// Every next field is an rcas location: it holds a pointer to an immutable
+// ⟨value, owner⟩ descriptor; the value carries the Harris mark in bit 0.
+// Exactly-once semantics for the critical CAS come from rcas recovery;
+// capsule checkpoints make re-execution after a crash start from the last
+// capsule boundary.
+package capsules
+
+import (
+	"repro/internal/pmem"
+	"repro/internal/rcas"
+)
+
+// Node field offsets (words); 2-word nodes (next is an rcas location).
+const (
+	nKey  = 0
+	nNext = 1
+
+	nodeWords = 2
+)
+
+// Capsule record field offsets (one cache line per process).
+const (
+	cPhase   = 0 // 0 = no op in flight, 1 = search capsule, 2 = CAS capsule
+	cOp      = 1
+	cKey     = 2
+	cLoc     = 3 // location of the critical CAS
+	cOld     = 4 // expected value of the critical CAS
+	cNew     = 5 // new value of the critical CAS
+	cSeq     = 6 // seq of the critical CAS
+	cCounter = 7 // persisted seq-block watermark
+)
+
+// Operation kinds.
+const (
+	OpInsert uint64 = 1
+	OpDelete uint64 = 2
+	OpFind   uint64 = 3
+)
+
+// Variant selects the persistence placement.
+type Variant int
+
+const (
+	// General: barrier after every shared-memory access.
+	General Variant = iota
+	// Normalized: two capsules per operation, hand-tuned persistence.
+	Normalized
+)
+
+// Sentinel keys.
+const (
+	MinKey uint64 = 0
+	MaxKey uint64 = 1<<64 - 1
+)
+
+const seqBlock = 64
+
+func markedv(v uint64) bool   { return v&1 == 1 }
+func markv(v uint64) uint64   { return v | 1 }
+func unmarkv(v uint64) uint64 { return v &^ 1 }
+
+// List is the capsules-transformed detectably recoverable sorted set.
+type List struct {
+	h          *pmem.Heap
+	sp         *rcas.Space
+	variant    Variant
+	head, tail pmem.Addr
+	caps       pmem.Addr // per-proc capsule record lines
+
+	seqNext  []uint64 // next local seq per proc
+	seqLimit []uint64 // end of the reserved block per proc
+}
+
+// New builds an empty capsules list.
+func New(h *pmem.Heap, variant Variant) *List {
+	l := &List{h: h, sp: rcas.NewSpace(h), variant: variant}
+	p := h.Proc(0)
+	n := uint64(h.NumProcs())
+	raw := p.Alloc((n + 1) * pmem.WordsPerLine)
+	l.caps = (raw + pmem.WordsPerLine - 1) &^ (pmem.WordsPerLine - 1)
+	l.tail = newNode(p, MaxKey)
+	l.head = newNode(p, MinKey)
+	l.sp.InitLoc(p, l.tail+nNext, 0)
+	l.sp.InitLoc(p, l.head+nNext, uint64(l.tail))
+	p.PBarrierRange(l.head, nodeWords)
+	p.PBarrierRange(l.tail, nodeWords)
+	p.PSync()
+	l.seqNext = make([]uint64, h.NumProcs())
+	l.seqLimit = make([]uint64, h.NumProcs())
+	return l
+}
+
+func newNode(p *pmem.Proc, key uint64) pmem.Addr {
+	nd := p.Alloc(nodeWords)
+	p.Store(nd+nKey, key)
+	return nd
+}
+
+func (l *List) cap0(p *pmem.Proc) pmem.Addr {
+	return l.caps + pmem.Addr(p.ID()*pmem.WordsPerLine)
+}
+
+// Begin is the system-side invocation step: persistently mark "no capsule
+// in flight" so stale records cannot answer for a new operation.
+func (l *List) Begin(p *pmem.Proc) {
+	c := l.cap0(p)
+	p.Store(c+cPhase, 0)
+	p.PWB(c + cPhase)
+	p.PSync()
+}
+
+// gbar is the General-variant barrier after a shared access.
+func (l *List) gbar(p *pmem.Proc, a pmem.Addr) {
+	if l.variant == General {
+		p.PBarrier(a)
+	}
+}
+
+// read loads a next-field value through its descriptor, applying the
+// variant's persistence rules (and the marked-node barrier for Normalized).
+func (l *List) read(p *pmem.Proc, loc pmem.Addr) uint64 {
+	v := l.sp.Read(p, loc)
+	l.gbar(p, loc)
+	if l.variant == Normalized && markedv(v) {
+		// Hand-tuned rule: persist the marked link before depending on it.
+		p.PBarrier(loc)
+	}
+	return v
+}
+
+// nextSeq hands out a fresh per-proc CAS sequence number, reserving blocks
+// so the persisted watermark is written once per seqBlock numbers.
+func (l *List) nextSeq(p *pmem.Proc) uint64 {
+	id := p.ID()
+	if l.seqNext[id] >= l.seqLimit[id] {
+		c := l.cap0(p)
+		base := p.Load(c + cCounter)
+		p.Store(c+cCounter, base+seqBlock)
+		p.PWB(c + cCounter)
+		p.PSync()
+		l.seqNext[id] = base + 1
+		l.seqLimit[id] = base + seqBlock
+	}
+	s := l.seqNext[id]
+	l.seqNext[id]++
+	return s
+}
+
+// reseedSeq skips to a fresh block after a crash (local counters are lost).
+func (l *List) reseedSeq(p *pmem.Proc) {
+	id := p.ID()
+	l.seqNext[id] = 0
+	l.seqLimit[id] = 0
+}
+
+// checkpoint persists a capsule boundary in one barrier.
+func (l *List) checkpoint(p *pmem.Proc, phase, op, key, loc, old, new, seq uint64) {
+	c := l.cap0(p)
+	p.Store(c+cPhase, phase)
+	p.Store(c+cOp, op)
+	p.Store(c+cKey, key)
+	p.Store(c+cLoc, loc)
+	p.Store(c+cOld, old)
+	p.Store(c+cNew, new)
+	p.Store(c+cSeq, seq)
+	p.PBarrierRange(c, pmem.WordsPerLine)
+	p.PSync()
+}
+
+// find is Harris' search over rcas locations. Unlink CASes use fresh seqs
+// (their outcome is never queried, but overwritten owners must still be
+// notified).
+func (l *List) find(p *pmem.Proc, key uint64) (pred, curr pmem.Addr) {
+retry:
+	for {
+		pred = l.head
+		curr = pmem.Addr(unmarkv(l.read(p, pred+nNext)))
+		for {
+			succ := l.read(p, curr+nNext)
+			for markedv(succ) {
+				if l.sp.CAS(p, pred+nNext, uint64(curr), unmarkv(succ), 0) != uint64(curr) {
+					continue retry
+				}
+				l.gbar(p, pred+nNext)
+				curr = pmem.Addr(unmarkv(succ))
+				succ = l.read(p, curr+nNext)
+			}
+			k := p.Load(curr + nKey)
+			l.gbar(p, curr+nKey)
+			if k >= key {
+				return pred, curr
+			}
+			pred = curr
+			curr = pmem.Addr(unmarkv(succ))
+		}
+	}
+}
+
+// Insert adds key; false if present.
+func (l *List) Insert(p *pmem.Proc, key uint64) bool {
+	l.checkpoint(p, 1, OpInsert, key, 0, 0, 0, 0)
+	return l.insertFrom(p, key)
+}
+
+func (l *List) insertFrom(p *pmem.Proc, key uint64) bool {
+	for {
+		pred, curr := l.find(p, key)
+		if p.Load(curr+nKey) == key {
+			l.finishBool(p, false)
+			return false
+		}
+		nd := newNode(p, key)
+		l.sp.InitLoc(p, nd+nNext, uint64(curr))
+		p.PBarrierRange(nd, nodeWords)
+		seq := l.nextSeq(p)
+		l.checkpoint(p, 2, OpInsert, key, uint64(pred+nNext), uint64(curr), uint64(nd), seq)
+		if l.sp.CAS(p, pred+nNext, uint64(curr), uint64(nd), seq) == uint64(curr) {
+			l.gbar(p, pred+nNext)
+			l.finishBool(p, true)
+			return true
+		}
+	}
+}
+
+// Delete removes key; false if absent.
+func (l *List) Delete(p *pmem.Proc, key uint64) bool {
+	l.checkpoint(p, 1, OpDelete, key, 0, 0, 0, 0)
+	return l.deleteFrom(p, key)
+}
+
+func (l *List) deleteFrom(p *pmem.Proc, key uint64) bool {
+	for {
+		pred, curr := l.find(p, key)
+		if p.Load(curr+nKey) != key {
+			l.finishBool(p, false)
+			return false
+		}
+		succ := l.read(p, curr+nNext)
+		if markedv(succ) {
+			continue
+		}
+		seq := l.nextSeq(p)
+		l.checkpoint(p, 2, OpDelete, key, uint64(curr+nNext), succ, markv(succ), seq)
+		if l.sp.CAS(p, curr+nNext, succ, markv(succ), seq) == succ {
+			l.gbar(p, curr+nNext)
+			// Best-effort unlink.
+			l.sp.CAS(p, pred+nNext, uint64(curr), unmarkv(succ), 0)
+			l.finishBool(p, true)
+			return true
+		}
+	}
+}
+
+// Find reports membership.
+func (l *List) Find(p *pmem.Proc, key uint64) bool {
+	l.checkpoint(p, 1, OpFind, key, 0, 0, 0, 0)
+	curr := l.head
+	for {
+		k := p.Load(curr + nKey)
+		l.gbar(p, curr+nKey)
+		if k >= key {
+			res := k == key && !markedv(l.read(p, curr+nNext))
+			l.finishBool(p, res)
+			return res
+		}
+		curr = pmem.Addr(unmarkv(l.read(p, curr+nNext)))
+	}
+}
+
+// finishBool persists the response into the capsule record (strict
+// recoverability), reusing cOld as the result slot with phase = 3.
+func (l *List) finishBool(p *pmem.Proc, res bool) {
+	c := l.cap0(p)
+	v := uint64(1)
+	if res {
+		v = 2
+	}
+	p.Store(c+cOld, v)
+	p.Store(c+cPhase, 3)
+	p.PBarrierRange(c, pmem.WordsPerLine)
+	p.PSync()
+}
+
+// Recover resumes an interrupted operation with the same kind and key.
+func (l *List) Recover(p *pmem.Proc, op, key uint64) bool {
+	l.reseedSeq(p)
+	c := l.cap0(p)
+	phase := p.Load(c + cPhase)
+	if phase == 0 || p.Load(c+cOp) != op || p.Load(c+cKey) != key {
+		return l.reinvoke(p, op, key)
+	}
+	switch phase {
+	case 3: // completed: the persisted result stands
+		return p.Load(c+cOld) == 2
+	case 2: // critical CAS capsule: ask the recoverable CAS
+		loc := pmem.Addr(p.Load(c + cLoc))
+		seq := p.Load(c + cSeq)
+		if l.sp.Recover(p, loc, seq) == rcas.Succeeded {
+			if op == OpDelete {
+				// Help the physical unlink along on a future traversal.
+				l.finishBool(p, true)
+				return true
+			}
+			l.finishBool(p, true)
+			return true
+		}
+		return l.resume(p, op, key)
+	default: // search capsule: re-execute it
+		return l.resume(p, op, key)
+	}
+}
+
+func (l *List) reinvoke(p *pmem.Proc, op, key uint64) bool {
+	switch op {
+	case OpInsert:
+		return l.Insert(p, key)
+	case OpDelete:
+		return l.Delete(p, key)
+	default:
+		return l.Find(p, key)
+	}
+}
+
+func (l *List) resume(p *pmem.Proc, op, key uint64) bool {
+	switch op {
+	case OpInsert:
+		return l.insertFrom(p, key)
+	case OpDelete:
+		return l.deleteFrom(p, key)
+	default:
+		return l.Find(p, key)
+	}
+}
+
+// Keys snapshots unmarked keys (test helper; quiescence).
+func (l *List) Keys() []uint64 {
+	var out []uint64
+	h := l.h
+	curr := l.readVol(l.head + nNext)
+	for pmem.Addr(unmarkv(curr)) != l.tail {
+		nd := pmem.Addr(unmarkv(curr))
+		next := l.readVol(nd + nNext)
+		if !markedv(next) {
+			out = append(out, h.ReadVolatile(nd+nKey))
+		}
+		curr = next
+	}
+	return out
+}
+
+func (l *List) readVol(loc pmem.Addr) uint64 {
+	d := pmem.Addr(l.h.ReadVolatile(loc))
+	return l.h.ReadVolatile(d) // dVal = 0
+}
+
+// CheckInvariants verifies sortedness of unmarked nodes at quiescence.
+func (l *List) CheckInvariants() string {
+	prev := uint64(0)
+	curr := pmem.Addr(unmarkv(l.readVol(l.head + nNext)))
+	steps := 0
+	for {
+		if curr == pmem.Null {
+			return "fell off the list"
+		}
+		if curr == l.tail {
+			return ""
+		}
+		next := l.readVol(curr + nNext)
+		k := l.h.ReadVolatile(curr + nKey)
+		if !markedv(next) {
+			if k <= prev {
+				return "unmarked keys not strictly increasing"
+			}
+			prev = k
+		}
+		curr = pmem.Addr(unmarkv(next))
+		if steps++; steps > 1<<24 {
+			return "cycle suspected"
+		}
+	}
+}

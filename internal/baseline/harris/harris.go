@@ -1,0 +1,165 @@
+// Package harris implements Harris' lock-free sorted linked list (DISC
+// 2001) on the simulated persistent heap — the paper's Harris-LL baseline.
+// It is volatile (no persistence instructions, no recovery): in the
+// private-cache-model experiments of Figure 4 it marks the upper bound the
+// detectable algorithms are measured against, and it is the structural
+// basis of the direct-tracking and capsules baselines.
+//
+// Deletion marks live in bit 0 of a node's next field (node addresses are
+// even). Marked nodes are unlinked by traversals.
+package harris
+
+import "repro/internal/pmem"
+
+// Node field offsets (words); 2-word nodes.
+const (
+	nKey  = 0
+	nNext = 1
+
+	nodeWords = 2
+)
+
+// Sentinel keys; user keys lie strictly between.
+const (
+	MinKey uint64 = 0
+	MaxKey uint64 = 1<<64 - 1
+)
+
+func marked(v uint64) bool   { return v&1 == 1 }
+func mark(v uint64) uint64   { return v | 1 }
+func unmark(v uint64) uint64 { return v &^ 1 }
+func ref(v uint64) pmem.Addr { return pmem.Addr(v &^ 1) }
+
+// List is Harris' lock-free sorted set of uint64 keys.
+type List struct {
+	h          *pmem.Heap
+	head, tail pmem.Addr
+}
+
+// New builds an empty list.
+func New(h *pmem.Heap) *List {
+	l := &List{h: h}
+	p := h.Proc(0)
+	l.tail = newNode(p, MaxKey, 0)
+	l.head = newNode(p, MinKey, uint64(l.tail))
+	return l
+}
+
+func newNode(p *pmem.Proc, key, next uint64) pmem.Addr {
+	nd := p.Alloc(nodeWords)
+	p.Store(nd+nKey, key)
+	p.Store(nd+nNext, next)
+	return nd
+}
+
+// find returns (pred, curr) with curr the first unmarked node of key ≥ key,
+// physically unlinking marked chains it passes (Harris' helping).
+func (l *List) find(p *pmem.Proc, key uint64) (pred, curr pmem.Addr) {
+retry:
+	for {
+		pred = l.head
+		curr = ref(p.Load(pred + nNext))
+		for {
+			succ := p.Load(curr + nNext)
+			for marked(succ) {
+				// curr is logically deleted: unlink it.
+				if !p.CASBool(pred+nNext, uint64(curr), unmark(succ)) {
+					continue retry
+				}
+				curr = ref(succ)
+				succ = p.Load(curr + nNext)
+			}
+			if p.Load(curr+nKey) >= key {
+				return pred, curr
+			}
+			pred = curr
+			curr = ref(succ)
+		}
+	}
+}
+
+// Insert adds key; false if present.
+func (l *List) Insert(p *pmem.Proc, key uint64) bool {
+	for {
+		pred, curr := l.find(p, key)
+		if p.Load(curr+nKey) == key {
+			return false
+		}
+		nd := newNode(p, key, uint64(curr))
+		if p.CASBool(pred+nNext, uint64(curr), uint64(nd)) {
+			return true
+		}
+	}
+}
+
+// Delete removes key; false if absent.
+func (l *List) Delete(p *pmem.Proc, key uint64) bool {
+	for {
+		pred, curr := l.find(p, key)
+		if p.Load(curr+nKey) != key {
+			return false
+		}
+		succ := p.Load(curr + nNext)
+		if marked(succ) {
+			continue
+		}
+		if !p.CASBool(curr+nNext, succ, mark(succ)) {
+			continue
+		}
+		// Best-effort physical unlink; traversals finish it otherwise.
+		p.CASBool(pred+nNext, uint64(curr), succ)
+		return true
+	}
+}
+
+// Find reports membership (wait-free traversal, no unlinking).
+func (l *List) Find(p *pmem.Proc, key uint64) bool {
+	curr := l.head
+	for p.Load(curr+nKey) < key {
+		curr = ref(p.Load(curr + nNext))
+	}
+	return p.Load(curr+nKey) == key && !marked(p.Load(curr+nNext))
+}
+
+// Keys snapshots the unmarked keys (test helper; quiescence).
+func (l *List) Keys() []uint64 {
+	var out []uint64
+	h := l.h
+	curr := ref(h.ReadVolatile(l.head + nNext))
+	for curr != l.tail {
+		next := h.ReadVolatile(curr + nNext)
+		if !marked(next) {
+			out = append(out, h.ReadVolatile(curr+nKey))
+		}
+		curr = ref(next)
+	}
+	return out
+}
+
+// CheckInvariants verifies sortedness of unmarked nodes at quiescence.
+func (l *List) CheckInvariants() string {
+	h := l.h
+	prev := uint64(0)
+	curr := ref(h.ReadVolatile(l.head + nNext))
+	steps := 0
+	for {
+		if curr == pmem.Null {
+			return "fell off the list"
+		}
+		next := h.ReadVolatile(curr + nNext)
+		k := h.ReadVolatile(curr + nKey)
+		if !marked(next) {
+			if k <= prev {
+				return "unmarked keys not strictly increasing"
+			}
+			prev = k
+		}
+		if curr == l.tail {
+			return ""
+		}
+		curr = ref(next)
+		if steps++; steps > 1<<24 {
+			return "cycle suspected"
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package harris
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func newList(t *testing.T, procs int) (*List, *pmem.Heap) {
+	t.Helper()
+	h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: procs})
+	return New(h), h
+}
+
+func TestBasicSemantics(t *testing.T) {
+	l, h := newList(t, 1)
+	p := h.Proc(0)
+	if !l.Insert(p, 5) || l.Insert(p, 5) {
+		t.Fatal("insert semantics")
+	}
+	if !l.Find(p, 5) || l.Find(p, 6) {
+		t.Fatal("find semantics")
+	}
+	if !l.Delete(p, 5) || l.Delete(p, 5) {
+		t.Fatal("delete semantics")
+	}
+	if l.Find(p, 5) {
+		t.Fatal("found deleted key")
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	l, h := newList(t, 1)
+	p := h.Proc(0)
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(64) + 1)
+		switch rng.Intn(3) {
+		case 0:
+			if l.Insert(p, k) != !model[k] {
+				t.Fatalf("op %d insert(%d)", i, k)
+			}
+			model[k] = true
+		case 1:
+			if l.Delete(p, k) != model[k] {
+				t.Fatalf("op %d delete(%d)", i, k)
+			}
+			delete(model, k)
+		default:
+			if l.Find(p, k) != model[k] {
+				t.Fatalf("op %d find(%d)", i, k)
+			}
+		}
+	}
+	if msg := l.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestConcurrentContended(t *testing.T) {
+	const procs, perProc, keys = 8, 500, 8
+	l, h := newList(t, procs)
+	net := make([]map[uint64]int, procs)
+	var wg sync.WaitGroup
+	for id := 0; id < procs; id++ {
+		net[id] = map[uint64]int{}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := h.Proc(id)
+			rng := rand.New(rand.NewSource(int64(id)))
+			for i := 0; i < perProc; i++ {
+				k := uint64(rng.Intn(keys) + 1)
+				if rng.Intn(2) == 0 {
+					if l.Insert(p, k) {
+						net[id][k]++
+					}
+				} else if l.Delete(p, k) {
+					net[id][k]--
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if msg := l.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	total := map[uint64]int{}
+	for _, m := range net {
+		for k, v := range m {
+			total[k] += v
+		}
+	}
+	present := map[uint64]bool{}
+	for _, k := range l.Keys() {
+		present[k] = true
+	}
+	for k := uint64(1); k <= keys; k++ {
+		want := 0
+		if present[k] {
+			want = 1
+		}
+		if total[k] != want {
+			t.Fatalf("key %d: net %d vs present %v", k, total[k], present[k])
+		}
+	}
+}
+
+func TestNoPersistenceInstructions(t *testing.T) {
+	l, h := newList(t, 1)
+	p := h.Proc(0)
+	p.ResetStats()
+	l.Insert(p, 1)
+	l.Find(p, 1)
+	l.Delete(p, 1)
+	s := p.Stats()
+	if s.Flushes != 0 || s.Barriers != 0 || s.Syncs != 0 {
+		t.Fatalf("volatile baseline issued persistence instructions: %+v", s)
+	}
+}

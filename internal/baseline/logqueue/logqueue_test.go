@@ -1,0 +1,154 @@
+package logqueue
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func newQ(t *testing.T, procs int) (*Queue, *pmem.Heap) {
+	t.Helper()
+	h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: procs, Tracked: true})
+	return New(h), h
+}
+
+func TestFIFO(t *testing.T) {
+	q, h := newQ(t, 1)
+	p := h.Proc(0)
+	if _, ok := q.Dequeue(p); ok {
+		t.Fatal("dequeue on empty")
+	}
+	for v := uint64(1); v <= 80; v++ {
+		q.Enqueue(p, v)
+	}
+	for v := uint64(1); v <= 80; v++ {
+		got, ok := q.Dequeue(p)
+		if !ok || got != v {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", got, ok, v)
+		}
+	}
+	if _, ok := q.Dequeue(p); ok {
+		t.Fatal("not drained")
+	}
+}
+
+func TestConcurrentNoDuplicates(t *testing.T) {
+	const procs, perProc = 3, 300
+	q, h := newQ(t, 2*procs)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	for id := 0; id < procs; id++ {
+		wg.Add(2)
+		go func(id int) {
+			defer wg.Done()
+			p := h.Proc(id)
+			for j := 0; j < perProc; j++ {
+				q.Enqueue(p, uint64(id)*1_000_000+uint64(j)+1)
+			}
+		}(id)
+		go func(id int) {
+			defer wg.Done()
+			p := h.Proc(procs + id)
+			got := 0
+			for got < perProc {
+				if v, ok := q.Dequeue(p); ok {
+					mu.Lock()
+					dup := seen[v]
+					seen[v] = true
+					mu.Unlock()
+					if dup {
+						t.Errorf("value %d dequeued twice", v)
+						return
+					}
+					got++
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if len(seen) != procs*perProc {
+		t.Fatalf("%d values dequeued, want %d", len(seen), procs*perProc)
+	}
+}
+
+func TestCrashSweepEnqueue(t *testing.T) {
+	for offset := uint64(1); offset <= 50; offset++ {
+		h := pmem.NewHeap(pmem.Config{Words: 1 << 20, Procs: 1, Tracked: true})
+		q := New(h)
+		p := h.Proc(0)
+		q.Enqueue(p, 1)
+		q.Begin(p) // system-side invocation step
+		h.ScheduleCrashAt(h.AccessCount() + offset)
+		crashed := !pmem.RunOp(func() { q.Enqueue(p, 2) })
+		h.DisarmCrash()
+		if crashed {
+			h.ResetAfterCrash()
+			if r := q.RecoverEnqueue(p, 2); r != RespTrue {
+				t.Fatalf("offset %d: enqueue recovery = %d", offset, r)
+			}
+		}
+		v1, ok1 := q.Dequeue(p)
+		v2, ok2 := q.Dequeue(p)
+		if !ok1 || !ok2 || v1 != 1 || v2 != 2 {
+			t.Fatalf("offset %d: dequeued (%d,%v) (%d,%v)", offset, v1, ok1, v2, ok2)
+		}
+		if _, ok := q.Dequeue(p); ok {
+			t.Fatalf("offset %d: extra element (duplicated enqueue)", offset)
+		}
+	}
+}
+
+func TestCrashSweepDequeue(t *testing.T) {
+	for offset := uint64(1); offset <= 50; offset++ {
+		h := pmem.NewHeap(pmem.Config{Words: 1 << 20, Procs: 1, Tracked: true})
+		q := New(h)
+		p := h.Proc(0)
+		q.Enqueue(p, 7)
+		q.Enqueue(p, 8)
+		q.Begin(p) // system-side invocation step
+		h.ScheduleCrashAt(h.AccessCount() + offset)
+		var v uint64
+		var ok bool
+		crashed := !pmem.RunOp(func() { v, ok = q.Dequeue(p) })
+		h.DisarmCrash()
+		if crashed {
+			h.ResetAfterCrash()
+			r := q.Recover(p, OpDeq)
+			if r == RespEmpty {
+				t.Fatalf("offset %d: dequeue recovered empty", offset)
+			}
+			v, ok = DecodeValue(r), true
+		}
+		if !ok || v != 7 {
+			t.Fatalf("offset %d: dequeue (%d,%v), want (7,true)", offset, v, ok)
+		}
+		v2, ok2 := q.Dequeue(p)
+		if !ok2 || v2 != 8 {
+			t.Fatalf("offset %d: second dequeue (%d,%v)", offset, v2, ok2)
+		}
+	}
+}
+
+func TestRecoverAfterCompletion(t *testing.T) {
+	q, h := newQ(t, 1)
+	p := h.Proc(0)
+	q.Enqueue(p, 3)
+	if r := q.RecoverEnqueue(p, 3); r != RespTrue {
+		t.Fatalf("recover enqueue = %d", r)
+	}
+	v, ok := q.Dequeue(p)
+	if !ok || v != 3 {
+		t.Fatalf("dequeue (%d,%v)", v, ok)
+	}
+	if r := q.Recover(p, OpDeq); r != EncodeValue(3) {
+		t.Fatalf("recover dequeue = %d", r)
+	}
+	if _, ok := q.Dequeue(p); ok {
+		t.Fatal("recovery duplicated an operation")
+	}
+}

@@ -1,0 +1,98 @@
+// Package msqueue implements the Michael-Scott lock-free FIFO queue
+// (PODC 1996) on the simulated heap — volatile and non-recoverable. It is
+// the base of the queue baselines and the upper-bound curve in the
+// private-cache-model panel of Figure 7.
+package msqueue
+
+import "repro/internal/pmem"
+
+// Node field offsets (words); 4-word allocations.
+const (
+	nVal  = 0
+	nNext = 1
+
+	nodeWords = 2
+)
+
+// Queue is a Michael-Scott FIFO queue of uint64 values.
+type Queue struct {
+	h          *pmem.Heap
+	head, tail pmem.Addr // anchor words on separate lines
+}
+
+// New builds an empty queue (one dummy node).
+func New(h *pmem.Heap) *Queue {
+	q := &Queue{h: h}
+	p := h.Proc(0)
+	anchors := p.Alloc(2 * pmem.WordsPerLine)
+	q.head = anchors
+	q.tail = anchors + pmem.WordsPerLine
+	dummy := newNode(p, 0)
+	p.Store(q.head, uint64(dummy))
+	p.Store(q.tail, uint64(dummy))
+	return q
+}
+
+func newNode(p *pmem.Proc, val uint64) pmem.Addr {
+	nd := p.Alloc(nodeWords)
+	p.Store(nd+nVal, val)
+	p.Store(nd+nNext, 0)
+	return nd
+}
+
+// Enqueue appends v.
+func (q *Queue) Enqueue(p *pmem.Proc, v uint64) {
+	nd := newNode(p, v)
+	for {
+		last := pmem.Addr(p.Load(q.tail))
+		next := pmem.Addr(p.Load(last + nNext))
+		if last != pmem.Addr(p.Load(q.tail)) {
+			continue
+		}
+		if next != pmem.Null {
+			p.CASBool(q.tail, uint64(last), uint64(next)) // help swing
+			continue
+		}
+		if p.CASBool(last+nNext, 0, uint64(nd)) {
+			p.CASBool(q.tail, uint64(last), uint64(nd))
+			return
+		}
+	}
+}
+
+// Dequeue removes the oldest value; ok=false on empty.
+func (q *Queue) Dequeue(p *pmem.Proc) (uint64, bool) {
+	for {
+		head := pmem.Addr(p.Load(q.head))
+		last := pmem.Addr(p.Load(q.tail))
+		next := pmem.Addr(p.Load(head + nNext))
+		if head != pmem.Addr(p.Load(q.head)) {
+			continue
+		}
+		if head == last {
+			if next == pmem.Null {
+				return 0, false
+			}
+			p.CASBool(q.tail, uint64(last), uint64(next)) // help swing
+			continue
+		}
+		v := p.Load(next + nVal)
+		if p.CASBool(q.head, uint64(head), uint64(next)) {
+			return v, true
+		}
+	}
+}
+
+// Len counts queued values (test helper; quiescence).
+func (q *Queue) Len() int {
+	h := q.h
+	n := 0
+	curr := pmem.Addr(h.ReadVolatile(q.head))
+	for {
+		curr = pmem.Addr(h.ReadVolatile(curr + nNext))
+		if curr == pmem.Null {
+			return n
+		}
+		n++
+	}
+}

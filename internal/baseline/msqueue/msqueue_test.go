@@ -1,0 +1,73 @@
+package msqueue
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func TestFIFO(t *testing.T) {
+	h := pmem.NewHeap(pmem.Config{Words: 1 << 20, Procs: 1})
+	q := New(h)
+	p := h.Proc(0)
+	if _, ok := q.Dequeue(p); ok {
+		t.Fatal("dequeue on empty")
+	}
+	for v := uint64(1); v <= 100; v++ {
+		q.Enqueue(p, v)
+	}
+	for v := uint64(1); v <= 100; v++ {
+		got, ok := q.Dequeue(p)
+		if !ok || got != v {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", got, ok, v)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("not drained")
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	const procs, perProc = 4, 500
+	h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 2 * procs})
+	q := New(h)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	for id := 0; id < procs; id++ {
+		wg.Add(2)
+		go func(id int) {
+			defer wg.Done()
+			p := h.Proc(id)
+			for j := 0; j < perProc; j++ {
+				q.Enqueue(p, uint64(id)*1_000_000+uint64(j)+1)
+			}
+		}(id)
+		go func(id int) {
+			defer wg.Done()
+			p := h.Proc(procs + id)
+			got := 0
+			for got < perProc {
+				if v, ok := q.Dequeue(p); ok {
+					mu.Lock()
+					if seen[v] {
+						mu.Unlock()
+						t.Errorf("value %d dequeued twice", v)
+						return
+					}
+					seen[v] = true
+					mu.Unlock()
+					got++
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if len(seen) != procs*perProc || q.Len() != 0 {
+		t.Fatalf("conservation: %d seen, %d left", len(seen), q.Len())
+	}
+}

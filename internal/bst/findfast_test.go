@@ -1,0 +1,118 @@
+package bst
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// FindFast is the paper's Section 6 extension: Finds with an *empty*
+// AffectSet. These tests pin its semantics, persistence profile, and
+// recoverability.
+
+func TestFindFastSemantics(t *testing.T) {
+	b, h := newBST(t, 1)
+	p := h.Proc(0)
+	model := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Intn(32) + 1)
+		switch rng.Intn(4) {
+		case 0:
+			if b.Insert(p, k) != !model[k] {
+				t.Fatalf("op %d insert(%d)", i, k)
+			}
+			model[k] = true
+		case 1:
+			if b.Delete(p, k) != model[k] {
+				t.Fatalf("op %d delete(%d)", i, k)
+			}
+			delete(model, k)
+		case 2:
+			if b.Find(p, k) != model[k] {
+				t.Fatalf("op %d find(%d)", i, k)
+			}
+		default:
+			if b.FindFast(p, k) != model[k] {
+				t.Fatalf("op %d findfast(%d)", i, k)
+			}
+		}
+	}
+}
+
+func TestFindFastNeverTags(t *testing.T) {
+	b, h := newBST(t, 1)
+	p := h.Proc(0)
+	for k := uint64(1); k <= 50; k++ {
+		b.Insert(p, k)
+	}
+	s0 := p.Stats()
+	for k := uint64(1); k <= 50; k++ {
+		b.FindFast(p, k)
+	}
+	d := p.Stats().Sub(s0)
+	if d.CASes != 0 {
+		t.Fatalf("FindFast performed %d CASes; the empty AffectSet must never tag", d.CASes)
+	}
+}
+
+func TestFindFastCheaperThanFind(t *testing.T) {
+	// Two identically shaped trees; the same Find workload through the
+	// regular ROpt path and the empty-AffectSet path.
+	hA := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1})
+	bA := New(hA)
+	pA := hA.Proc(0)
+	hB := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1})
+	bB := New(hB)
+	pB := hB.Proc(0)
+	for k := uint64(1); k <= 50; k++ {
+		bA.Insert(pA, k)
+		bB.Insert(pB, k)
+	}
+	sA := pA.Stats()
+	sB := pB.Stats()
+	for k := uint64(1); k <= 50; k++ {
+		bA.Find(pA, k)
+		bB.FindFast(pB, k)
+	}
+	dA := pA.Stats().Sub(sA)
+	dB := pB.Stats().Sub(sB)
+	if dB.Loads >= dA.Loads {
+		t.Fatalf("FindFast loads (%d) not below Find loads (%d)", dB.Loads, dA.Loads)
+	}
+}
+
+func TestFindFastCrashSweep(t *testing.T) {
+	for offset := uint64(1); offset <= 40; offset++ {
+		h := pmem.NewHeap(pmem.Config{Words: 1 << 20, Procs: 1, Tracked: true})
+		b := New(h)
+		p := h.Proc(0)
+		b.Insert(p, 10)
+
+		b.Begin(p)
+		h.ScheduleCrashAt(h.AccessCount() + offset)
+		var res bool
+		crashed := !pmem.RunOp(func() { res = b.FindFast(p, 10) })
+		h.DisarmCrash()
+		if crashed {
+			h.ResetAfterCrash()
+			res = b.Recover(p, OpFindFast, 10)
+		}
+		if !res {
+			t.Fatalf("offset %d: FindFast(10) false", offset)
+		}
+		// And a miss:
+		b.Begin(p)
+		h.ScheduleCrashAt(h.AccessCount() + offset)
+		crashed = !pmem.RunOp(func() { res = b.FindFast(p, 11) })
+		h.DisarmCrash()
+		if crashed {
+			h.ResetAfterCrash()
+			res = b.Recover(p, OpFindFast, 11)
+		}
+		if res {
+			t.Fatalf("offset %d: FindFast(11) true", offset)
+		}
+	}
+}

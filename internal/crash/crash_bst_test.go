@@ -1,0 +1,117 @@
+package crash
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bst"
+	"repro/internal/linearize"
+	"repro/internal/pmem"
+)
+
+type bstTarget struct{ b *bst.BST }
+
+func (t bstTarget) Begin(p *pmem.Proc) { t.b.Begin(p) }
+
+func (t bstTarget) Invoke(p *pmem.Proc, op Op) uint64 {
+	switch op.Kind {
+	case bst.OpInsert:
+		return respBool(t.b.Insert(p, op.Arg))
+	case bst.OpDelete:
+		return respBool(t.b.Delete(p, op.Arg))
+	default:
+		return respBool(t.b.Find(p, op.Arg))
+	}
+}
+
+func (t bstTarget) Recover(p *pmem.Proc, op Op) uint64 {
+	return respBool(t.b.Recover(p, op.Kind, op.Arg))
+}
+
+func bstGen(keys uint64) func(id, i int, rng *rand.Rand) Op {
+	return func(id, i int, rng *rand.Rand) Op {
+		k := uint64(rng.Intn(int(keys))) + 1
+		switch rng.Intn(3) {
+		case 0:
+			return Op{Kind: bst.OpInsert, Arg: k}
+		case 1:
+			return Op{Kind: bst.OpDelete, Arg: k}
+		default:
+			return Op{Kind: bst.OpFind, Arg: k}
+		}
+	}
+}
+
+func runBSTStorm(t *testing.T, seed int64, procs, opsPerProc, crashes int, keys uint64, evictEvery uint64) {
+	t.Helper()
+	h := pmem.NewHeap(pmem.Config{
+		Words: 1 << 22, Procs: procs, Tracked: true,
+		EvictEvery: evictEvery, Seed: uint64(seed) + 1,
+	})
+	b := bst.New(h)
+	res := Run(Config{
+		Heap: h, Target: bstTarget{b}, Procs: procs, OpsPerProc: opsPerProc,
+		Gen: bstGen(keys), Crashes: crashes,
+		MeanAccessGap: procs * opsPerProc * 50 / (crashes + 1),
+		Seed:          seed,
+	})
+	if want := procs * opsPerProc; len(res.History) != want {
+		t.Fatalf("history %d ops, want %d", len(res.History), want)
+	}
+	if msg := b.CheckInvariants(); msg != "" {
+		t.Fatalf("invariant after storm: %s (seed %d)", msg, seed)
+	}
+	if k, ok := linearize.CheckSetHistory(res.History); !ok {
+		t.Fatalf("history not linearizable at key %d (seed %d, crashes %d, recovered %d)",
+			k, seed, res.CrashesFired, res.RecoveredOps)
+	}
+	net := map[uint64]int{}
+	for _, e := range res.Events {
+		if e.Resp != linearize.RespTrue {
+			continue
+		}
+		switch e.Op.Kind {
+		case bst.OpInsert:
+			net[e.Op.Arg]++
+		case bst.OpDelete:
+			net[e.Op.Arg]--
+		}
+	}
+	present := map[uint64]bool{}
+	for _, k := range b.Keys() {
+		present[k] = true
+	}
+	for k := uint64(1); k <= keys; k++ {
+		want := 0
+		if present[k] {
+			want = 1
+		}
+		if net[k] != want {
+			t.Fatalf("key %d: net %d vs presence %v (seed %d)", k, net[k], present[k], seed)
+		}
+	}
+}
+
+func TestBSTSingleProcCrashStorm(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		runBSTStorm(t, seed, 1, 60, 6, 8, 0)
+	}
+}
+
+func TestBSTConcurrentCrashStorm(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		runBSTStorm(t, seed, 4, 40, 5, 16, 0)
+	}
+}
+
+func TestBSTCrashStormWithEviction(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		runBSTStorm(t, seed, 4, 40, 5, 12, 3)
+	}
+}
+
+func TestBSTHighCrashRate(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		runBSTStorm(t, seed, 3, 30, 18, 8, 0)
+	}
+}

@@ -1,0 +1,132 @@
+package crash
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/isb"
+	"repro/internal/linearize"
+	"repro/internal/pmem"
+	"repro/internal/queue"
+)
+
+type queueTarget struct{ q *queue.Queue }
+
+func (t queueTarget) Begin(p *pmem.Proc) { t.q.Begin(p) }
+
+func (t queueTarget) Invoke(p *pmem.Proc, op Op) uint64 {
+	if op.Kind == queue.OpEnq {
+		t.q.Enqueue(p, op.Arg)
+		return isb.RespTrue
+	}
+	v, ok := t.q.Dequeue(p)
+	if !ok {
+		return isb.RespEmpty
+	}
+	return isb.EncodeValue(v)
+}
+
+func (t queueTarget) Recover(p *pmem.Proc, op Op) uint64 {
+	return t.q.Recover(p, op.Kind, op.Arg)
+}
+
+// queueGen produces globally unique enqueue values (required by the FIFO
+// checker) interleaved with dequeues.
+func queueGen(next *atomic.Uint64) func(id, i int, rng *rand.Rand) Op {
+	return func(id, i int, rng *rand.Rand) Op {
+		if rng.Intn(2) == 0 {
+			return Op{Kind: queue.OpEnq, Arg: next.Add(1)}
+		}
+		return Op{Kind: queue.OpDeq}
+	}
+}
+
+func runQueueStorm(t *testing.T, seed int64, procs, opsPerProc, crashes int, evictEvery uint64) {
+	t.Helper()
+	h := pmem.NewHeap(pmem.Config{
+		Words: 1 << 21, Procs: procs, Tracked: true,
+		EvictEvery: evictEvery, Seed: uint64(seed) + 1,
+	})
+	q := queue.New(h)
+	var next atomic.Uint64
+	res := Run(Config{
+		Heap: h, Target: queueTarget{q}, Procs: procs, OpsPerProc: opsPerProc,
+		Gen: queueGen(&next), Crashes: crashes,
+		MeanAccessGap: procs * opsPerProc * 30 / (crashes + 1),
+		Seed:          seed,
+	})
+	if want := procs * opsPerProc; len(res.History) != want {
+		t.Fatalf("history %d ops, want %d", len(res.History), want)
+	}
+	if msg := q.CheckInvariants(); msg != "" {
+		t.Fatalf("invariant: %s (seed %d)", msg, seed)
+	}
+	// Map op kinds onto the linearize queue model's kinds.
+	hist := make([]linearize.Operation, len(res.History))
+	copy(hist, res.History)
+	for i := range hist {
+		if hist[i].Kind == queue.OpEnq {
+			hist[i].Kind = linearize.KindEnq
+		} else {
+			hist[i].Kind = linearize.KindDeq
+		}
+	}
+	if !linearize.Check(linearize.QueueModel(), hist) {
+		t.Fatalf("queue history not linearizable (seed %d, crashes %d, recovered %d)",
+			seed, res.CrashesFired, res.RecoveredOps)
+	}
+	// Conservation: every enqueued value is either dequeued exactly once or
+	// still in the queue.
+	enq := map[uint64]bool{}
+	deq := map[uint64]int{}
+	for _, e := range res.Events {
+		if e.Op.Kind == queue.OpEnq {
+			enq[e.Op.Arg] = true
+		} else if e.Resp != isb.RespEmpty {
+			deq[isb.DecodeValue(e.Resp)]++
+		}
+	}
+	for v, n := range deq {
+		if n != 1 {
+			t.Fatalf("value %d dequeued %d times (seed %d)", v, n, seed)
+		}
+		if !enq[v] {
+			t.Fatalf("value %d dequeued but never enqueued (seed %d)", v, seed)
+		}
+	}
+	remaining := q.Values()
+	if len(remaining)+len(deq) != len(enq) {
+		t.Fatalf("conservation: %d enqueued, %d dequeued, %d remaining (seed %d)",
+			len(enq), len(deq), len(remaining), seed)
+	}
+	for _, v := range remaining {
+		if deq[v] != 0 {
+			t.Fatalf("value %d both dequeued and still queued (seed %d)", v, seed)
+		}
+	}
+}
+
+func TestQueueSingleProcCrashStorm(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		runQueueStorm(t, seed, 1, 50, 6, 0)
+	}
+}
+
+func TestQueueConcurrentCrashStorm(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		runQueueStorm(t, seed, 3, 20, 5, 0)
+	}
+}
+
+func TestQueueCrashStormWithEviction(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		runQueueStorm(t, seed, 3, 20, 6, 3)
+	}
+}
+
+func TestQueueHighCrashRate(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		runQueueStorm(t, seed, 2, 25, 15, 0)
+	}
+}

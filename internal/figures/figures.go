@@ -1,0 +1,159 @@
+// Package figures regenerates every figure of the paper's evaluation
+// (Section 5 and Appendix B): it maps each figure id to the workload sweep
+// that produces the corresponding curves and prints the series as rows.
+// Absolute numbers depend on the simulation host; the shapes — who wins, by
+// what factor, and where curves cross — are the reproduction target (see
+// EXPERIMENTS.md).
+package figures
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/harness"
+	"repro/internal/pmem"
+)
+
+// Params tunes a regeneration run.
+type Params struct {
+	Threads []int // thread counts to sweep
+	Ops     int   // operations per thread per data point
+	Seed    uint64
+}
+
+// DefaultParams returns a sweep suitable for the simulation host.
+func DefaultParams() Params {
+	return Params{Threads: []int{1, 2, 4, 8}, Ops: 20000, Seed: 42}
+}
+
+// QuickParams returns a fast sweep for tests and testing.B benches.
+func QuickParams() Params {
+	return Params{Threads: []int{1, 2}, Ops: 1500, Seed: 42}
+}
+
+// Figure describes one reproducible figure.
+type Figure struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, p Params)
+}
+
+// listPanel sweeps all detectable list algorithms for one workload panel.
+func listPanel(w io.Writer, p Params, title string, keyRange uint64, findPct int,
+	model pmem.Model, algos []string) {
+	fmt.Fprintf(w, "# %s (keys [1,%d], %d%% finds, %s)\n", title, keyRange, findPct, model)
+	for _, algo := range algos {
+		for _, th := range p.Threads {
+			cfg := harness.Config{
+				Algo: algo, Threads: th, KeyRange: keyRange, FindPct: findPct,
+				OpsPerThread: p.Ops, Model: model, Seed: p.Seed,
+			}
+			if model == pmem.SharedCache {
+				cfg.PWBLatency = pmem.DefaultPWBLatency
+				cfg.PSyncLatency = pmem.DefaultPSyncLatency
+			}
+			fmt.Fprintln(w, harness.RunList(cfg).Row())
+		}
+	}
+}
+
+// queuePanel sweeps queue algorithms for one Figure 7 panel.
+func queuePanel(w io.Writer, p Params, title string, model pmem.Model, algos []string) {
+	fmt.Fprintf(w, "# %s (%s, enq/deq pairs)\n", title, model)
+	prefill := 20000
+	if p.Ops < 5000 {
+		prefill = 2000
+	}
+	for _, algo := range algos {
+		for _, th := range p.Threads {
+			cfg := harness.Config{
+				Algo: algo, Threads: th, OpsPerThread: p.Ops,
+				Model: model, Seed: p.Seed, QueuePrefill: prefill,
+			}
+			if model == pmem.SharedCache {
+				cfg.PWBLatency = pmem.DefaultPWBLatency
+				cfg.PSyncLatency = pmem.DefaultPSyncLatency
+			}
+			fmt.Fprintln(w, harness.RunQueue(cfg).Row())
+		}
+	}
+}
+
+// All returns every figure, keyed in paper order.
+func All() []Figure {
+	fig := func(id, title string, run func(io.Writer, Params)) Figure {
+		return Figure{ID: id, Title: title, Run: run}
+	}
+	return []Figure{
+		fig("1a", "List throughput, shared cache, keys [1,500], read-intensive", func(w io.Writer, p Params) {
+			listPanel(w, p, "Figure 1a: throughput", 500, 70, pmem.SharedCache, harness.ListAlgos)
+		}),
+		fig("1b", "pbarriers per operation, keys [1,500], read-intensive", func(w io.Writer, p Params) {
+			listPanel(w, p, "Figure 1b: pbarriers/op", 500, 70, pmem.SharedCache, harness.ListAlgos)
+		}),
+		fig("1c", "Stand-alone flushes per operation, keys [1,500], read-intensive", func(w io.Writer, p Params) {
+			listPanel(w, p, "Figure 1c: flushes/op", 500, 70, pmem.SharedCache, harness.ListAlgos)
+		}),
+		fig("1d", "List throughput, shared cache, keys [1,500], update-intensive", func(w io.Writer, p Params) {
+			listPanel(w, p, "Figure 1d: throughput", 500, 30, pmem.SharedCache, harness.ListAlgos)
+		}),
+		fig("1e", "List throughput, shared cache, keys [1,1500], read-intensive", func(w io.Writer, p Params) {
+			listPanel(w, p, "Figure 1e: throughput", 1500, 70, pmem.SharedCache, harness.ListAlgos)
+		}),
+		fig("1f", "List throughput, shared cache, keys [1,1500], update-intensive", func(w io.Writer, p Params) {
+			listPanel(w, p, "Figure 1f: throughput", 1500, 30, pmem.SharedCache, harness.ListAlgos)
+		}),
+		fig("3", "List throughput, keys [1,1000] and [1,2000], both mixes", func(w io.Writer, p Params) {
+			for _, kr := range []uint64{1000, 2000} {
+				for _, fp := range []int{70, 30} {
+					listPanel(w, p, "Figure 3 panel", kr, fp, pmem.SharedCache, harness.ListAlgos)
+				}
+			}
+		}),
+		fig("4", "List throughput, private cache model (zero persistence cost)", func(w io.Writer, p Params) {
+			algos := append(append([]string{}, harness.ListAlgos...), harness.AlgoHarris)
+			for _, kr := range []uint64{500, 1500} {
+				for _, fp := range []int{70, 30} {
+					listPanel(w, p, "Figure 4 panel", kr, fp, pmem.PrivateCache, algos)
+				}
+			}
+		}),
+		fig("5", "pbarriers and flushes per op, read-intensive, keys 1000/1500/2000", func(w io.Writer, p Params) {
+			for _, kr := range []uint64{1000, 1500, 2000} {
+				listPanel(w, p, "Figure 5 panel", kr, 70, pmem.SharedCache, harness.ListAlgos)
+			}
+		}),
+		fig("6", "pbarriers and flushes per op, update-intensive, keys 1000/1500/2000", func(w io.Writer, p Params) {
+			for _, kr := range []uint64{1000, 1500, 2000} {
+				listPanel(w, p, "Figure 6 panel", kr, 30, pmem.SharedCache, harness.ListAlgos)
+			}
+		}),
+		fig("7", "Queue throughput: shared cache; private cache; private + MS-Queue", func(w io.Writer, p Params) {
+			queuePanel(w, p, "Figure 7 left", pmem.SharedCache, harness.QueueAlgos)
+			queuePanel(w, p, "Figure 7 middle", pmem.PrivateCache, harness.QueueAlgos)
+			withMS := append(append([]string{}, harness.QueueAlgos...), harness.QueueMS)
+			queuePanel(w, p, "Figure 7 right", pmem.PrivateCache, withMS)
+		}),
+	}
+}
+
+// ByID returns the figure with the given id.
+func ByID(id string) (Figure, bool) {
+	for _, f := range All() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+// IDs returns all figure ids in order.
+func IDs() []string {
+	var ids []string
+	for _, f := range All() {
+		ids = append(ids, f.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

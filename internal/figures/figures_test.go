@@ -1,0 +1,39 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEveryFigureRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps")
+	}
+	p := Params{Threads: []int{1}, Ops: 300, Seed: 1}
+	for _, f := range All() {
+		var buf bytes.Buffer
+		f.Run(&buf, p)
+		out := buf.String()
+		if !strings.Contains(out, "ops/s") {
+			t.Fatalf("figure %s produced no data rows:\n%s", f.ID, out)
+		}
+		if !strings.Contains(out, "Isb") && !strings.Contains(out, "ISB") {
+			t.Fatalf("figure %s missing the ISB curve:\n%s", f.ID, out)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"1a", "1b", "1c", "1d", "1e", "1f", "3", "4", "5", "6", "7"} {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("figure %s missing", id)
+		}
+	}
+	if _, ok := ByID("99"); ok {
+		t.Fatal("phantom figure")
+	}
+	if len(IDs()) != 11 {
+		t.Fatalf("expected 11 figures, got %d", len(IDs()))
+	}
+}

@@ -1,0 +1,263 @@
+// Package harness drives the paper's benchmark workloads: multi-process
+// list and queue experiments with configurable key ranges, operation mixes,
+// persistency models and simulated persistence-instruction latencies. It
+// produces the quantities every figure in the evaluation plots: throughput
+// (operations per second) and the per-operation counts of pbarriers and
+// stand-alone flushes.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/baseline/capsqueue"
+	"repro/internal/baseline/capsules"
+	"repro/internal/baseline/dtlist"
+	"repro/internal/baseline/harris"
+	"repro/internal/baseline/logqueue"
+	"repro/internal/baseline/msqueue"
+	"repro/internal/list"
+	"repro/internal/pmem"
+	"repro/internal/queue"
+)
+
+// Set is the common surface of every list algorithm under test.
+type Set interface {
+	Insert(p *pmem.Proc, key uint64) bool
+	Delete(p *pmem.Proc, key uint64) bool
+	Find(p *pmem.Proc, key uint64) bool
+}
+
+// FIFO is the common surface of every queue algorithm under test.
+type FIFO interface {
+	Enqueue(p *pmem.Proc, v uint64)
+	Dequeue(p *pmem.Proc) (uint64, bool)
+}
+
+// List algorithm names (the paper's curve labels).
+const (
+	AlgoIsb         = "Isb"
+	AlgoIsbOpt      = "Isb-Opt"
+	AlgoCapsules    = "Capsules"
+	AlgoCapsulesOpt = "Capsules-Opt"
+	AlgoDTOpt       = "DT-Opt"
+	AlgoHarris      = "Harris-LL"
+)
+
+// Queue algorithm names.
+const (
+	QueueIsb             = "ISB-Queue"
+	QueueLog             = "Log-Queue"
+	QueueCapsulesGeneral = "Capsules-General"
+	QueueCapsulesNormal  = "Capsules-Normal"
+	QueueMS              = "MS-Queue"
+)
+
+// ListAlgos lists the detectable list algorithms in the paper's figures.
+var ListAlgos = []string{AlgoCapsules, AlgoIsb, AlgoIsbOpt, AlgoCapsulesOpt, AlgoDTOpt}
+
+// QueueAlgos lists the queue algorithms of Figure 7 (shared cache panel).
+var QueueAlgos = []string{QueueIsb, QueueLog, QueueCapsulesGeneral, QueueCapsulesNormal}
+
+// Config parameterises one data point.
+type Config struct {
+	Algo         string
+	Threads      int
+	KeyRange     uint64 // list benchmarks
+	FindPct      int    // percent of Finds; rest split Insert/Delete
+	OpsPerThread int
+	Model        pmem.Model
+	PWBLatency   time.Duration
+	PSyncLatency time.Duration
+	Seed         uint64
+	QueuePrefill int // queue benchmarks
+}
+
+// Result is one measured data point.
+type Result struct {
+	Algo          string
+	Threads       int
+	Ops           int
+	Elapsed       time.Duration
+	OpsPerSec     float64
+	BarriersPerOp float64
+	FlushesPerOp  float64
+	SyncsPerOp    float64
+}
+
+// Row formats a result as a figure table row.
+func (r Result) Row() string {
+	return fmt.Sprintf("%-17s %3d  %12.0f ops/s  %7.2f barriers/op  %7.2f flushes/op",
+		r.Algo, r.Threads, r.OpsPerSec, r.BarriersPerOp, r.FlushesPerOp)
+}
+
+// heapWords sizes the arena for a run (every op may allocate; ISB ops
+// allocate an Info record per attempt).
+func heapWords(threads, ops int, prefill int) int {
+	w := (threads*ops + prefill + 1024) * 128
+	if w < 1<<21 {
+		w = 1 << 21
+	}
+	return w
+}
+
+// newListAlgo builds the named list algorithm on a fresh heap.
+func newListAlgo(cfg Config) (Set, *pmem.Heap) {
+	h := pmem.NewHeap(pmem.Config{
+		Words:        heapWords(cfg.Threads, cfg.OpsPerThread, int(cfg.KeyRange)),
+		Procs:        cfg.Threads + 1, // +1 for the prefill proc
+		Model:        cfg.Model,
+		PWBLatency:   cfg.PWBLatency,
+		PSyncLatency: cfg.PSyncLatency,
+		Seed:         cfg.Seed + 1,
+	})
+	var s Set
+	switch cfg.Algo {
+	case AlgoIsb:
+		s = list.New(h)
+	case AlgoIsbOpt:
+		s = list.NewOpt(h)
+	case AlgoCapsules:
+		s = capsules.New(h, capsules.General)
+	case AlgoCapsulesOpt:
+		s = capsules.New(h, capsules.Normalized)
+	case AlgoDTOpt:
+		s = dtlist.New(h)
+	case AlgoHarris:
+		s = harris.New(h)
+	default:
+		panic("harness: unknown list algorithm " + cfg.Algo)
+	}
+	return s, h
+}
+
+// RunList measures one list data point: the heap is prefilled with
+// KeyRange/2 random inserts (≈40% full, as in the paper), counters reset,
+// then Threads procs each run OpsPerThread operations of the given mix.
+func RunList(cfg Config) Result {
+	s, h := newListAlgo(cfg)
+	pre := h.Proc(cfg.Threads)
+	rng := rand.New(rand.NewSource(int64(cfg.Seed) + 7))
+	for i := uint64(0); i < cfg.KeyRange/2; i++ {
+		s.Insert(pre, uint64(rng.Int63n(int64(cfg.KeyRange)))+1)
+	}
+	h.ResetAllStats()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < cfg.Threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := h.Proc(id)
+			r := rand.New(rand.NewSource(int64(cfg.Seed)*131 + int64(id)))
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				k := uint64(r.Int63n(int64(cfg.KeyRange))) + 1
+				c := r.Intn(100)
+				switch {
+				case c < cfg.FindPct:
+					s.Find(p, k)
+				case c < cfg.FindPct+(100-cfg.FindPct)/2:
+					s.Insert(p, k)
+				default:
+					s.Delete(p, k)
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return summarize(cfg, h, elapsed)
+}
+
+// newQueueAlgo builds the named queue algorithm on a fresh heap.
+func newQueueAlgo(cfg Config) (FIFO, *pmem.Heap) {
+	h := pmem.NewHeap(pmem.Config{
+		Words:        heapWords(cfg.Threads, cfg.OpsPerThread, cfg.QueuePrefill),
+		Procs:        cfg.Threads + 1,
+		Model:        cfg.Model,
+		PWBLatency:   cfg.PWBLatency,
+		PSyncLatency: cfg.PSyncLatency,
+		Seed:         cfg.Seed + 1,
+	})
+	var q FIFO
+	switch cfg.Algo {
+	case QueueIsb:
+		q = isbQueueAdapter{queue.New(h)}
+	case QueueLog:
+		q = logqueue.New(h)
+	case QueueCapsulesGeneral:
+		q = capsQueueAdapter{capsqueue.New(h, capsqueue.General)}
+	case QueueCapsulesNormal:
+		q = capsQueueAdapter{capsqueue.New(h, capsqueue.Normal)}
+	case QueueMS:
+		q = msqueue.New(h)
+	default:
+		panic("harness: unknown queue algorithm " + cfg.Algo)
+	}
+	return q, h
+}
+
+type isbQueueAdapter struct{ q *queue.Queue }
+
+func (a isbQueueAdapter) Enqueue(p *pmem.Proc, v uint64)      { a.q.Enqueue(p, v) }
+func (a isbQueueAdapter) Dequeue(p *pmem.Proc) (uint64, bool) { return a.q.Dequeue(p) }
+
+type capsQueueAdapter struct{ q *capsqueue.Queue }
+
+func (a capsQueueAdapter) Enqueue(p *pmem.Proc, v uint64)      { a.q.Enqueue(p, v) }
+func (a capsQueueAdapter) Dequeue(p *pmem.Proc) (uint64, bool) { return a.q.Dequeue(p) }
+
+// RunQueue measures one queue data point: prefill, then each thread runs
+// OpsPerThread/2 enqueue-dequeue pairs (as in the paper's queue benchmark).
+func RunQueue(cfg Config) Result {
+	q, h := newQueueAlgo(cfg)
+	pre := h.Proc(cfg.Threads)
+	for i := 0; i < cfg.QueuePrefill; i++ {
+		q.Enqueue(pre, uint64(i)+1)
+	}
+	h.ResetAllStats()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < cfg.Threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := h.Proc(id)
+			base := uint64(id+1) * 10_000_000
+			for i := 0; i < cfg.OpsPerThread/2; i++ {
+				q.Enqueue(p, base+uint64(i))
+				q.Dequeue(p)
+			}
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return summarize(cfg, h, elapsed)
+}
+
+func summarize(cfg Config, h *pmem.Heap, elapsed time.Duration) Result {
+	var st pmem.Stats
+	for id := 0; id < cfg.Threads; id++ {
+		st.Add(h.Proc(id).Stats())
+	}
+	total := cfg.Threads * cfg.OpsPerThread
+	res := Result{
+		Algo:    cfg.Algo,
+		Threads: cfg.Threads,
+		Ops:     total,
+		Elapsed: elapsed,
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(total) / elapsed.Seconds()
+	}
+	if total > 0 {
+		res.BarriersPerOp = float64(st.Barriers) / float64(total)
+		res.FlushesPerOp = float64(st.Flushes) / float64(total)
+		res.SyncsPerOp = float64(st.Syncs) / float64(total)
+	}
+	return res
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pmem"
+)
+
+func quickCfg(algo string, threads int) Config {
+	return Config{
+		Algo: algo, Threads: threads, KeyRange: 128, FindPct: 70,
+		OpsPerThread: 800, Model: pmem.SharedCache, Seed: 9,
+		PWBLatency: 50 * time.Nanosecond, PSyncLatency: 50 * time.Nanosecond,
+	}
+}
+
+func TestRunListAllAlgos(t *testing.T) {
+	for _, algo := range append(append([]string{}, ListAlgos...), AlgoHarris) {
+		res := RunList(quickCfg(algo, 2))
+		if res.Ops != 1600 || res.OpsPerSec <= 0 {
+			t.Fatalf("%s: bad result %+v", algo, res)
+		}
+		if algo == AlgoHarris && (res.BarriersPerOp != 0 || res.FlushesPerOp != 0) {
+			t.Fatalf("Harris-LL issued persistence instructions: %+v", res)
+		}
+		if algo != AlgoHarris && res.BarriersPerOp <= 0 {
+			t.Fatalf("%s: no barriers recorded", algo)
+		}
+	}
+}
+
+func TestRunQueueAllAlgos(t *testing.T) {
+	for _, algo := range append(append([]string{}, QueueAlgos...), QueueMS) {
+		res := RunQueue(Config{
+			Algo: algo, Threads: 2, OpsPerThread: 600,
+			Model: pmem.SharedCache, Seed: 5, QueuePrefill: 500,
+		})
+		if res.Ops != 1200 || res.OpsPerSec <= 0 {
+			t.Fatalf("%s: bad result %+v", algo, res)
+		}
+	}
+}
+
+// TestShapeCapsulesGeneralIsSlowest: the general durability transformation
+// must issue an order of magnitude more barriers per op than every
+// hand-tuned or ISB algorithm — the root cause of its collapsed throughput
+// in Figure 1.
+func TestShapeCapsulesGeneralIsSlowest(t *testing.T) {
+	barriers := map[string]float64{}
+	for _, algo := range ListAlgos {
+		barriers[algo] = RunList(quickCfg(algo, 2)).BarriersPerOp
+	}
+	for _, algo := range []string{AlgoIsb, AlgoIsbOpt, AlgoCapsulesOpt, AlgoDTOpt} {
+		if barriers[AlgoCapsules] < 5*barriers[algo] {
+			t.Fatalf("Capsules barriers/op (%.1f) not ≫ %s (%.1f)",
+				barriers[AlgoCapsules], algo, barriers[algo])
+		}
+	}
+}
+
+// TestShapeIsbConstantBarriers: ISB barriers per operation must stay flat
+// as threads increase (the paper's core scalability claim, Figure 1b).
+func TestShapeIsbConstantBarriers(t *testing.T) {
+	for _, algo := range []string{AlgoIsb, AlgoIsbOpt} {
+		b1 := RunList(quickCfg(algo, 1)).BarriersPerOp
+		b4 := RunList(quickCfg(algo, 4)).BarriersPerOp
+		if b4 > 2.0*b1+1 {
+			t.Fatalf("%s: barriers/op grew from %.2f (1 thread) to %.2f (4 threads)", algo, b1, b4)
+		}
+	}
+}
+
+// TestShapeIsbOptFlushHeavy: Isb-Opt performs more stand-alone flushes per
+// op than the other hand-tuned algorithms (CP_q, RD_q, ... — Figure 1c).
+func TestShapeIsbOptFlushHeavy(t *testing.T) {
+	fIsbOpt := RunList(quickCfg(AlgoIsbOpt, 2)).FlushesPerOp
+	for _, algo := range []string{AlgoCapsulesOpt, AlgoDTOpt} {
+		f := RunList(quickCfg(algo, 2)).FlushesPerOp
+		if fIsbOpt <= f {
+			t.Fatalf("Isb-Opt flushes/op (%.2f) not above %s (%.2f)", fIsbOpt, algo, f)
+		}
+	}
+}
+
+// TestShapePrivateCacheFree: in the private cache model no algorithm incurs
+// persistence instructions.
+func TestShapePrivateCacheFree(t *testing.T) {
+	cfg := quickCfg(AlgoIsb, 2)
+	cfg.Model = pmem.PrivateCache
+	res := RunList(cfg)
+	if res.BarriersPerOp != 0 || res.FlushesPerOp != 0 || res.SyncsPerOp != 0 {
+		t.Fatalf("private cache model counted persistence instructions: %+v", res)
+	}
+}

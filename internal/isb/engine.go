@@ -1,0 +1,230 @@
+package isb
+
+import "repro/internal/pmem"
+
+// Help tries to complete the operation described by the Info record at
+// info. It is the paper's Algorithm 1 Help procedure, including the red
+// persistency instructions of the shared cache model: a pwb after every CAS
+// on an info field or WriteSet field, and a psync at the end of every phase.
+//
+// Help is idempotent and may be executed concurrently by any number of
+// processes. The invoker tags starting from the first AffectSet element;
+// helpers start from the second (they discovered the operation through a
+// tag the invoker installed, so the first element needs no help).
+func (e *Engine) Help(p *pmem.Proc, info pmem.Addr, invoker bool) {
+	tagged := Tagged(info)
+	untagged := Untagged(info)
+	n := int(p.Load(info + offAffectLen))
+	start := 0
+	if !invoker {
+		start = 1
+	}
+
+	// Tagging phase. In opt mode the per-CAS write-backs are deferred and
+	// batched into one barrier at the end of the phase (the paper's
+	// hand-tuned placement); the plain mode issues a pwb after every CAS,
+	// exactly as Algorithm 1 is written.
+	var batch [MaxAffect + MaxWrites + MaxCleanup + 1]pmem.Addr
+	nb := 0
+	for i := start; i < n; i++ {
+		nd := pmem.Addr(p.Load(info + offAffect + pmem.Addr(2*i)))
+		exp := p.Load(info + offAffect + pmem.Addr(2*i) + 1)
+		res := p.CAS(nd, exp, tagged)
+		if e.opt {
+			batch[nb] = nd
+			nb++
+		} else {
+			p.PWB(nd)
+		}
+		if res != exp && res != tagged {
+			// Backtrack phase: untag earlier elements in reverse order.
+			// Safe even past the invoker's first element: a tag failure at
+			// a retired-class element (index ≥ 1) proves the operation can
+			// never complete, because expected info values never recur.
+			for j := i - 1; j >= 0; j-- {
+				ndj := pmem.Addr(p.Load(info + offAffect + pmem.Addr(2*j)))
+				p.CAS(ndj, tagged, untagged)
+				if !e.opt {
+					p.PWB(ndj)
+				}
+			}
+			if e.opt && nb > 0 {
+				p.PBarrierAddrs(batch[:nb])
+			}
+			p.PSync()
+			return
+		}
+	}
+	if e.opt && nb > 0 {
+		p.PBarrierAddrs(batch[:nb])
+	}
+	p.PSync()
+
+	// Update phase: apply the WriteSet CASes. Each change happens exactly
+	// once across all helpers because old values never recur (the ABA
+	// assumption the structures discharge by copying replaced nodes).
+	wn := int(p.Load(info + offWriteLen))
+	nb = 0
+	for i := 0; i < wn; i++ {
+		a := pmem.Addr(p.Load(info + offWrites + pmem.Addr(3*i)))
+		old := p.Load(info + offWrites + pmem.Addr(3*i) + 1)
+		new := p.Load(info + offWrites + pmem.Addr(3*i) + 2)
+		p.CAS(a, old, new)
+		if e.opt {
+			batch[nb] = a
+			nb++
+		} else {
+			p.PWB(a)
+		}
+	}
+	p.Store(info+offResult, p.Load(info+offSuccess))
+	if e.opt {
+		batch[nb] = info + offResult
+		nb++
+		p.PBarrierAddrs(batch[:nb])
+	} else {
+		p.PWB(info + offResult)
+	}
+	p.PSync()
+
+	// Cleanup phase: untag the surviving nodes. Retired nodes are absent
+	// from the CleanupSet and stay tagged forever.
+	cn := int(p.Load(info + offCleanupLen))
+	nb = 0
+	for i := 0; i < cn; i++ {
+		nd := pmem.Addr(p.Load(info + offCleanup + pmem.Addr(i)))
+		p.CAS(nd, tagged, untagged)
+		if e.opt {
+			batch[nb] = nd
+			nb++
+		} else {
+			p.PWB(nd)
+		}
+	}
+	if e.opt && nb > 0 {
+		p.PBarrierAddrs(batch[:nb])
+	}
+	p.PSync()
+}
+
+// RunOp executes one recoverable operation via the Algorithm 2 (ROpt)
+// driver and returns its encoded response. gather is called once per
+// attempt with a fresh Info record.
+//
+// The sequence is exactly the paper's: persist CP_q := 0 (BeginOp, the
+// system-side invocation step), RD_q := Null + pbarrier, CP_q := 1 + pwb +
+// psync, then attempts of gather → helping phase → install Info → pbarrier
+// over the record and the NewSet → RD_q := info + pwb + psync → read-only
+// fast return or Help → return result if set.
+func (e *Engine) RunOp(p *pmem.Proc, opType, argKey uint64, gather Gather) uint64 {
+	e.BeginOp(p)
+	return e.runAttempts(p, opType, argKey, gather)
+}
+
+// runAttempts is RunOp after the system-side CP_q := 0 step; Recover's
+// re-invoke path enters here directly (CP_q is already meaningful).
+func (e *Engine) runAttempts(p *pmem.Proc, opType, argKey uint64, gather Gather) uint64 {
+	rd, cp := e.rd(p), e.cp(p)
+	p.Store(rd, uint64(pmem.Null))
+	p.PBarrier(rd)
+	p.Store(cp, 1)
+	p.PWB(cp)
+	p.PSync()
+
+	var spec Spec
+	for {
+		info := e.allocInfo(p)
+		spec.Reset()
+		spec.OpType, spec.ArgKey = opType, argKey
+
+		// Gather phase.
+		if gather(p, info, &spec) == Restart {
+			continue
+		}
+
+		// Helping phase: if some gathered info field is tagged, complete
+		// that operation first, then start a new attempt.
+		helped := false
+		for i := 0; i < spec.NAffect; i++ {
+			if IsTagged(spec.Affect[i].Expected) {
+				e.Help(p, InfoOf(spec.Affect[i].Expected), false)
+				helped = true
+				break
+			}
+		}
+		if helped {
+			continue
+		}
+
+		// Install the Info record and persist it with the new nodes. The
+		// opt mode covers the record and the whole NewSet in one barrier.
+		e.install(p, info, &spec)
+		if e.opt {
+			var addrs [MaxAffect*2 + InfoWords/pmem.WordsPerLine + 1]pmem.Addr
+			na := 0
+			for l := info; l < info+InfoWords; l += pmem.WordsPerLine {
+				addrs[na] = l
+				na++
+			}
+			for i := 0; i < spec.NPersist; i++ {
+				r := spec.Persist[i]
+				for l := r.Addr; l < r.Addr+pmem.Addr(r.Words); l += pmem.WordsPerLine {
+					addrs[na] = l
+					na++
+				}
+			}
+			p.PBarrierAddrs(addrs[:na])
+		} else {
+			p.PBarrierRange(info, InfoWords)
+			for i := 0; i < spec.NPersist; i++ {
+				p.PBarrierRange(spec.Persist[i].Addr, spec.Persist[i].Words)
+			}
+		}
+		p.Store(rd, uint64(info))
+		p.PWB(rd)
+		p.PSync()
+
+		// ROpt fast path (Algorithm 2 lines 78–79): the response was
+		// stored into the record by install and persisted above.
+		if spec.ReadOnly && !e.noROpt {
+			return spec.Response
+		}
+		if spec.ReadOnly && spec.NAffect == 0 {
+			// Help has nothing to tag or write for an empty AffectSet;
+			// the fast return is the only sensible execution even with
+			// the fast path disabled.
+			return spec.Response
+		}
+
+		e.Help(p, info, true)
+		if r := p.Load(info + offResult); r != RespNone {
+			return r
+		}
+	}
+}
+
+// Recover is the generic Op-Recover: called after a crash with the same
+// opType/argKey the interrupted operation was invoked with, plus the same
+// gather function, and it returns the operation's response. Per the paper,
+// if CP_q = 0 or RD_q = Null the operation made no changes and is simply
+// re-invoked; otherwise Help(RD_q) completes it (or cleans up a failed
+// attempt) and the result field decides. Recover may itself crash and be
+// re-invoked any number of times.
+func (e *Engine) Recover(p *pmem.Proc, opType, argKey uint64, gather Gather) uint64 {
+	rd, cp := e.rd(p), e.cp(p)
+	info := pmem.Addr(p.Load(rd))
+	if p.Load(cp) == 0 || info == pmem.Null {
+		return e.runAttempts(p, opType, argKey, gather)
+	}
+	// Defense for the pre-CP_q=0 crash window (see DESIGN.md): if RD_q
+	// still describes a different operation, this one made no changes.
+	if p.Load(info+offOpType) != opType || p.Load(info+offArgKey) != argKey {
+		return e.runAttempts(p, opType, argKey, gather)
+	}
+	e.Help(p, info, true)
+	if r := p.Load(info + offResult); r != RespNone {
+		return r
+	}
+	// The last attempt did not take effect: re-invoke.
+	return e.runAttempts(p, opType, argKey, gather)
+}

@@ -1,0 +1,312 @@
+// Package isb implements Info-Structure-Based tracking — the paper's
+// primary contribution (Algorithms 1 and 2 of "Tracking in Order to
+// Recover", SPAA 2020) — as a generic, reusable engine.
+//
+// A data structure built on the engine provides only a gather function that
+// traverses the structure and fills a Spec: the nodes the operation affects
+// (AffectSet, in the structure's fixed total order), the CAS updates to
+// perform (WriteSet), the info fields to untag afterwards (CleanupSet: the
+// AffectSet entries that survive the operation, plus new nodes), the memory
+// ranges of newly allocated nodes to persist, and the operation's response.
+// Everything else — helping, tagging, backtracking, the update and cleanup
+// phases, persistence-instruction placement, per-process recovery data
+// (RD_q, CP_q) and the recovery function — is generic and shared by the
+// linked list, queue, BST and stack packages.
+//
+// Tagging convention: a node's info field holds the word address of an Info
+// record with bit 0 as the tag ("lock") bit. Info records are allocated
+// fresh for every attempt, so an info field never holds the same tagged
+// value twice, which rules out ABA on info fields.
+//
+// Engine requirement (checked at install time): only the first AffectSet
+// element may appear in the CleanupSet. Later elements must be retired by a
+// successful operation (they stay tagged forever). This is what makes the
+// full backtrack — untagging every earlier element after a tag failure —
+// safe even for helpers: a tag failure at a retired-class element proves the
+// operation can never complete, because expected info values never recur.
+package isb
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// Response encoding inside Info records. 0 is the paper's ⊥ ("no result
+// yet"); other responses are strictly positive.
+const (
+	RespNone  uint64 = 0 // ⊥
+	RespFalse uint64 = 1
+	RespTrue  uint64 = 2
+	RespEmpty uint64 = 3 // e.g. dequeue on an empty queue
+	respVBase uint64 = 16
+)
+
+// EncodeValue encodes an application payload (e.g. a dequeued value) as a
+// response word.
+func EncodeValue(v uint64) uint64 { return v + respVBase }
+
+// DecodeValue inverts EncodeValue.
+func DecodeValue(r uint64) uint64 { return r - respVBase }
+
+// IsValue reports whether a response word carries an application payload.
+func IsValue(r uint64) bool { return r >= respVBase }
+
+// Bool decodes RespTrue/RespFalse.
+func Bool(r uint64) bool { return r == RespTrue }
+
+// BoolResp encodes a boolean response.
+func BoolResp(b bool) uint64 {
+	if b {
+		return RespTrue
+	}
+	return RespFalse
+}
+
+// Tagging helpers (bit 0 of an info-field word).
+func Tagged(info pmem.Addr) uint64   { return uint64(info) | 1 }
+func Untagged(info pmem.Addr) uint64 { return uint64(info) &^ 1 }
+func IsTagged(v uint64) bool         { return v&1 == 1 }
+func InfoOf(v uint64) pmem.Addr      { return pmem.Addr(v &^ 1) }
+
+// Info record layout (word offsets). Records are fixed-size so that arena
+// allocation stays a bump; the limits cover every structure in the paper
+// (the BST's Delete has the largest AffectSet: gp, p, l, sibling).
+const (
+	offOpType     = 0
+	offArgKey     = 1
+	offResult     = 2
+	offSuccess    = 3
+	offAffectLen  = 4
+	offWriteLen   = 5
+	offCleanupLen = 6
+	offAffect     = 8  // MaxAffect pairs ⟨infoFieldAddr, expectedValue⟩
+	offWrites     = 16 // MaxWrites triples ⟨addr, old, new⟩
+	offCleanup    = 25 // MaxCleanup info-field addresses
+
+	// MaxAffect etc. bound the per-operation sets.
+	MaxAffect  = 4
+	MaxWrites  = 3
+	MaxCleanup = 6
+
+	// InfoWords is the allocation size of one Info record.
+	InfoWords = 32
+)
+
+// AffectEntry is one element of an operation's AffectSet: the address of a
+// node's info field and the (untagged) value gathered from it.
+type AffectEntry struct {
+	Info     pmem.Addr
+	Expected uint64
+}
+
+// Write is one element of a WriteSet: a CAS to perform in the update phase.
+type Write struct {
+	Addr     pmem.Addr
+	Old, New uint64
+}
+
+// Range is a span of newly allocated persistent memory to flush together
+// with the Info record (the paper's pbarrier(*opInfo, NewSet)).
+type Range struct {
+	Addr  pmem.Addr
+	Words uint64
+}
+
+// Spec describes one attempt of one operation. Gather functions fill it;
+// the engine installs it into an Info record and executes it.
+type Spec struct {
+	OpType uint64
+	ArgKey uint64
+
+	NAffect int
+	Affect  [MaxAffect]AffectEntry
+
+	NWrites int
+	Writes  [MaxWrites]Write
+
+	NCleanup int
+	Cleanup  [MaxCleanup]pmem.Addr
+
+	NPersist int
+	Persist  [MaxAffect]Range
+
+	// ReadOnly marks an operation eligible for the Algorithm 2 (ROpt)
+	// fast path: single AffectSet element, empty WriteSet, response
+	// computed from immutable fields.
+	ReadOnly bool
+	// Response is the encoded response for the ReadOnly fast path.
+	Response uint64
+	// SuccessResponse is the encoded response Help stores into the result
+	// field once the update phase runs. For ReadOnly specs the engine
+	// forces it equal to Response so a recovery-time Help is idempotent.
+	SuccessResponse uint64
+}
+
+// Reset clears a Spec for reuse across attempts.
+func (s *Spec) Reset() { *s = Spec{} }
+
+// AddAffect appends an AffectSet entry (in the structure's total order).
+func (s *Spec) AddAffect(infoField pmem.Addr, expected uint64) {
+	s.Affect[s.NAffect] = AffectEntry{Info: infoField, Expected: expected}
+	s.NAffect++
+}
+
+// AddWrite appends a WriteSet CAS.
+func (s *Spec) AddWrite(a pmem.Addr, old, new uint64) {
+	s.Writes[s.NWrites] = Write{Addr: a, Old: old, New: new}
+	s.NWrites++
+}
+
+// AddCleanup appends an info field for the cleanup phase to untag.
+func (s *Spec) AddCleanup(infoField pmem.Addr) {
+	s.Cleanup[s.NCleanup] = infoField
+	s.NCleanup++
+}
+
+// AddPersist appends a new-node memory range for the install barrier.
+func (s *Spec) AddPersist(a pmem.Addr, words uint64) {
+	s.Persist[s.NPersist] = Range{Addr: a, Words: words}
+	s.NPersist++
+}
+
+// GatherResult tells the engine what to do with a gather attempt.
+type GatherResult int
+
+const (
+	// Proceed: the Spec is complete; run the helping phase and Help.
+	Proceed GatherResult = iota
+	// Restart: the traversal observed an inconsistency; retry gather.
+	Restart
+)
+
+// Gather is the single structure-specific callback: fill spec (already
+// Reset) for one attempt. info is the Info record the attempt will use;
+// gather code tags newly allocated nodes with Tagged(info).
+type Gather func(p *pmem.Proc, info pmem.Addr, spec *Spec) GatherResult
+
+// Engine holds the per-process recovery variables for one data structure
+// instance. RD_q and CP_q live in persistent memory, one cache line per
+// process to avoid false sharing.
+type Engine struct {
+	h    *pmem.Heap
+	base pmem.Addr // proc q's line: base + q*WordsPerLine; word0 = RD, word1 = CP
+	opt  bool      // hand-tuned persistence batching (the paper's Isb-Opt)
+	// noROpt disables the Algorithm 2 read-only fast path, forcing every
+	// operation through Help — i.e. plain Algorithm 1. Used by the ROpt
+	// ablation benchmarks.
+	noROpt bool
+}
+
+// NewEngine allocates RD/CP lines for every process of the heap, with the
+// paper's Algorithm 1/2 persistence placement (the "Isb" curve).
+func NewEngine(h *pmem.Heap) *Engine {
+	p0 := h.Proc(0)
+	n := uint64(h.NumProcs())
+	raw := p0.Alloc(n*pmem.WordsPerLine + pmem.WordsPerLine)
+	base := (raw + pmem.WordsPerLine - 1) &^ (pmem.WordsPerLine - 1)
+	return &Engine{h: h, base: base}
+}
+
+// NewEngineOpt is NewEngine with hand-tuned persistence (the "Isb-Opt"
+// curve): per-phase write-backs are batched into a single barrier whose
+// pwbs dedupe cache lines, and the Info record and NewSet persist in one
+// barrier. The paper licenses this explicitly: "all pwb instructions can be
+// issued at the end of the phase, before the psync".
+func NewEngineOpt(h *pmem.Heap) *Engine {
+	e := NewEngine(h)
+	e.opt = true
+	return e
+}
+
+// NewEngineNoROpt disables the read-only fast path (plain Algorithm 1):
+// read-only operations also install their Info and run Help. The ablation
+// benchmarks quantify what ROpt buys.
+func NewEngineNoROpt(h *pmem.Heap) *Engine {
+	e := NewEngine(h)
+	e.noROpt = true
+	return e
+}
+
+func (e *Engine) rd(p *pmem.Proc) pmem.Addr {
+	return e.base + pmem.Addr(p.ID()*pmem.WordsPerLine)
+}
+func (e *Engine) cp(p *pmem.Proc) pmem.Addr { return e.rd(p) + 1 }
+
+// BeginOp is the system-side action of the paper's model: persistently set
+// CP_q := 0 just before a fresh operation starts, so that recovery can tell
+// a brand-new operation (whose RD_q still points at a previous operation's
+// Info) from one that already initialized its recovery data.
+func (e *Engine) BeginOp(p *pmem.Proc) {
+	cp := e.cp(p)
+	p.Store(cp, 0)
+	p.PWB(cp)
+	p.PSync()
+}
+
+// allocInfo allocates a zeroed Info record for one attempt.
+func (e *Engine) allocInfo(p *pmem.Proc) pmem.Addr {
+	a := p.Alloc(InfoWords)
+	// The arena hands out zeroed memory within a run, but after a crash a
+	// chunk may straddle memory whose volatile image was reset to stale
+	// persisted bytes. Clear the header words we depend on.
+	p.Store(a+offResult, RespNone)
+	return a
+}
+
+// install writes spec into the Info record (volatile stores; the caller's
+// barrier persists the record).
+func (e *Engine) install(p *pmem.Proc, info pmem.Addr, s *Spec) {
+	if s.NAffect > MaxAffect || s.NWrites > MaxWrites || s.NCleanup > MaxCleanup {
+		panic(fmt.Sprintf("isb: spec out of bounds: %+v", s))
+	}
+	if s.NAffect == 0 && !s.ReadOnly {
+		// Only the paper's "AffectSet = ∅" optimization for read-only
+		// operations (Section 6, BST Finds) may omit the AffectSet.
+		panic("isb: empty AffectSet on a non-read-only spec")
+	}
+	for i := 1; i < s.NAffect; i++ {
+		for j := 0; j < s.NCleanup; j++ {
+			if s.Cleanup[j] == s.Affect[i].Info {
+				panic("isb: only the first AffectSet element may be in the CleanupSet (see package doc)")
+			}
+		}
+	}
+	p.Store(info+offOpType, s.OpType)
+	p.Store(info+offArgKey, s.ArgKey)
+	succ := s.SuccessResponse
+	if s.ReadOnly {
+		succ = s.Response
+		if !e.noROpt || s.NAffect == 0 {
+			p.Store(info+offResult, s.Response) // ROpt line 74
+		} else {
+			// Ablation mode: the read-only op runs through Help like any
+			// Algorithm 1 operation, so a failed tagging attempt must
+			// leave result = ⊥ and retry with a fresh gather.
+			p.Store(info+offResult, RespNone)
+		}
+	} else {
+		p.Store(info+offResult, RespNone)
+	}
+	p.Store(info+offSuccess, succ)
+	p.Store(info+offAffectLen, uint64(s.NAffect))
+	p.Store(info+offWriteLen, uint64(s.NWrites))
+	p.Store(info+offCleanupLen, uint64(s.NCleanup))
+	for i := 0; i < s.NAffect; i++ {
+		p.Store(info+offAffect+pmem.Addr(2*i), uint64(s.Affect[i].Info))
+		p.Store(info+offAffect+pmem.Addr(2*i)+1, s.Affect[i].Expected)
+	}
+	for i := 0; i < s.NWrites; i++ {
+		p.Store(info+offWrites+pmem.Addr(3*i), uint64(s.Writes[i].Addr))
+		p.Store(info+offWrites+pmem.Addr(3*i)+1, s.Writes[i].Old)
+		p.Store(info+offWrites+pmem.Addr(3*i)+2, s.Writes[i].New)
+	}
+	for i := 0; i < s.NCleanup; i++ {
+		p.Store(info+offCleanup+pmem.Addr(i), uint64(s.Cleanup[i]))
+	}
+}
+
+// Result reads an Info record's result field.
+func (e *Engine) Result(p *pmem.Proc, info pmem.Addr) uint64 {
+	return p.Load(info + offResult)
+}

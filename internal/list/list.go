@@ -1,0 +1,258 @@
+// Package list implements the paper's detectably recoverable sorted linked
+// list (Section 4, Algorithms 3–5), obtained by applying ROpt-ISB tracking
+// (Algorithm 2) to a Harris-style list.
+//
+// The list is sorted by increasing key with sentinel head (key 0, acting as
+// −∞) and tail (key MaxUint64, acting as +∞); user keys must lie strictly
+// between. Each node carries an info field tagged by in-progress operations.
+//
+// ABA freedom on next fields comes from the paper's copying rule: a
+// successful Insert replaces its successor node with a fresh copy, so a
+// next field never holds the same node address twice. Nodes removed or
+// replaced ("retired") keep their tag forever, which forces any operation
+// whose traversal ended on a retired node to help and retry.
+package list
+
+import (
+	"repro/internal/isb"
+	"repro/internal/pmem"
+)
+
+// Node field offsets (words). Nodes are 4-word allocations.
+const (
+	nKey  = 0
+	nNext = 1
+	nInfo = 2
+
+	nodeWords = 4
+)
+
+// Operation kinds, used by recovery and the crash harness.
+const (
+	OpInsert uint64 = 1
+	OpDelete uint64 = 2
+	OpFind   uint64 = 3
+)
+
+// MinKey and MaxKey bound user keys (exclusive): sentinels use the bounds.
+const (
+	MinKey uint64 = 0
+	MaxKey uint64 = 1<<64 - 1
+)
+
+// List is a detectably recoverable sorted set of uint64 keys.
+type List struct {
+	h          *pmem.Heap
+	e          *isb.Engine
+	head, tail pmem.Addr
+
+	gIns, gDel, gFind isb.Gather
+}
+
+// New builds an empty list on the heap, persisting the sentinels.
+func New(h *pmem.Heap) *List {
+	return build(h, isb.NewEngine(h))
+}
+
+// NewOpt builds the list on the hand-tuned Isb-Opt engine (batched
+// per-phase write-backs; see isb.NewEngineOpt).
+func NewOpt(h *pmem.Heap) *List {
+	return build(h, isb.NewEngineOpt(h))
+}
+
+// NewNoROpt builds the list with the Algorithm 2 read-only fast path
+// disabled (plain Algorithm 1): even Finds install their Info and run
+// Help. Exists for the ablation benchmarks quantifying ROpt.
+func NewNoROpt(h *pmem.Heap) *List {
+	return build(h, isb.NewEngineNoROpt(h))
+}
+
+func build(h *pmem.Heap, e *isb.Engine) *List {
+	l := &List{h: h, e: e}
+	p := h.Proc(0)
+	l.tail = newNode(p, MaxKey, pmem.Null, 0)
+	l.head = newNode(p, MinKey, l.tail, 0)
+	p.PBarrierRange(l.tail, nodeWords)
+	p.PBarrierRange(l.head, nodeWords)
+	p.PSync()
+	l.gIns = l.gatherInsert
+	l.gDel = l.gatherDelete
+	l.gFind = l.gatherFind
+	return l
+}
+
+func newNode(p *pmem.Proc, key uint64, next pmem.Addr, info uint64) pmem.Addr {
+	nd := p.Alloc(nodeWords)
+	p.Store(nd+nKey, key)
+	p.Store(nd+nNext, uint64(next))
+	p.Store(nd+nInfo, info)
+	return nd
+}
+
+// Insert adds key to the set; it returns false if the key was present.
+func (l *List) Insert(p *pmem.Proc, key uint64) bool {
+	return isb.Bool(l.e.RunOp(p, OpInsert, key, l.gIns))
+}
+
+// Delete removes key from the set; it returns false if the key was absent.
+func (l *List) Delete(p *pmem.Proc, key uint64) bool {
+	return isb.Bool(l.e.RunOp(p, OpDelete, key, l.gDel))
+}
+
+// Find reports whether key is in the set (read-only, ROpt fast path).
+func (l *List) Find(p *pmem.Proc, key uint64) bool {
+	return isb.Bool(l.e.RunOp(p, OpFind, key, l.gFind))
+}
+
+// Recover is the operation's recovery function: the system calls it after a
+// crash with the same operation kind and key the interrupted invocation
+// had. It returns the operation's response, completing it if necessary.
+func (l *List) Recover(p *pmem.Proc, op, key uint64) bool {
+	g := l.gFind
+	switch op {
+	case OpInsert:
+		g = l.gIns
+	case OpDelete:
+		g = l.gDel
+	}
+	return isb.Bool(l.e.Recover(p, op, key, g))
+}
+
+// search returns pred/curr straddling key: the first node with
+// curr.key >= key and its predecessor, plus their gathered info fields
+// (each info field read on first access, per the paper).
+func (l *List) search(p *pmem.Proc, key uint64) (pred, curr pmem.Addr, predInfo, currInfo uint64) {
+	curr = l.head
+	currInfo = p.Load(curr + nInfo)
+	for p.Load(curr+nKey) < key {
+		pred, predInfo = curr, currInfo
+		curr = pmem.Addr(p.Load(curr + nNext))
+		currInfo = p.Load(curr + nInfo)
+	}
+	return pred, curr, predInfo, currInfo
+}
+
+// gatherInsert builds the Insert AffectSet/WriteSet/NewSet (Algorithm 3).
+func (l *List) gatherInsert(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.GatherResult {
+	key := spec.ArgKey
+	pred, curr, predInfo, currInfo := l.search(p, key)
+	if p.Load(curr+nKey) == key {
+		// Key present: the operation is read-only and behaves like Find.
+		spec.AddAffect(curr+nInfo, currInfo)
+		spec.AddCleanup(curr + nInfo)
+		spec.ReadOnly = true
+		spec.Response = isb.RespFalse
+		return isb.Proceed
+	}
+	// Copy curr so pred.next never sees the same address twice (ABA).
+	newcurr := newNode(p, p.Load(curr+nKey), pmem.Addr(p.Load(curr+nNext)), isb.Tagged(info))
+	newnd := newNode(p, key, newcurr, isb.Tagged(info))
+	spec.AddAffect(pred+nInfo, predInfo)
+	spec.AddAffect(curr+nInfo, currInfo) // curr retires on success: not in cleanup
+	spec.AddWrite(pred+nNext, uint64(curr), uint64(newnd))
+	spec.AddCleanup(pred + nInfo)
+	spec.AddCleanup(newnd + nInfo)
+	spec.AddCleanup(newcurr + nInfo)
+	spec.AddPersist(newnd, nodeWords)
+	spec.AddPersist(newcurr, nodeWords)
+	spec.SuccessResponse = isb.RespTrue
+	return isb.Proceed
+}
+
+// gatherDelete builds the Delete sets (Algorithm 5).
+func (l *List) gatherDelete(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.GatherResult {
+	key := spec.ArgKey
+	pred, curr, predInfo, currInfo := l.search(p, key)
+	if p.Load(curr+nKey) != key {
+		spec.AddAffect(curr+nInfo, currInfo)
+		spec.AddCleanup(curr + nInfo)
+		spec.ReadOnly = true
+		spec.Response = isb.RespFalse
+		return isb.Proceed
+	}
+	succ := p.Load(curr + nNext)
+	spec.AddAffect(pred+nInfo, predInfo)
+	spec.AddAffect(curr+nInfo, currInfo) // curr retires: stays tagged forever
+	spec.AddWrite(pred+nNext, uint64(curr), succ)
+	spec.AddCleanup(pred + nInfo)
+	spec.SuccessResponse = isb.RespTrue
+	return isb.Proceed
+}
+
+// gatherFind builds the read-only Find spec (Algorithm 3, ROpt).
+func (l *List) gatherFind(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.GatherResult {
+	key := spec.ArgKey
+	_, curr, _, currInfo := l.search(p, key)
+	spec.AddAffect(curr+nInfo, currInfo)
+	spec.AddCleanup(curr + nInfo)
+	spec.ReadOnly = true
+	spec.Response = isb.BoolResp(p.Load(curr+nKey) == key)
+	return isb.Proceed
+}
+
+// Contains is a non-recoverable read used by tests and verifiers: it walks
+// the volatile image directly (no helping, no persistence).
+func (l *List) Contains(key uint64) bool {
+	h := l.h
+	curr := l.head
+	for {
+		k := h.ReadVolatile(curr + nKey)
+		if k >= key {
+			return k == key
+		}
+		curr = pmem.Addr(h.ReadVolatile(curr + nNext))
+	}
+}
+
+// Keys snapshots the current (volatile) key set, for verification. Callers
+// must ensure quiescence. The walk ends at the +∞ key, not at a node
+// address: a successful Insert before the tail retires the old tail
+// sentinel and replaces it with a fresh copy.
+func (l *List) Keys() []uint64 {
+	var out []uint64
+	h := l.h
+	curr := pmem.Addr(h.ReadVolatile(l.head + nNext))
+	for h.ReadVolatile(curr+nKey) != MaxKey {
+		out = append(out, h.ReadVolatile(curr+nKey))
+		curr = pmem.Addr(h.ReadVolatile(curr + nNext))
+	}
+	return out
+}
+
+// CheckInvariants walks the list and verifies structural invariants:
+// strictly increasing keys, tail reachability, and untagged live nodes at
+// quiescence. It returns a description of the first violation, or "".
+func (l *List) CheckInvariants() string {
+	h := l.h
+	prev := h.ReadVolatile(l.head + nKey)
+	curr := pmem.Addr(h.ReadVolatile(l.head + nNext))
+	steps := 0
+	for {
+		if curr == pmem.Null {
+			return "fell off the list before tail"
+		}
+		k := h.ReadVolatile(curr + nKey)
+		if k <= prev {
+			return "keys not strictly increasing"
+		}
+		if isb.IsTagged(h.ReadVolatile(curr + nInfo)) {
+			return "live node tagged at quiescence"
+		}
+		if k == MaxKey {
+			return ""
+		}
+		prev = k
+		curr = pmem.Addr(h.ReadVolatile(curr + nNext))
+		if steps++; steps > 1<<24 {
+			return "cycle suspected"
+		}
+	}
+}
+
+// Engine exposes the ISB engine (for tests asserting RD/CP behaviour).
+func (l *List) Engine() *isb.Engine { return l.e }
+
+// Begin is the system-side invocation step (persist CP_q := 0). The crash
+// harness calls it before invoking an operation; standalone callers need
+// not, since every operation performs it on entry as well.
+func (l *List) Begin(p *pmem.Proc) { l.e.BeginOp(p) }

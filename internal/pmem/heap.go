@@ -1,0 +1,279 @@
+// Package pmem simulates byte-addressable non-volatile main memory (NVRAM)
+// with explicit epoch persistency, as assumed by the paper "Tracking in
+// Order to Recover" (SPAA 2020).
+//
+// Real persistence control (clflush/mfence on designated NVM) is not
+// available from Go: the garbage-collected runtime owns the heap layout and
+// offers no cache-line write-back primitives. Instead, the package keeps a
+// word-addressed arena with two images:
+//
+//   - a volatile image, on which all Load/Store/CAS primitives act
+//     (simulating CPU caches + store buffers under TSO), and
+//   - a persisted image, to which cache lines move only via explicit
+//     PWB/PSync instructions (or simulated random eviction).
+//
+// A system-wide crash discards the volatile image: every word reverts to its
+// persisted value. This reproduces the abstract semantics of the paper's
+// shared cache model. The private cache model is also supported: there every
+// Store/CAS is immediately persistent and persistency instructions are free.
+//
+// Addresses (Addr) are word indices into the arena; address 0 is Null and is
+// never returned by Alloc. Allocations are even-aligned so that bit 0 of an
+// address is always available as a tag bit (ISB tagging) or mark bit
+// (Harris-style deletion marks).
+//
+// Persistence-instruction accounting is cache-line granular (8 words per
+// line), matching the paper's counting of clflush/mfence instructions, and
+// simulated latencies are attached to PWB/PSync in the shared cache model so
+// that throughput comparisons are driven by the same quantity the paper
+// measures: the number of persistence instructions per operation.
+package pmem
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Addr is a word index into a Heap's arena. 0 is Null.
+type Addr uint64
+
+// Null is the zero address. Loads of Null return 0; stores to Null panic.
+const Null Addr = 0
+
+// WordsPerLine is the simulated cache line size in 64-bit words (64 bytes).
+const WordsPerLine = 8
+
+// Model selects the persistency model from the paper's Section 2.
+type Model int
+
+const (
+	// SharedCache: main memory is non-volatile, caches are volatile.
+	// Writes reach persistence only through PWB/PSync (or eviction).
+	SharedCache Model = iota
+	// PrivateCache: shared variables are always persistent; persistency
+	// instructions are no-ops with zero cost.
+	PrivateCache
+)
+
+func (m Model) String() string {
+	switch m {
+	case SharedCache:
+		return "shared-cache"
+	case PrivateCache:
+		return "private-cache"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Config parameterises a Heap.
+type Config struct {
+	// Words is the arena capacity in 64-bit words. Zero selects a default
+	// suitable for tests (1<<20 words = 8 MiB volatile image).
+	Words int
+	// Procs is the number of process descriptors. Zero defaults to 1.
+	Procs int
+	// Model selects shared-cache (default) or private-cache persistency.
+	Model Model
+	// Tracked enables the persisted image and crash support. Benchmarks
+	// leave it off: persistence instructions then only count and delay.
+	Tracked bool
+	// PWBLatency and PSyncLatency simulate the cost of clflush and mfence
+	// in the shared cache model. Zero means no simulated delay.
+	PWBLatency   time.Duration
+	PSyncLatency time.Duration
+	// EvictEvery, when Tracked and >0, makes roughly one in EvictEvery
+	// stores also persist its cache line immediately, simulating an
+	// arbitrary cache eviction. This widens the crash-state space tests
+	// explore (persisted state may be *newer* than the last explicit sync).
+	EvictEvery uint64
+	// Seed feeds the per-proc PRNGs used for eviction decisions.
+	Seed uint64
+}
+
+// Heap is a simulated persistent memory region shared by a set of Procs.
+type Heap struct {
+	vol []atomic.Uint64 // volatile image: what primitives act on
+	per []atomic.Uint64 // persisted image (tracked mode only)
+
+	next    atomic.Uint64 // bump pointer (word index)
+	cap     uint64
+	procs   []*Proc
+	model   Model
+	tracked bool
+
+	pwbSpin   int64 // calibrated spin iterations per PWB
+	psyncSpin int64 // calibrated spin iterations per PSync
+
+	evictEvery uint64
+
+	crashing  atomic.Bool // when set, every Proc panics at its next access
+	epoch     atomic.Uint64
+	accessCtr atomic.Uint64 // total pmem accesses (tracked mode)
+	crashAt   atomic.Uint64 // armed access-count threshold; 0 = disarmed
+}
+
+// reserved words at the bottom of the arena (so Null==0 is never allocated,
+// and the first line is never flushed by accident).
+const reservedWords = WordsPerLine
+
+// NewHeap allocates a simulated persistent heap and its process descriptors.
+func NewHeap(cfg Config) *Heap {
+	if cfg.Words <= 0 {
+		cfg.Words = 1 << 20
+	}
+	if cfg.Words < reservedWords*2 {
+		cfg.Words = reservedWords * 2
+	}
+	if cfg.Procs <= 0 {
+		cfg.Procs = 1
+	}
+	h := &Heap{
+		vol:        make([]atomic.Uint64, cfg.Words),
+		cap:        uint64(cfg.Words),
+		model:      cfg.Model,
+		tracked:    cfg.Tracked,
+		evictEvery: cfg.EvictEvery,
+	}
+	if cfg.Tracked {
+		h.per = make([]atomic.Uint64, cfg.Words)
+	}
+	h.next.Store(reservedWords)
+	h.pwbSpin = spinIters(cfg.PWBLatency)
+	h.psyncSpin = spinIters(cfg.PSyncLatency)
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	h.procs = make([]*Proc, cfg.Procs)
+	for i := range h.procs {
+		h.procs[i] = &Proc{
+			h:   h,
+			id:  i,
+			rng: seed ^ (uint64(i)+1)*0xbf58476d1ce4e5b9,
+		}
+	}
+	return h
+}
+
+// Proc returns process descriptor id (0-based).
+func (h *Heap) Proc(id int) *Proc {
+	return h.procs[id]
+}
+
+// NumProcs reports how many process descriptors the heap was built with.
+func (h *Heap) NumProcs() int { return len(h.procs) }
+
+// Model reports the heap's persistency model.
+func (h *Heap) Model() Model { return h.model }
+
+// Tracked reports whether the heap maintains a persisted image.
+func (h *Heap) Tracked() bool { return h.tracked }
+
+// Used reports how many words have been allocated.
+func (h *Heap) Used() uint64 { return h.next.Load() }
+
+// Capacity reports the arena capacity in words.
+func (h *Heap) Capacity() uint64 { return h.cap }
+
+// allocChunk is the per-proc bump-allocation chunk size in words. Procs
+// grab chunks from the shared bump pointer and carve objects locally, so
+// allocation does not contend in the common case.
+const allocChunk = 4096
+
+// grabChunk advances the shared bump pointer.
+func (h *Heap) grabChunk(words uint64) Addr {
+	a := h.next.Add(words) - words
+	if a+words > h.cap {
+		panic(fmt.Sprintf("pmem: arena exhausted (cap %d words); configure a larger Config.Words", h.cap))
+	}
+	return Addr(a)
+}
+
+// ReadVolatile reads the volatile image directly (test/inspection helper;
+// does not participate in crash injection).
+func (h *Heap) ReadVolatile(a Addr) uint64 { return h.vol[a].Load() }
+
+// ReadPersisted reads the persisted image (tracked mode only).
+func (h *Heap) ReadPersisted(a Addr) uint64 {
+	if !h.tracked {
+		panic("pmem: ReadPersisted on untracked heap")
+	}
+	return h.per[a].Load()
+}
+
+// lineOf returns the first word of the cache line containing a.
+func lineOf(a Addr) Addr { return a &^ (WordsPerLine - 1) }
+
+// persistLine copies one cache line from the volatile to the persisted
+// image. The per-word copy is not atomic across the line, mirroring real
+// hardware where a line write-back races with subsequent cache updates; each
+// persisted word is always *some* value the volatile word held at or after
+// the write-back was issued.
+func (h *Heap) persistLine(line Addr) {
+	end := line + WordsPerLine
+	if end > Addr(h.cap) {
+		end = Addr(h.cap)
+	}
+	for w := line; w < end; w++ {
+		h.per[w].Store(h.vol[w].Load())
+	}
+}
+
+// Crash initiates a system-wide crash: every Proc panics with a Crash value
+// at its next pmem access. The harness must wait for all procs to unwind
+// (e.g. via RunOp) and then call ResetAfterCrash before restarting them.
+// Tracked mode only.
+func (h *Heap) Crash() {
+	if !h.tracked {
+		panic("pmem: Crash on untracked heap")
+	}
+	h.crashing.Store(true)
+}
+
+// Crashing reports whether a crash is in progress.
+func (h *Heap) Crashing() bool { return h.crashing.Load() }
+
+// AccessCount returns the total number of pmem accesses performed so far
+// (tracked mode; used to schedule crashes at access granularity).
+func (h *Heap) AccessCount() uint64 { return h.accessCtr.Load() }
+
+// ScheduleCrashAt arms a crash that fires when the global access counter
+// reaches n: the Proc whose access crosses the threshold initiates the
+// system-wide crash and panics, guaranteeing the crash lands mid-operation.
+// Tracked mode only.
+func (h *Heap) ScheduleCrashAt(n uint64) {
+	if !h.tracked {
+		panic("pmem: ScheduleCrashAt on untracked heap")
+	}
+	if n == 0 {
+		n = 1
+	}
+	h.crashAt.Store(n)
+}
+
+// DisarmCrash cancels a scheduled crash that has not fired yet.
+func (h *Heap) DisarmCrash() { h.crashAt.Store(0) }
+
+// ResetAfterCrash discards the volatile image: every allocated word reverts
+// to its persisted value and the crash flag is cleared. Callers must
+// guarantee no Proc is running.
+func (h *Heap) ResetAfterCrash() {
+	if !h.tracked {
+		panic("pmem: ResetAfterCrash on untracked heap")
+	}
+	n := h.next.Load()
+	for w := uint64(0); w < n; w++ {
+		h.vol[w].Store(h.per[w].Load())
+	}
+	for _, p := range h.procs {
+		p.crashed = false
+	}
+	h.epoch.Add(1)
+	h.crashing.Store(false)
+}
+
+// Epoch counts completed crashes; useful for tests that must observe that a
+// crash actually happened.
+func (h *Heap) Epoch() uint64 { return h.epoch.Load() }

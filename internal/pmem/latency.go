@@ -1,0 +1,74 @@
+package pmem
+
+import (
+	"sync"
+	"time"
+)
+
+// Latency simulation. The paper simulates pwb with clflush and psync with
+// mfence on x86; here we burn a calibrated number of CPU iterations instead,
+// so that (a) relative algorithm throughput is governed by how many
+// persistence instructions each algorithm issues — the quantity the paper's
+// analysis attributes performance differences to — and (b) the simulated
+// costs do not depend on timer resolution (time.Now is far too coarse for
+// ~100ns events to be measured one at a time).
+
+var (
+	calibrateOnce  sync.Once
+	itersPerMicro  float64 // spin iterations per microsecond, measured
+	defaultPerMico = 300.0 // fallback if calibration is degenerate
+)
+
+// spinIters converts a duration into calibrated spin iterations.
+func spinIters(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	calibrateOnce.Do(calibrate)
+	it := int64(float64(d.Nanoseconds()) * itersPerMicro / 1000.0)
+	if it < 1 {
+		it = 1
+	}
+	return it
+}
+
+// calibrate measures how many spin iterations fit in a microsecond.
+func calibrate() {
+	const probe = 2_000_000
+	var sink uint64
+	start := time.Now()
+	for i := 0; i < probe; i++ {
+		sink += uint64(i) ^ (sink << 1)
+	}
+	elapsed := time.Since(start)
+	spinGuard = sink
+	if elapsed <= 0 {
+		itersPerMicro = defaultPerMico
+		return
+	}
+	itersPerMicro = probe / (float64(elapsed.Nanoseconds()) / 1000.0)
+	if itersPerMicro < 1 {
+		itersPerMicro = defaultPerMico
+	}
+}
+
+// spinGuard keeps the calibration loop (and per-proc spins via spinSink)
+// observable so the compiler cannot delete them.
+var spinGuard uint64
+
+// spin burns approximately iters calibrated iterations.
+func (p *Proc) spin(iters int64) {
+	s := p.spinSink
+	for i := int64(0); i < iters; i++ {
+		s += uint64(i) ^ (s << 1)
+	}
+	p.spinSink = s
+}
+
+// DefaultPWBLatency and DefaultPSyncLatency approximate the cost class of
+// clflush and mfence on the paper's hardware. Benchmarks use these unless
+// overridden; tests use zero.
+const (
+	DefaultPWBLatency   = 90 * time.Nanosecond
+	DefaultPSyncLatency = 100 * time.Nanosecond
+)

@@ -1,0 +1,332 @@
+package pmem
+
+// Proc is a process descriptor: the unit of crash-recovery in the paper's
+// model. All primitive operations on the heap go through a Proc, which lets
+// the simulator (a) inject crashes at any shared-memory access, (b) track
+// the per-process pending write-back set required by epoch persistency, and
+// (c) attribute persistence-instruction counts to the process that issued
+// them. A Proc must be used by one goroutine at a time.
+type Proc struct {
+	h  *Heap
+	id int
+
+	stats   Stats
+	rng     uint64
+	crashed bool // this proc already observed the current crash
+
+	// Individual-failure support (the paper's footnote 1: in the private
+	// cache model processes may also fail individually). Proc-local, so no
+	// atomics: arm from the same goroutine before running the operation.
+	accesses    uint64
+	selfCrashAt uint64 // 0 = disarmed
+
+	// local bump-allocation chunk
+	chunk     Addr
+	chunkLeft uint64
+
+	spinSink uint64 // defeats dead-code elimination of latency spins
+}
+
+// ID returns the process id (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// Heap returns the heap this Proc belongs to.
+func (p *Proc) Heap() *Heap { return p.h }
+
+// Crash is the panic value used to simulate the loss of a process's volatile
+// state. Harness code recovers it with RunOp.
+type Crash struct{ ProcID int }
+
+func (c Crash) Error() string { return "pmem: simulated crash" }
+
+// checkCrash panics with Crash if a system-wide crash is in progress, and
+// fires a scheduled (system-wide or individual) crash when this access
+// crosses the armed threshold.
+func (p *Proc) checkCrash() {
+	if !p.h.tracked {
+		return
+	}
+	if p.selfCrashAt != 0 {
+		p.accesses++
+		if p.accesses >= p.selfCrashAt {
+			p.selfCrashAt = 0
+			panic(Crash{ProcID: p.id})
+		}
+	}
+	if p.h.crashing.Load() {
+		if !p.crashed {
+			p.crashed = true
+			panic(Crash{ProcID: p.id})
+		}
+		return
+	}
+	if at := p.h.crashAt.Load(); at != 0 {
+		if p.h.accessCtr.Add(1) >= at && p.h.crashAt.CompareAndSwap(at, 0) {
+			p.h.crashing.Store(true)
+			p.crashed = true
+			panic(Crash{ProcID: p.id})
+		}
+	}
+}
+
+// Load atomically reads the volatile image.
+func (p *Proc) Load(a Addr) uint64 {
+	p.checkCrash()
+	p.stats.Loads++
+	return p.h.vol[a].Load()
+}
+
+// Store atomically writes the volatile image. In the private cache model
+// (or under simulated eviction) the write also reaches the persisted image.
+func (p *Proc) Store(a Addr, v uint64) {
+	p.checkCrash()
+	if a == Null {
+		panic("pmem: store to Null")
+	}
+	p.stats.Stores++
+	p.h.vol[a].Store(v)
+	p.afterWrite(a)
+}
+
+// CAS performs Compare&Swap on the volatile image and, following the paper's
+// convention, returns the value it read: the CAS succeeded iff the returned
+// value equals old.
+func (p *Proc) CAS(a Addr, old, new uint64) uint64 {
+	p.checkCrash()
+	if a == Null {
+		panic("pmem: CAS on Null")
+	}
+	p.stats.CASes++
+	for {
+		cur := p.h.vol[a].Load()
+		if cur != old {
+			return cur
+		}
+		if p.h.vol[a].CompareAndSwap(old, new) {
+			p.afterWrite(a)
+			return old
+		}
+	}
+}
+
+// CASBool is CAS with a boolean success result, for call sites that do not
+// need the read value.
+func (p *Proc) CASBool(a Addr, old, new uint64) bool {
+	return p.CAS(a, old, new) == old
+}
+
+// afterWrite applies private-cache persistence and simulated eviction.
+func (p *Proc) afterWrite(a Addr) {
+	if !p.h.tracked {
+		return
+	}
+	if p.h.model == PrivateCache {
+		p.h.persistLine(lineOf(a))
+		return
+	}
+	if e := p.h.evictEvery; e > 0 {
+		if p.nextRand()%e == 0 {
+			p.h.persistLine(lineOf(a))
+			p.stats.Evictions++
+		}
+	}
+}
+
+// PWB issues a persistent write-back for the cache line containing a.
+// Counted as a stand-alone flush unless issued via PBarrier.
+//
+// The write-back is applied synchronously: the paper's evaluation simulates
+// pwb with x86 clflush, which writes the line back before retiring, and the
+// ISB protocol's cross-crash ABA argument (info-field values never recur,
+// even through a crash) relies on tag CASes being durable right after their
+// pwb. PSync retains its ordering/accounting role (the authors' mfence).
+func (p *Proc) PWB(a Addr) {
+	p.checkCrash()
+	if p.h.model == PrivateCache {
+		return // shared variables are always persistent
+	}
+	p.stats.Flushes++
+	p.pwb(a)
+}
+
+// pwb is the uncounted core of PWB, shared with PBarrier.
+func (p *Proc) pwb(a Addr) {
+	if p.h.pwbSpin > 0 {
+		p.spin(p.h.pwbSpin)
+	}
+	if p.h.tracked {
+		p.h.persistLine(lineOf(a))
+	}
+}
+
+// PFence orders preceding PWBs before subsequent PWBs. Under TSO (which the
+// paper assumes, and which Go's seq-cst atomics exceed) it has no simulated
+// semantic effect beyond its accounting.
+func (p *Proc) PFence() {
+	p.checkCrash()
+	if p.h.model == PrivateCache {
+		return
+	}
+	p.stats.Fences++
+}
+
+// PSync waits until all previous PWBs by this process complete their write
+// back. Since PWB applies synchronously (see its doc), PSync contributes
+// ordering cost and accounting only.
+func (p *Proc) PSync() {
+	p.checkCrash()
+	if p.h.model == PrivateCache {
+		return
+	}
+	p.stats.Syncs++
+	if p.h.psyncSpin > 0 {
+		p.spin(p.h.psyncSpin)
+	}
+}
+
+// PBarrier issues PWBs for the cache lines covering the given addresses
+// followed by a PFence (the paper's pbarrier). It is counted once as a
+// barrier, not as stand-alone flushes; duplicate lines are flushed once.
+func (p *Proc) PBarrier(addrs ...Addr) {
+	p.checkCrash()
+	if p.h.model == PrivateCache {
+		return
+	}
+	p.stats.Barriers++
+	var done [8]Addr // dedupe small address sets without allocating
+	n := 0
+outer:
+	for _, a := range addrs {
+		line := lineOf(a)
+		for i := 0; i < n; i++ {
+			if done[i] == line {
+				continue outer
+			}
+		}
+		if n < len(done) {
+			done[n] = line
+			n++
+		}
+		p.pwb(a)
+	}
+	p.stats.Fences++
+}
+
+// PBarrierAddrs issues one barrier (single pfence, counted once) covering
+// the cache lines of all given addresses, flushing each distinct line once.
+// This is the hand-tuned batching the paper describes: "all pwb
+// instructions can be issued at the end of the phase, before the psync; a
+// single pwb flushes all fields fitting in a cache line."
+func (p *Proc) PBarrierAddrs(addrs []Addr) {
+	p.checkCrash()
+	if p.h.model == PrivateCache {
+		return
+	}
+	p.stats.Barriers++
+	var done [16]Addr
+	n := 0
+outer:
+	for _, a := range addrs {
+		line := lineOf(a)
+		for i := 0; i < n; i++ {
+			if done[i] == line {
+				continue outer
+			}
+		}
+		if n < len(done) {
+			done[n] = line
+			n++
+		}
+		p.pwb(a)
+	}
+	p.stats.Fences++
+}
+
+// PBarrierRange issues a barrier covering [a, a+words).
+func (p *Proc) PBarrierRange(a Addr, words uint64) {
+	p.checkCrash()
+	if p.h.model == PrivateCache {
+		return
+	}
+	p.stats.Barriers++
+	end := a + Addr(words)
+	for line := lineOf(a); line < end; line += WordsPerLine {
+		p.pwb(line)
+	}
+	p.stats.Fences++
+}
+
+// Alloc carves words fresh zeroed words out of the arena, even-aligned so
+// bit 0 of the address is free for tags/marks. Memory is never reused
+// within a run (the paper's algorithms assume GC; see DESIGN.md).
+func (p *Proc) Alloc(words uint64) Addr {
+	p.checkCrash()
+	words = (words + 1) &^ 1 // keep the local bump pointer even
+	if words > p.chunkLeft {
+		req := uint64(allocChunk)
+		if words > req {
+			req = words
+		}
+		p.chunk = p.h.grabChunk(req)
+		p.chunkLeft = req
+	}
+	a := p.chunk
+	p.chunk += Addr(words)
+	p.chunkLeft -= words
+	p.stats.AllocWords += words
+	return a
+}
+
+// nextRand steps the per-proc xorshift PRNG.
+func (p *Proc) nextRand() uint64 {
+	x := p.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	p.rng = x
+	return x
+}
+
+// Rand exposes the PRNG for workload generators that want per-proc seeded
+// randomness without extra state.
+func (p *Proc) Rand() uint64 { return p.nextRand() }
+
+// Stats returns a copy of the per-proc instruction counters.
+func (p *Proc) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the per-proc instruction counters.
+func (p *Proc) ResetStats() { p.stats = Stats{} }
+
+// ScheduleSelfCrash arms an individual failure of this process after
+// roughly n more of its own accesses: the process panics with Crash, losing
+// its volatile state (locals), while shared memory and other processes
+// continue unaffected. This models the paper's footnote-1 failure model,
+// meaningful in the private cache model where shared variables are always
+// persistent. Arm from the process's own goroutine.
+func (p *Proc) ScheduleSelfCrash(n uint64) {
+	p.accesses = 0
+	if n == 0 {
+		n = 1
+	}
+	p.selfCrashAt = n
+}
+
+// CancelSelfCrash disarms a pending individual failure.
+func (p *Proc) CancelSelfCrash() { p.selfCrashAt = 0 }
+
+// RunOp executes f, converting a simulated crash panic into a false return.
+// Any other panic propagates. It is the harness-side bracket for one
+// recoverable operation (or recovery function) execution.
+func RunOp(f func()) (completed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(Crash); ok {
+				completed = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return true
+}

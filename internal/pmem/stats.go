@@ -1,0 +1,64 @@
+package pmem
+
+// Stats counts the primitive and persistence instructions a Proc issued.
+// The paper's Figures 1b/1c/5/6 plot Barriers (pbarrier = pwb+pfence,
+// simulated by the authors as clflush+mfence) and Flushes (stand-alone pwb,
+// i.e. clflush not part of a barrier) per operation.
+type Stats struct {
+	Loads  uint64
+	Stores uint64
+	CASes  uint64
+
+	Flushes  uint64 // stand-alone PWB instructions
+	Barriers uint64 // PBarrier invocations (pwb+pfence pairs)
+	Fences   uint64 // PFence instructions (incl. those inside barriers)
+	Syncs    uint64 // PSync instructions
+
+	Evictions  uint64 // simulated arbitrary cache-line evictions
+	AllocWords uint64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.CASes += o.CASes
+	s.Flushes += o.Flushes
+	s.Barriers += o.Barriers
+	s.Fences += o.Fences
+	s.Syncs += o.Syncs
+	s.Evictions += o.Evictions
+	s.AllocWords += o.AllocWords
+}
+
+// Sub returns s - o field-wise (for interval measurements).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Loads:      s.Loads - o.Loads,
+		Stores:     s.Stores - o.Stores,
+		CASes:      s.CASes - o.CASes,
+		Flushes:    s.Flushes - o.Flushes,
+		Barriers:   s.Barriers - o.Barriers,
+		Fences:     s.Fences - o.Fences,
+		Syncs:      s.Syncs - o.Syncs,
+		Evictions:  s.Evictions - o.Evictions,
+		AllocWords: s.AllocWords - o.AllocWords,
+	}
+}
+
+// TotalStats sums the counters of every Proc in the heap.
+func (h *Heap) TotalStats() Stats {
+	var t Stats
+	for _, p := range h.procs {
+		t.Add(p.stats)
+	}
+	return t
+}
+
+// ResetAllStats zeroes every Proc's counters. Callers must guarantee no
+// Proc is concurrently running.
+func (h *Heap) ResetAllStats() {
+	for _, p := range h.procs {
+		p.stats = Stats{}
+	}
+}

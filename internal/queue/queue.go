@@ -1,0 +1,226 @@
+// Package queue implements the paper's detectably recoverable ISB queue:
+// ISB-tracking (Algorithm 2) applied to the Michael-Scott lock-free queue.
+//
+// Enqueue tags the current last node and CASes its next field from Null to
+// the new node; the Tail word is only a volatile hint, swung lazily, so it
+// needs no recovery treatment. Dequeue tags the current dummy (the node the
+// Head word points at) and swings Head to its successor, which becomes the
+// new dummy; the old dummy retires and stays tagged forever. Head values
+// never repeat (each dummy is a fresh node), and a node's next field goes
+// Null → successor exactly once, so the update CASes are ABA-free without
+// copying.
+package queue
+
+import (
+	"repro/internal/isb"
+	"repro/internal/pmem"
+)
+
+// Node field offsets (words); 4-word allocations.
+const (
+	nVal  = 0
+	nNext = 1
+	nInfo = 2
+
+	nodeWords = 4
+)
+
+// Operation kinds for recovery and the crash harness.
+const (
+	OpEnq uint64 = 10
+	OpDeq uint64 = 11
+)
+
+// Queue is a detectably recoverable FIFO queue of uint64 values.
+type Queue struct {
+	h          *pmem.Heap
+	e          *isb.Engine
+	head, tail pmem.Addr // anchor words (separate cache lines)
+
+	gEnq, gDeq isb.Gather
+}
+
+// New builds an empty queue (one dummy node) on the heap.
+func New(h *pmem.Heap) *Queue {
+	q := &Queue{h: h, e: isb.NewEngine(h)}
+	p := h.Proc(0)
+	anchors := p.Alloc(2 * pmem.WordsPerLine)
+	q.head = anchors
+	q.tail = anchors + pmem.WordsPerLine
+	dummy := newNode(p, 0, 0)
+	p.Store(q.head, uint64(dummy))
+	p.Store(q.tail, uint64(dummy))
+	p.PBarrierRange(dummy, nodeWords)
+	p.PBarrier(q.head)
+	p.PBarrier(q.tail)
+	p.PSync()
+	q.gEnq = q.gatherEnq
+	q.gDeq = q.gatherDeq
+	return q
+}
+
+func newNode(p *pmem.Proc, val, info uint64) pmem.Addr {
+	nd := p.Alloc(nodeWords)
+	p.Store(nd+nVal, val)
+	p.Store(nd+nNext, uint64(pmem.Null))
+	p.Store(nd+nInfo, info)
+	return nd
+}
+
+// Enqueue appends v to the queue.
+func (q *Queue) Enqueue(p *pmem.Proc, v uint64) {
+	q.e.RunOp(p, OpEnq, v, q.gEnq)
+}
+
+// Dequeue removes and returns the oldest value; ok is false on empty.
+func (q *Queue) Dequeue(p *pmem.Proc) (v uint64, ok bool) {
+	r := q.e.RunOp(p, OpDeq, 0, q.gDeq)
+	if r == isb.RespEmpty {
+		return 0, false
+	}
+	return isb.DecodeValue(r), true
+}
+
+// Recover completes an interrupted operation after a crash and returns its
+// encoded response (isb.RespTrue for enqueue; isb.RespEmpty or an encoded
+// value for dequeue).
+func (q *Queue) Recover(p *pmem.Proc, op, arg uint64) uint64 {
+	if op == OpEnq {
+		return q.e.Recover(p, OpEnq, arg, q.gEnq)
+	}
+	return q.e.Recover(p, OpDeq, arg, q.gDeq)
+}
+
+// Begin is the system-side invocation step (persist CP_q := 0).
+func (q *Queue) Begin(p *pmem.Proc) { q.e.BeginOp(p) }
+
+// findLast chases next pointers from the Tail hint to the actual last node
+// and lazily swings Tail forward (volatile hint; needs no persistence).
+func (q *Queue) findLast(p *pmem.Proc) pmem.Addr {
+	t := pmem.Addr(p.Load(q.tail))
+	last := t
+	for {
+		next := pmem.Addr(p.Load(last + nNext))
+		if next == pmem.Null {
+			break
+		}
+		last = next
+	}
+	if last != t {
+		p.CAS(q.tail, uint64(t), uint64(last))
+	}
+	return last
+}
+
+// gatherEnq: AffectSet = {last}; WriteSet = {last.next: Null → new node}.
+func (q *Queue) gatherEnq(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.GatherResult {
+	last := q.findLast(p)
+	lastInfo := p.Load(last + nInfo)
+	newnd := newNode(p, spec.ArgKey, isb.Tagged(info))
+	spec.AddAffect(last+nInfo, lastInfo)
+	spec.AddWrite(last+nNext, uint64(pmem.Null), uint64(newnd))
+	spec.AddCleanup(last + nInfo)
+	spec.AddCleanup(newnd + nInfo)
+	spec.AddPersist(newnd, nodeWords)
+	spec.SuccessResponse = isb.RespTrue
+	return isb.Proceed
+}
+
+// gatherDeq: AffectSet = {dummy}; WriteSet = {Head: dummy → first}. On an
+// empty queue the operation is read-only (validated by reading next before
+// the info field; the linearization point is the Null next read).
+func (q *Queue) gatherDeq(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.GatherResult {
+	dummy := pmem.Addr(p.Load(q.head))
+	first := pmem.Addr(p.Load(dummy + nNext))
+	dummyInfo := p.Load(dummy + nInfo)
+	if first == pmem.Null {
+		spec.AddAffect(dummy+nInfo, dummyInfo)
+		spec.AddCleanup(dummy + nInfo)
+		spec.ReadOnly = true
+		spec.Response = isb.RespEmpty
+		return isb.Proceed
+	}
+	// Re-validate that dummy is still the dummy: if Head moved, the next
+	// pointer we read may already be stale.
+	if pmem.Addr(p.Load(q.head)) != dummy {
+		return isb.Restart
+	}
+	spec.AddAffect(dummy+nInfo, dummyInfo) // dummy retires: stays tagged
+	spec.AddWrite(q.head, uint64(dummy), uint64(first))
+	spec.SuccessResponse = isb.EncodeValue(p.Load(first + nVal))
+	return isb.Proceed
+}
+
+// Len counts queued values on the volatile image (test helper; requires
+// quiescence).
+func (q *Queue) Len() int {
+	h := q.h
+	n := 0
+	curr := pmem.Addr(h.ReadVolatile(q.head))
+	for {
+		curr = pmem.Addr(h.ReadVolatile(curr + nNext))
+		if curr == pmem.Null {
+			return n
+		}
+		n++
+	}
+}
+
+// Values snapshots queued values front-to-back (test helper; quiescence).
+func (q *Queue) Values() []uint64 {
+	h := q.h
+	var out []uint64
+	curr := pmem.Addr(h.ReadVolatile(q.head))
+	for {
+		curr = pmem.Addr(h.ReadVolatile(curr + nNext))
+		if curr == pmem.Null {
+			return out
+		}
+		out = append(out, h.ReadVolatile(curr+nVal))
+	}
+}
+
+// CheckInvariants verifies structural sanity at quiescence: the Head dummy
+// chain is Null-terminated, Tail points into the chain, and no live node
+// after the dummy is tagged.
+func (q *Queue) CheckInvariants() string {
+	h := q.h
+	dummy := pmem.Addr(h.ReadVolatile(q.head))
+	if dummy == pmem.Null {
+		return "Head is Null"
+	}
+	curr := dummy
+	steps := 0
+	for {
+		next := pmem.Addr(h.ReadVolatile(curr + nNext))
+		if next == pmem.Null {
+			break
+		}
+		curr = next
+		if isb.IsTagged(h.ReadVolatile(curr + nInfo)) {
+			return "live queued node tagged at quiescence"
+		}
+		if steps++; steps > 1<<24 {
+			return "cycle suspected"
+		}
+	}
+	lastFromHead := curr
+	// The Tail hint may lag (even behind the dummy, onto retired nodes),
+	// but chasing next from it must reach the same last node.
+	curr = pmem.Addr(h.ReadVolatile(q.tail))
+	steps = 0
+	for {
+		next := pmem.Addr(h.ReadVolatile(curr + nNext))
+		if next == pmem.Null {
+			break
+		}
+		curr = next
+		if steps++; steps > 1<<24 {
+			return "cycle suspected from tail"
+		}
+	}
+	if curr != lastFromHead {
+		return "Tail hint does not lead to the last node"
+	}
+	return ""
+}

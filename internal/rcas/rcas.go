@@ -1,0 +1,155 @@
+// Package rcas implements a detectably recoverable Compare&Swap in the
+// style of Attiya, Ben-Baruch and Hendler (PODC 2018) — the primitive
+// underneath the capsules transformation of Ben-David, Blelloch, Friedman
+// and Wei (SPAA 2019), which the paper evaluates against.
+//
+// A recoverable location holds a pointer to an immutable descriptor
+// ⟨value, owner⟩, where owner identifies the process and per-process
+// sequence number of the CAS that installed it. Recoverability comes from
+// the notification rule: a process that successfully replaces a descriptor
+// persistently announces the overwritten descriptor's ⟨proc, seq⟩ in the
+// owner's announcement slot *before* persisting its own installation.
+// After a crash, process p's CAS #s provably succeeded iff the location
+// still holds p's descriptor for seq s, or Ann[p] ≥ s.
+package rcas
+
+import (
+	"repro/internal/pmem"
+)
+
+// Descriptor field offsets (words); 2-word descriptors.
+const (
+	dVal   = 0
+	dOwner = 1
+
+	descWords = 2
+)
+
+// Owner encoding: (proc+1) << 40 | seq. Zero means "initial value, no
+// owner" (no announcement needed when overwriting it).
+func encodeOwner(proc int, seq uint64) uint64 {
+	return uint64(proc+1)<<40 | (seq & ((1 << 40) - 1))
+}
+
+func ownerProc(o uint64) int   { return int(o>>40) - 1 }
+func ownerSeq(o uint64) uint64 { return o & ((1 << 40) - 1) }
+
+// Space manages recoverable locations for one data structure: it holds the
+// per-process announcement slots.
+type Space struct {
+	h   *pmem.Heap
+	ann pmem.Addr // per-proc announcement line
+}
+
+// NewSpace allocates announcement slots for every process of the heap.
+func NewSpace(h *pmem.Heap) *Space {
+	p := h.Proc(0)
+	n := uint64(h.NumProcs())
+	raw := p.Alloc((n + 1) * pmem.WordsPerLine)
+	s := &Space{h: h, ann: (raw + pmem.WordsPerLine - 1) &^ (pmem.WordsPerLine - 1)}
+	return s
+}
+
+func (s *Space) annSlot(proc int) pmem.Addr {
+	return s.ann + pmem.Addr(proc*pmem.WordsPerLine)
+}
+
+// InitLoc initializes a recoverable location to an un-owned initial value.
+// The caller persists the enclosing structure.
+func (s *Space) InitLoc(p *pmem.Proc, loc pmem.Addr, val uint64) {
+	d := p.Alloc(descWords)
+	p.Store(d+dVal, val)
+	p.Store(d+dOwner, 0)
+	p.PBarrierRange(d, descWords)
+	p.Store(loc, uint64(d))
+	p.PWB(loc)
+	p.PSync()
+}
+
+// Read returns the current value of a recoverable location.
+func (s *Space) Read(p *pmem.Proc, loc pmem.Addr) uint64 {
+	d := pmem.Addr(p.Load(loc))
+	return p.Load(d + dVal)
+}
+
+// CAS attempts to change loc from old to new as p's CAS number seq. It
+// returns the value it read (success iff the return value equals old).
+// Callers must persist seq in their own recovery data before invoking, and
+// use strictly increasing seq values per process. seq 0 installs an
+// ownerless descriptor: the CAS is auxiliary (e.g. a helping unlink) and
+// its outcome will never be queried — crucially, it then cannot advance
+// the announcement watermark and masquerade as an earlier queried CAS.
+func (s *Space) CAS(p *pmem.Proc, loc pmem.Addr, old, new, seq uint64) uint64 {
+	for {
+		d := pmem.Addr(p.Load(loc))
+		cur := p.Load(d + dVal)
+		if cur != old {
+			return cur
+		}
+		owner := uint64(0)
+		if seq != 0 {
+			owner = encodeOwner(p.ID(), seq)
+		}
+		nd := p.Alloc(descWords)
+		p.Store(nd+dVal, new)
+		p.Store(nd+dOwner, owner)
+		p.PBarrierRange(nd, descWords)
+		if !p.CASBool(loc, uint64(d), uint64(nd)) {
+			continue // location changed under us; re-read
+		}
+		// Notify the overwritten owner before persisting our install, so
+		// its recovery can never miss a CAS whose effect became durable.
+		if o := p.Load(d + dOwner); o != 0 {
+			s.notify(p, ownerProc(o), ownerSeq(o))
+		}
+		p.PWB(loc)
+		p.PSync()
+		return old
+	}
+}
+
+// notify records "proc's CAS #seq was overwritten ⇒ it took effect" with a
+// monotone max-store.
+func (s *Space) notify(p *pmem.Proc, proc int, seq uint64) {
+	slot := s.annSlot(proc)
+	for {
+		cur := p.Load(slot)
+		if cur >= seq {
+			return
+		}
+		if p.CASBool(slot, cur, seq) {
+			p.PWB(slot)
+			p.PSync()
+			return
+		}
+	}
+}
+
+// Outcome of a recovery query.
+type Outcome int
+
+const (
+	// Succeeded: the CAS provably installed its value.
+	Succeeded Outcome = iota
+	// Unknown: the CAS left no durable trace — it either never executed,
+	// failed, or its install was lost at the crash. The enclosing capsule
+	// re-executes from its checkpoint.
+	Unknown
+)
+
+// Recover determines whether p's CAS #seq on loc took effect.
+func (s *Space) Recover(p *pmem.Proc, loc pmem.Addr, seq uint64) Outcome {
+	d := pmem.Addr(p.Load(loc))
+	if o := p.Load(d + dOwner); o != 0 && ownerProc(o) == p.ID() && ownerSeq(o) == seq {
+		return Succeeded
+	}
+	if p.Load(s.annSlot(p.ID())) >= seq {
+		return Succeeded
+	}
+	return Unknown
+}
+
+// Announced returns p's announcement watermark (test helper).
+func (s *Space) Announced(proc int) uint64 {
+	return s.h.ReadVolatile(s.annSlot(proc))
+}

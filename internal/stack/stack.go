@@ -1,0 +1,224 @@
+// Package stack implements a detectably recoverable elimination stack: the
+// paper's ISB-tracking applied to a Treiber-style central stack, combined
+// (per Section 1) with elimination through the detectably recoverable
+// exchanger of Section 6.
+//
+// Central stack. The stack is a linked chain hanging off a sentinel node,
+// terminated by a bottom sentinel — exactly the recoverable linked list
+// specialized to position zero. Push replaces the current top with a fresh
+// node whose successor is a fresh *copy* of the old top (the old top
+// retires, staying tagged forever), so the sentinel's next field never
+// holds the same address twice; Pop unlinks the top, whose successor is
+// always such a fresh copy. That discharges the ABA assumption without
+// version counters.
+//
+// Elimination. Before touching the central stack, a Push offers its value
+// on the exchanger as a waiter and a Pop tries to collide as a collider
+// (asymmetric roles prevent push/push pairing). A successful exchange
+// eliminates the pair: the pop returns the push's value and neither touches
+// the central stack. Each side's outcome is detectable through the
+// exchanger's own recovery data; if the elimination provably had no effect,
+// recovery falls through to the central stack's ISB recovery.
+package stack
+
+import (
+	"repro/internal/exchanger"
+	"repro/internal/isb"
+	"repro/internal/pmem"
+)
+
+// Node field offsets (words); 4-word allocations.
+const (
+	nVal  = 0
+	nNext = 1
+	nInfo = 2
+
+	nodeWords = 4
+)
+
+// Operation kinds for recovery and the crash harness.
+const (
+	OpPush uint64 = 20
+	OpPop  uint64 = 21
+)
+
+// bottomMark identifies the bottom sentinel; user values must be smaller.
+const bottomMark uint64 = 1<<64 - 1
+
+// MaxValue bounds user values.
+const MaxValue uint64 = 1<<64 - 2
+
+// DefaultElimSpins is the default elimination window (retry iterations on
+// the exchanger before falling back to the central stack).
+const DefaultElimSpins = 24
+
+// Stack is a detectably recoverable LIFO stack of uint64 values.
+type Stack struct {
+	h        *pmem.Heap
+	e        *isb.Engine
+	ex       *exchanger.Exchanger
+	sentinel pmem.Addr
+	spins    int
+
+	gPush, gPop isb.Gather
+}
+
+// New builds an empty stack. elimSpins ≤ 0 disables elimination.
+func New(h *pmem.Heap, elimSpins int) *Stack {
+	s := &Stack{h: h, e: isb.NewEngine(h), ex: exchanger.New(h), spins: elimSpins}
+	p := h.Proc(0)
+	bottom := newNode(p, bottomMark, pmem.Null, 0)
+	s.sentinel = newNode(p, 0, bottom, 0)
+	p.PBarrierRange(bottom, nodeWords)
+	p.PBarrierRange(s.sentinel, nodeWords)
+	p.PSync()
+	s.gPush = s.gatherPush
+	s.gPop = s.gatherPop
+	return s
+}
+
+func newNode(p *pmem.Proc, val uint64, next pmem.Addr, info uint64) pmem.Addr {
+	nd := p.Alloc(nodeWords)
+	p.Store(nd+nVal, val)
+	p.Store(nd+nNext, uint64(next))
+	p.Store(nd+nInfo, info)
+	return nd
+}
+
+// Begin is the system-side invocation step for both recovery registers.
+func (s *Stack) Begin(p *pmem.Proc) {
+	s.ex.Begin(p)
+	s.e.BeginOp(p)
+}
+
+// Push adds v to the stack (eliminating with a concurrent Pop if possible).
+func (s *Stack) Push(p *pmem.Proc, v uint64) {
+	s.Begin(p)
+	if s.spins > 0 {
+		if _, ok := s.ex.Exchange(p, v, exchanger.WaiterOnly, s.spins); ok {
+			return // eliminated by a pop
+		}
+	}
+	s.e.RunOp(p, OpPush, v, s.gPush)
+}
+
+// Pop removes and returns the top value; ok=false on empty.
+func (s *Stack) Pop(p *pmem.Proc) (uint64, bool) {
+	s.Begin(p)
+	if s.spins > 0 {
+		if v, ok := s.ex.Exchange(p, 0, exchanger.ColliderOnly, s.spins); ok {
+			return v, true // eliminated a concurrent push
+		}
+	}
+	r := s.e.RunOp(p, OpPop, 0, s.gPop)
+	if r == isb.RespEmpty {
+		return 0, false
+	}
+	return isb.DecodeValue(r), true
+}
+
+// Recover resumes an interrupted Push or Pop after a crash, returning the
+// encoded response (RespTrue for push; RespEmpty or a value for pop). It
+// first consults the exchanger's recovery data: if the elimination took
+// effect, that outcome stands; otherwise the central stack's ISB recovery
+// decides.
+func (s *Stack) Recover(p *pmem.Proc, op, arg uint64) uint64 {
+	if s.spins > 0 {
+		role := exchanger.WaiterOnly
+		if op == OpPop {
+			role = exchanger.ColliderOnly
+		}
+		if v, ok := s.ex.Recover(p, arg, role, 1, false); ok {
+			if op == OpPush {
+				return isb.RespTrue
+			}
+			return isb.EncodeValue(v)
+		}
+	}
+	if op == OpPush {
+		return s.e.Recover(p, OpPush, arg, s.gPush)
+	}
+	return s.e.Recover(p, OpPop, arg, s.gPop)
+}
+
+// gatherPush: AffectSet = (sentinel, top); WriteSet = {sentinel.next:
+// top → new node}; NewSet = {new node, copy of top}. The old top retires.
+func (s *Stack) gatherPush(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.GatherResult {
+	sentInfo := p.Load(s.sentinel + nInfo)
+	top := pmem.Addr(p.Load(s.sentinel + nNext))
+	topInfo := p.Load(top + nInfo)
+	tagged := isb.Tagged(info)
+	topCopy := newNode(p, p.Load(top+nVal), pmem.Addr(p.Load(top+nNext)), tagged)
+	newnd := newNode(p, spec.ArgKey, topCopy, tagged)
+	spec.AddAffect(s.sentinel+nInfo, sentInfo)
+	spec.AddAffect(top+nInfo, topInfo) // retires on success
+	spec.AddWrite(s.sentinel+nNext, uint64(top), uint64(newnd))
+	spec.AddCleanup(s.sentinel + nInfo)
+	spec.AddCleanup(newnd + nInfo)
+	spec.AddCleanup(topCopy + nInfo)
+	spec.AddPersist(newnd, nodeWords)
+	spec.AddPersist(topCopy, nodeWords)
+	spec.SuccessResponse = isb.RespTrue
+	return isb.Proceed
+}
+
+// gatherPop: AffectSet = (sentinel, top); WriteSet = {sentinel.next:
+// top → top.next}. Empty (top is the bottom sentinel) is read-only.
+func (s *Stack) gatherPop(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.GatherResult {
+	sentInfo := p.Load(s.sentinel + nInfo)
+	top := pmem.Addr(p.Load(s.sentinel + nNext))
+	topInfo := p.Load(top + nInfo)
+	if p.Load(top+nVal) == bottomMark {
+		spec.AddAffect(top+nInfo, topInfo)
+		spec.AddCleanup(top + nInfo)
+		spec.ReadOnly = true
+		spec.Response = isb.RespEmpty
+		return isb.Proceed
+	}
+	spec.AddAffect(s.sentinel+nInfo, sentInfo)
+	spec.AddAffect(top+nInfo, topInfo) // retires on success
+	spec.AddWrite(s.sentinel+nNext, uint64(top), p.Load(top+nNext))
+	spec.AddCleanup(s.sentinel + nInfo)
+	spec.SuccessResponse = isb.EncodeValue(p.Load(top + nVal))
+	return isb.Proceed
+}
+
+// Values snapshots the stack top-to-bottom (test helper; quiescence).
+func (s *Stack) Values() []uint64 {
+	var out []uint64
+	h := s.h
+	curr := pmem.Addr(h.ReadVolatile(s.sentinel + nNext))
+	for {
+		v := h.ReadVolatile(curr + nVal)
+		if v == bottomMark {
+			return out
+		}
+		out = append(out, v)
+		curr = pmem.Addr(h.ReadVolatile(curr + nNext))
+	}
+}
+
+// CheckInvariants validates the chain at quiescence.
+func (s *Stack) CheckInvariants() string {
+	h := s.h
+	if isb.IsTagged(h.ReadVolatile(s.sentinel + nInfo)) {
+		return "sentinel tagged at quiescence"
+	}
+	curr := pmem.Addr(h.ReadVolatile(s.sentinel + nNext))
+	steps := 0
+	for {
+		if curr == pmem.Null {
+			return "fell off the stack before the bottom sentinel"
+		}
+		if isb.IsTagged(h.ReadVolatile(curr + nInfo)) {
+			return "live stack node tagged at quiescence"
+		}
+		if h.ReadVolatile(curr+nVal) == bottomMark {
+			return ""
+		}
+		curr = pmem.Addr(h.ReadVolatile(curr + nNext))
+		if steps++; steps > 1<<24 {
+			return "cycle suspected"
+		}
+	}
+}

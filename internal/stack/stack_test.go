@@ -1,0 +1,248 @@
+package stack
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/isb"
+	"repro/internal/pmem"
+)
+
+func newStack(t *testing.T, procs, spins int) (*Stack, *pmem.Heap) {
+	t.Helper()
+	h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: procs, Tracked: true})
+	return New(h, spins), h
+}
+
+func TestEmptyPop(t *testing.T) {
+	s, h := newStack(t, 1, 0)
+	p := h.Proc(0)
+	if _, ok := s.Pop(p); ok {
+		t.Fatal("pop on empty stack succeeded")
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	s, h := newStack(t, 1, 0)
+	p := h.Proc(0)
+	for v := uint64(1); v <= 50; v++ {
+		s.Push(p, v)
+	}
+	for v := uint64(50); v >= 1; v-- {
+		got, ok := s.Pop(p)
+		if !ok || got != v {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", got, ok, v)
+		}
+	}
+	if _, ok := s.Pop(p); ok {
+		t.Fatal("stack should be empty")
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestValuesSnapshot(t *testing.T) {
+	s, h := newStack(t, 1, 0)
+	p := h.Proc(0)
+	s.Push(p, 1)
+	s.Push(p, 2)
+	s.Push(p, 3)
+	got := s.Values()
+	if len(got) != 3 || got[0] != 3 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("Values = %v, want [3 2 1]", got)
+	}
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	s, h := newStack(t, 1, 0)
+	p := h.Proc(0)
+	var model []uint64
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 4000; i++ {
+		if rng.Intn(2) == 0 {
+			v := uint64(i) + 1
+			s.Push(p, v)
+			model = append(model, v)
+		} else {
+			v, ok := s.Pop(p)
+			if len(model) == 0 {
+				if ok {
+					t.Fatalf("op %d: pop on empty model returned %d", i, v)
+				}
+			} else {
+				want := model[len(model)-1]
+				if !ok || v != want {
+					t.Fatalf("op %d: Pop = (%d,%v), want (%d,true)", i, v, ok, want)
+				}
+				model = model[:len(model)-1]
+			}
+		}
+	}
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+// TestConcurrentPushPop checks conservation under concurrency (with
+// elimination enabled): every pushed value is popped at most once, and
+// pushed-but-not-popped values remain on the stack.
+func TestConcurrentPushPop(t *testing.T) {
+	const procs = 4
+	const perProc = 300
+	s, h := newStack(t, 2*procs, DefaultElimSpins)
+	var wg sync.WaitGroup
+	popped := make([][]uint64, procs)
+	for id := 0; id < procs; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := h.Proc(id)
+			for j := 0; j < perProc; j++ {
+				s.Push(p, uint64(id)*1_000_000+uint64(j)+1)
+			}
+		}(id)
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := h.Proc(procs + id)
+			for j := 0; j < perProc; j++ {
+				if v, ok := s.Pop(p); ok {
+					popped[id] = append(popped[id], v)
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if msg := s.CheckInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+	seen := map[uint64]bool{}
+	for _, ps := range popped {
+		for _, v := range ps {
+			if seen[v] {
+				t.Fatalf("value %d popped twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	rest := s.Values()
+	for _, v := range rest {
+		if seen[v] {
+			t.Fatalf("value %d popped and still on stack", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != procs*perProc {
+		t.Fatalf("conservation: %d values accounted, want %d", len(seen), procs*perProc)
+	}
+}
+
+func TestEliminationPairs(t *testing.T) {
+	// With a large elimination window and one pusher + one popper, at least
+	// some operations should eliminate; regardless, outcomes must be
+	// consistent.
+	s, h := newStack(t, 2, 1<<16)
+	var wg sync.WaitGroup
+	var got []uint64
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p := h.Proc(0)
+		for v := uint64(1); v <= 50; v++ {
+			s.Push(p, v)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		p := h.Proc(1)
+		for i := 0; i < 50; i++ {
+			if v, ok := s.Pop(p); ok {
+				got = append(got, v)
+			}
+		}
+	}()
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	for _, v := range s.Values() {
+		if seen[v] {
+			t.Fatalf("value %d popped and still present", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("%d values accounted, want 50", len(seen))
+	}
+}
+
+func TestRecoverAfterCompletedOps(t *testing.T) {
+	s, h := newStack(t, 1, 0)
+	p := h.Proc(0)
+	s.Push(p, 9)
+	if r := s.Recover(p, OpPush, 9); r != isb.RespTrue {
+		t.Fatalf("Recover(push) = %d", r)
+	}
+	if n := len(s.Values()); n != 1 {
+		t.Fatalf("recover duplicated push: %d values", n)
+	}
+	v, ok := s.Pop(p)
+	if !ok || v != 9 {
+		t.Fatalf("Pop = (%d,%v)", v, ok)
+	}
+	if r := s.Recover(p, OpPop, 0); r != isb.EncodeValue(9) {
+		t.Fatalf("Recover(pop) = %d", r)
+	}
+	if len(s.Values()) != 0 {
+		t.Fatal("recover re-executed pop")
+	}
+}
+
+func TestCrashSweepPushPop(t *testing.T) {
+	for _, spins := range []int{0, 8} {
+		for offset := uint64(1); offset <= 60; offset++ {
+			h := pmem.NewHeap(pmem.Config{Words: 1 << 20, Procs: 1, Tracked: true})
+			s := New(h, spins)
+			p := h.Proc(0)
+			s.Push(p, 1)
+
+			h.ScheduleCrashAt(h.AccessCount() + offset)
+			crashed := !pmem.RunOp(func() { s.Push(p, 2) })
+			if crashed {
+				h.ResetAfterCrash()
+				if r := s.Recover(p, OpPush, 2); r != isb.RespTrue {
+					t.Fatalf("spins %d offset %d: push recovery = %d", spins, offset, r)
+				}
+			}
+			vals := s.Values()
+			if len(vals) != 2 || vals[0] != 2 || vals[1] != 1 {
+				t.Fatalf("spins %d offset %d: values %v, want [2 1]", spins, offset, vals)
+			}
+
+			h.ScheduleCrashAt(h.AccessCount() + offset)
+			var v uint64
+			var ok bool
+			crashed = !pmem.RunOp(func() { v, ok = s.Pop(p) })
+			if crashed {
+				h.ResetAfterCrash()
+				r := s.Recover(p, OpPop, 0)
+				if r == isb.RespEmpty {
+					t.Fatalf("spins %d offset %d: pop recovered empty on 2-element stack", spins, offset)
+				}
+				v, ok = isb.DecodeValue(r), true
+			}
+			if !ok || v != 2 {
+				t.Fatalf("spins %d offset %d: pop (%d,%v), want (2,true)", spins, offset, v, ok)
+			}
+			if msg := s.CheckInvariants(); msg != "" {
+				t.Fatalf("spins %d offset %d: %s", spins, offset, msg)
+			}
+		}
+	}
+}

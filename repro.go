@@ -1,0 +1,276 @@
+// Package repro is the public API of this reproduction of "Tracking in
+// Order to Recover: Detectable Recovery of Lock-Free Data Structures"
+// (Attiya, Ben-Baruch, Fatourou, Hendler, Kosmas — SPAA 2020).
+//
+// It exposes detectably recoverable lock-free data structures built with
+// ISB-tracking (a linked list, a FIFO queue, a binary search tree, an
+// exchanger, and an elimination stack) on top of a simulated persistent
+// heap with explicit epoch persistency and whole-system crash injection.
+//
+// # Quick start
+//
+//	rt := repro.New(repro.Config{Procs: 4, CrashSim: true})
+//	l := rt.NewList()
+//	p := rt.Proc(0)
+//	l.Insert(p, 42)
+//
+//	// Simulate a crash in the middle of an operation:
+//	rt.ScheduleCrash(10) // after ~10 more memory accesses
+//	if !rt.Run(func() { l.Insert(p, 7) }) {
+//	    rt.Restart()                     // discard volatile state
+//	    ok := l.Recover(p, repro.OpInsert, 7) // detectably recover
+//	    _ = ok
+//	}
+//
+// Every operation persists enough tracking state (the paper's Info
+// structures plus per-process RD_q/CP_q registers) that Recover can always
+// tell whether the interrupted operation took effect and what it returned.
+package repro
+
+import (
+	"time"
+
+	"repro/internal/bst"
+	"repro/internal/exchanger"
+	"repro/internal/list"
+	"repro/internal/pmem"
+	"repro/internal/queue"
+	"repro/internal/stack"
+)
+
+// Proc is a process descriptor: the unit of crash and recovery. Each Proc
+// must be used by at most one goroutine at a time.
+type Proc = pmem.Proc
+
+// Model selects the persistency model.
+type Model = pmem.Model
+
+// Persistency models (paper Section 2).
+const (
+	SharedCache  = pmem.SharedCache
+	PrivateCache = pmem.PrivateCache
+)
+
+// Operation kinds accepted by the Recover methods.
+const (
+	OpInsert = list.OpInsert
+	OpDelete = list.OpDelete
+	OpFind   = list.OpFind
+	OpEnq    = queue.OpEnq
+	OpDeq    = queue.OpDeq
+	OpPush   = stack.OpPush
+	OpPop    = stack.OpPop
+)
+
+// Config parameterises a Runtime.
+type Config struct {
+	// Procs is the number of process descriptors (default 1).
+	Procs int
+	// Model selects SharedCache (default) or PrivateCache persistency.
+	Model Model
+	// HeapWords sizes the simulated NVRAM arena in 64-bit words
+	// (default 1<<22 ≈ 32 MiB volatile image).
+	HeapWords int
+	// CrashSim enables the persisted image and crash injection.
+	CrashSim bool
+	// PWBLatency/PSyncLatency simulate persistence-instruction costs.
+	PWBLatency, PSyncLatency time.Duration
+	// Seed drives simulated cache-eviction randomness.
+	Seed uint64
+	// EvictEvery, with CrashSim, randomly persists ~1/EvictEvery stores.
+	EvictEvery uint64
+}
+
+// Runtime owns a simulated persistent heap and its process descriptors.
+type Runtime struct {
+	h *pmem.Heap
+}
+
+// New builds a runtime.
+func New(cfg Config) *Runtime {
+	words := cfg.HeapWords
+	if words == 0 {
+		words = 1 << 22
+	}
+	return &Runtime{h: pmem.NewHeap(pmem.Config{
+		Words: words, Procs: cfg.Procs, Model: cfg.Model,
+		Tracked: cfg.CrashSim, Seed: cfg.Seed, EvictEvery: cfg.EvictEvery,
+		PWBLatency: cfg.PWBLatency, PSyncLatency: cfg.PSyncLatency,
+	})}
+}
+
+// Proc returns process descriptor id (0-based).
+func (r *Runtime) Proc(id int) *Proc { return r.h.Proc(id) }
+
+// NumProcs reports the configured process count.
+func (r *Runtime) NumProcs() int { return r.h.NumProcs() }
+
+// ScheduleCrash arms a system-wide crash that fires after roughly n more
+// shared-memory accesses (CrashSim only). The process whose access crosses
+// the threshold panics with a crash value that Run converts to false.
+func (r *Runtime) ScheduleCrash(n uint64) {
+	r.h.ScheduleCrashAt(r.h.AccessCount() + n)
+}
+
+// CancelCrash disarms a scheduled crash that has not fired.
+func (r *Runtime) CancelCrash() { r.h.DisarmCrash() }
+
+// Crash initiates a system-wide crash immediately.
+func (r *Runtime) Crash() { r.h.Crash() }
+
+// Crashing reports whether a crash is in progress.
+func (r *Runtime) Crashing() bool { return r.h.Crashing() }
+
+// Run executes f, returning false if a simulated crash interrupted it.
+// After a crash, call Restart (once all Procs have unwound) and then the
+// appropriate Recover method for each interrupted operation.
+func (r *Runtime) Run(f func()) bool { return pmem.RunOp(f) }
+
+// Restart discards all volatile state, as a machine restart after a power
+// failure would: unflushed writes are lost, persisted state remains. All
+// Procs must have unwound (their Run calls returned) before Restart.
+func (r *Runtime) Restart() { r.h.ResetAfterCrash() }
+
+// List is a detectably recoverable sorted set of uint64 keys (paper
+// Section 4; ISB-tracking over a Harris-style list).
+type List struct{ l *list.List }
+
+// NewList builds a recoverable list with the paper's Algorithm 2
+// persistence placement.
+func (r *Runtime) NewList() *List { return &List{list.New(r.h)} }
+
+// NewListOpt builds a recoverable list with hand-tuned (batched)
+// persistence — the paper's Isb-Opt variant.
+func (r *Runtime) NewListOpt() *List { return &List{list.NewOpt(r.h)} }
+
+// Insert adds key (1 ≤ key ≤ MaxUint64-1); false if present.
+func (l *List) Insert(p *Proc, key uint64) bool { return l.l.Insert(p, key) }
+
+// Delete removes key; false if absent.
+func (l *List) Delete(p *Proc, key uint64) bool { return l.l.Delete(p, key) }
+
+// Find reports membership.
+func (l *List) Find(p *Proc, key uint64) bool { return l.l.Find(p, key) }
+
+// Recover completes p's interrupted operation (same kind and key) after a
+// crash and returns its response.
+func (l *List) Recover(p *Proc, op, key uint64) bool { return l.l.Recover(p, op, key) }
+
+// Begin is the system-side invocation step used by crash harnesses.
+func (l *List) Begin(p *Proc) { l.l.Begin(p) }
+
+// Keys snapshots the current key set (requires quiescence).
+func (l *List) Keys() []uint64 { return l.l.Keys() }
+
+// Queue is a detectably recoverable FIFO queue (ISB over MS-queue).
+type Queue struct{ q *queue.Queue }
+
+// NewQueue builds a recoverable queue.
+func (r *Runtime) NewQueue() *Queue { return &Queue{queue.New(r.h)} }
+
+// Enqueue appends v.
+func (q *Queue) Enqueue(p *Proc, v uint64) { q.q.Enqueue(p, v) }
+
+// Dequeue removes the oldest value; ok=false on empty.
+func (q *Queue) Dequeue(p *Proc) (uint64, bool) { return q.q.Dequeue(p) }
+
+// RecoverEnqueue resolves an interrupted Enqueue(v).
+func (q *Queue) RecoverEnqueue(p *Proc, v uint64) {
+	q.q.Recover(p, queue.OpEnq, v)
+}
+
+// RecoverDequeue resolves an interrupted Dequeue, returning its response.
+func (q *Queue) RecoverDequeue(p *Proc) (uint64, bool) {
+	r := q.q.Recover(p, queue.OpDeq, 0)
+	if r == respEmpty {
+		return 0, false
+	}
+	return r - respVBase, true
+}
+
+// Begin is the system-side invocation step used by crash harnesses.
+func (q *Queue) Begin(p *Proc) { q.q.Begin(p) }
+
+// Values snapshots the queue front-to-back (requires quiescence).
+func (q *Queue) Values() []uint64 { return q.q.Values() }
+
+// BST is a detectably recoverable leaf-oriented binary search tree
+// (Section 6; ISB over the Ellen et al. non-blocking BST).
+type BST struct{ b *bst.BST }
+
+// NewBST builds a recoverable BST.
+func (r *Runtime) NewBST() *BST { return &BST{bst.New(r.h)} }
+
+// Insert adds key (1 ≤ key ≤ bst.MaxUserKey); false if present.
+func (b *BST) Insert(p *Proc, key uint64) bool { return b.b.Insert(p, key) }
+
+// Delete removes key; false if absent.
+func (b *BST) Delete(p *Proc, key uint64) bool { return b.b.Delete(p, key) }
+
+// Find reports membership.
+func (b *BST) Find(p *Proc, key uint64) bool { return b.b.Find(p, key) }
+
+// Recover completes p's interrupted operation after a crash.
+func (b *BST) Recover(p *Proc, op, key uint64) bool { return b.b.Recover(p, op, key) }
+
+// Begin is the system-side invocation step used by crash harnesses.
+func (b *BST) Begin(p *Proc) { b.b.Begin(p) }
+
+// Keys returns the keys in order (requires quiescence).
+func (b *BST) Keys() []uint64 { return b.b.Keys() }
+
+// Exchanger is a detectably recoverable two-party exchange channel.
+type Exchanger struct{ e *exchanger.Exchanger }
+
+// NewExchanger builds a recoverable exchanger.
+func (r *Runtime) NewExchanger() *Exchanger { return &Exchanger{exchanger.New(r.h)} }
+
+// Exchange offers v and waits up to spins iterations for a partner; on
+// success it returns the partner's value.
+func (e *Exchanger) Exchange(p *Proc, v uint64, spins int) (uint64, bool) {
+	return e.e.Exchange(p, v, exchanger.Symmetric, spins)
+}
+
+// Recover resolves an interrupted Exchange(v). retry re-invokes an
+// exchange that provably had no effect.
+func (e *Exchanger) Recover(p *Proc, v uint64, spins int, retry bool) (uint64, bool) {
+	return e.e.Recover(p, v, exchanger.Symmetric, spins, retry)
+}
+
+// Stack is a detectably recoverable elimination stack (ISB central stack
+// plus exchanger-based elimination).
+type Stack struct{ s *stack.Stack }
+
+// NewStack builds a recoverable stack. elimSpins sets the elimination
+// window (0 disables elimination).
+func (r *Runtime) NewStack(elimSpins int) *Stack { return &Stack{stack.New(r.h, elimSpins)} }
+
+// Push adds v (v ≤ stack.MaxValue).
+func (s *Stack) Push(p *Proc, v uint64) { s.s.Push(p, v) }
+
+// Pop removes and returns the top value; ok=false on empty.
+func (s *Stack) Pop(p *Proc) (uint64, bool) { return s.s.Pop(p) }
+
+// RecoverPush resolves an interrupted Push(v).
+func (s *Stack) RecoverPush(p *Proc, v uint64) { s.s.Recover(p, stack.OpPush, v) }
+
+// RecoverPop resolves an interrupted Pop, returning its response.
+func (s *Stack) RecoverPop(p *Proc) (uint64, bool) {
+	r := s.s.Recover(p, stack.OpPop, 0)
+	if r == respEmpty {
+		return 0, false
+	}
+	return r - respVBase, true
+}
+
+// Begin is the system-side invocation step used by crash harnesses.
+func (s *Stack) Begin(p *Proc) { s.s.Begin(p) }
+
+// Values snapshots the stack top-to-bottom (requires quiescence).
+func (s *Stack) Values() []uint64 { return s.s.Values() }
+
+// Response encoding shared with internal/isb.
+const (
+	respEmpty uint64 = 3
+	respVBase uint64 = 16
+)
