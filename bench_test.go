@@ -1,7 +1,10 @@
 package repro
 
 import (
+	"fmt"
 	"io"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/figures"
@@ -182,6 +185,54 @@ func BenchmarkStackPushPop(b *testing.B) {
 		}
 		s.Push(p, uint64(i)+1)
 		s.Pop(p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Hash-map shard scaling: the same contended mixed workload against a
+// 1-shard map (a single bucket list, the structure every other benchmark
+// contends on) and a multi-shard map, across 1–8 procs. The multi-shard
+// map should pull ahead as procs grow.
+// ---------------------------------------------------------------------------
+
+func benchHashMapContended(b *testing.B, shards, procs int) {
+	const opsPerProc = 2000
+	const keyRange = 256
+	for i := 0; i < b.N; i++ {
+		rt := New(Config{Procs: procs, HeapWords: 1 << 21})
+		m := rt.NewHashMap(shards)
+		var wg sync.WaitGroup
+		for w := 0; w < procs; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				p := rt.Proc(w)
+				rng := rand.New(rand.NewSource(int64(w) + 1))
+				for j := 0; j < opsPerProc; j++ {
+					k := uint64(rng.Intn(keyRange)) + 1
+					switch rng.Intn(4) {
+					case 0:
+						m.Insert(p, k)
+					case 1:
+						m.Delete(p, k)
+					default:
+						m.Find(p, k)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(b.N*procs*opsPerProc)/b.Elapsed().Seconds(), "mapops/s")
+}
+
+func BenchmarkHashMapShardScaling(b *testing.B) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		for _, shards := range []int{1, 16} {
+			b.Run(fmt.Sprintf("procs=%d/shards=%d", procs, shards), func(b *testing.B) {
+				benchHashMapContended(b, shards, procs)
+			})
+		}
 	}
 }
 

@@ -1,8 +1,9 @@
 // kvstore: a small recoverable key-value membership store built on the
-// detectably recoverable BST, hammered by concurrent workers while the
-// "machine" keeps crashing. After every crash each worker recovers its
-// in-flight operation and the store's contents are audited against the
-// responses the workers observed.
+// detectably recoverable sharded hash map, hammered by concurrent workers
+// while the "machine" keeps crashing. Keys spread over the map's shards, so
+// the workers mostly run contention-free; after every crash each worker
+// recovers its in-flight operation, and the store's contents are audited
+// against the responses the workers observed.
 //
 //	go run ./examples/kvstore
 package main
@@ -17,6 +18,7 @@ import (
 
 const (
 	workers   = 4
+	shards    = 16
 	opsPerW   = 300
 	crashEach = 2500 // memory accesses between scheduled crashes
 	keySpace  = 64
@@ -29,7 +31,7 @@ type op struct {
 
 func main() {
 	rt := repro.New(repro.Config{Procs: workers, CrashSim: true, HeapWords: 1 << 23})
-	store := rt.NewBST()
+	store := rt.NewHashMap(shards)
 
 	var mu sync.Mutex
 	var cond = sync.NewCond(&mu)
@@ -132,8 +134,8 @@ func main() {
 			fmt.Printf("MISMATCH key %d: net=%d present=%v\n", k, total[k], present[k])
 		}
 	}
-	fmt.Printf("%d workers × %d ops, %d crashes survived, %d keys stored, %d mismatches\n",
-		workers, opsPerW, crashes, len(store.Keys()), bad)
+	fmt.Printf("%d workers × %d ops over %d shards, %d crashes survived, %d keys stored, %d mismatches\n",
+		workers, opsPerW, store.NumShards(), crashes, len(store.Keys()), bad)
 	if bad > 0 {
 		panic("audit failed")
 	}

@@ -1,0 +1,260 @@
+package crash
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hashmap"
+	"repro/internal/linearize"
+	"repro/internal/pmem"
+)
+
+// mapTarget adapts the recoverable sharded hash map to the storm harness.
+type mapTarget struct{ m *hashmap.Map }
+
+func (t mapTarget) Begin(p *pmem.Proc) { t.m.Begin(p) }
+
+func (t mapTarget) Invoke(p *pmem.Proc, op Op) uint64 {
+	switch op.Kind {
+	case hashmap.OpInsert:
+		return respBool(t.m.Insert(p, op.Arg))
+	case hashmap.OpDelete:
+		return respBool(t.m.Delete(p, op.Arg))
+	default:
+		return respBool(t.m.Find(p, op.Arg))
+	}
+}
+
+func (t mapTarget) Recover(p *pmem.Proc, op Op) uint64 {
+	return respBool(t.m.Recover(p, op.Kind, op.Arg))
+}
+
+// mapGen mirrors listGen (the op codes coincide with linearize kinds).
+func mapGen(keys uint64) func(id, i int, rng *rand.Rand) Op {
+	return func(id, i int, rng *rand.Rand) Op {
+		k := uint64(rng.Intn(int(keys))) + 1
+		switch rng.Intn(3) {
+		case 0:
+			return Op{Kind: hashmap.OpInsert, Arg: k}
+		case 1:
+			return Op{Kind: hashmap.OpDelete, Arg: k}
+		default:
+			return Op{Kind: hashmap.OpFind, Arg: k}
+		}
+	}
+}
+
+func runHashMapStorm(t *testing.T, seed int64, shards, procs, opsPerProc, crashes int, keys uint64, evictEvery uint64) {
+	t.Helper()
+	h := pmem.NewHeap(pmem.Config{
+		Words: 1 << 22, Procs: procs, Tracked: true,
+		EvictEvery: evictEvery, Seed: uint64(seed) + 1,
+	})
+	m := hashmap.New(h, shards)
+	res := Run(Config{
+		Heap: h, Target: mapTarget{m}, Procs: procs, OpsPerProc: opsPerProc,
+		Gen: mapGen(keys), Crashes: crashes,
+		MeanAccessGap: procs * opsPerProc * 40 / (crashes + 1),
+		Seed:          seed,
+	})
+	if want := procs * opsPerProc; len(res.History) != want {
+		t.Fatalf("history has %d ops, want %d (detectability: every op must resolve)", len(res.History), want)
+	}
+	if msg := m.CheckInvariants(); msg != "" {
+		t.Fatalf("structural invariant violated after storm: %s", msg)
+	}
+	if s, k, ok := linearize.CheckShardedSetHistory(res.History, m.ShardOf); !ok {
+		t.Fatalf("history not linearizable at shard %d key %d (seed %d, %d crashes fired, %d recovered ops)",
+			s, k, seed, res.CrashesFired, res.RecoveredOps)
+	}
+	// Final membership must match the history's net successful updates.
+	net := map[uint64]int{}
+	for _, e := range res.Events {
+		if e.Resp != linearize.RespTrue {
+			continue
+		}
+		switch e.Op.Kind {
+		case hashmap.OpInsert:
+			net[e.Op.Arg]++
+		case hashmap.OpDelete:
+			net[e.Op.Arg]--
+		}
+	}
+	present := map[uint64]bool{}
+	for _, k := range m.Keys() {
+		present[k] = true
+	}
+	for k := uint64(1); k <= keys; k++ {
+		want := 0
+		if present[k] {
+			want = 1
+		}
+		if net[k] != want {
+			t.Fatalf("key %d: net successful updates %d but presence %v (seed %d)", k, net[k], present[k], seed)
+		}
+	}
+}
+
+func TestHashMapSingleProcCrashStorm(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		runHashMapStorm(t, seed, 4, 1, 60, 6, 8, 0)
+	}
+}
+
+func TestHashMapConcurrentCrashStorm(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		runHashMapStorm(t, seed, 8, 4, 40, 5, 16, 0)
+	}
+}
+
+func TestHashMapOneShardDegeneratesToList(t *testing.T) {
+	// shards=1 exercises the same code with every key contending on one
+	// bucket, the closest comparison with the plain recoverable list.
+	for seed := int64(1); seed <= 4; seed++ {
+		runHashMapStorm(t, seed, 1, 4, 40, 5, 12, 0)
+	}
+}
+
+func TestHashMapCrashStormWithEviction(t *testing.T) {
+	// Random cache-line eviction persists extra state at arbitrary points,
+	// widening the crash-state space (persisted state newer than the last
+	// explicit flush).
+	for seed := int64(1); seed <= 6; seed++ {
+		runHashMapStorm(t, seed, 8, 4, 40, 5, 12, 3)
+	}
+}
+
+func TestHashMapHighCrashRate(t *testing.T) {
+	// Crashes every few operations: most operations recover, many recover
+	// through multiple crashes.
+	for seed := int64(1); seed <= 4; seed++ {
+		runHashMapStorm(t, seed, 8, 3, 30, 20, 8, 0)
+	}
+}
+
+func TestHashMapManyProcsManyShardsStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		runHashMapStorm(t, seed, 16, 8, 30, 6, 25, 4)
+	}
+}
+
+// TestHashMapEveryCrashPoint sweeps a crash over every shared-memory access
+// of representative operations: for each crash point the run restarts,
+// recovers, and both the recovered response and the resulting key set must
+// match the sequential model.
+func TestHashMapEveryCrashPoint(t *testing.T) {
+	type crashCase struct {
+		name     string
+		kind     uint64
+		key      uint64
+		wantResp bool
+		wantIn   bool // key present after the operation completes
+	}
+	prefill := []uint64{3, 9, 14, 27, 31}
+	cases := []crashCase{
+		{"insert-fresh", hashmap.OpInsert, 8, true, true},
+		{"insert-dup", hashmap.OpInsert, 9, false, true},
+		{"delete-present", hashmap.OpDelete, 14, true, false},
+		{"delete-absent", hashmap.OpDelete, 15, false, false},
+		{"find-present", hashmap.OpFind, 27, true, true},
+		{"find-absent", hashmap.OpFind, 28, false, false},
+	}
+
+	build := func() (*pmem.Heap, *hashmap.Map, *pmem.Proc) {
+		h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1, Tracked: true, Seed: 42})
+		m := hashmap.New(h, 4)
+		p := h.Proc(0)
+		for _, k := range prefill {
+			m.Insert(p, k)
+		}
+		return h, m, p
+	}
+
+	invoke := func(m *hashmap.Map, p *pmem.Proc, kind, key uint64) bool {
+		switch kind {
+		case hashmap.OpInsert:
+			return m.Insert(p, key)
+		case hashmap.OpDelete:
+			return m.Delete(p, key)
+		default:
+			return m.Find(p, key)
+		}
+	}
+
+	wantKeys := func(c crashCase) map[uint64]bool {
+		w := map[uint64]bool{}
+		for _, k := range prefill {
+			w[k] = true
+		}
+		if c.wantIn {
+			w[c.key] = true
+		} else {
+			delete(w, c.key)
+		}
+		return w
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Measure the operation's access count on an identical run. The
+			// access counter only advances while a crash is armed, so arm
+			// one far beyond the run.
+			h, m, p := build()
+			h.ScheduleCrashAt(1 << 62)
+			before := h.AccessCount()
+			m.Begin(p)
+			if got := invoke(m, p, c.kind, c.key); got != c.wantResp {
+				t.Fatalf("uninterrupted %s = %v, want %v", c.name, got, c.wantResp)
+			}
+			total := h.AccessCount() - before
+			h.DisarmCrash()
+			if total == 0 {
+				t.Fatal("operation made no tracked accesses")
+			}
+
+			covered := 0
+			for off := uint64(1); off <= total; off++ {
+				h, m, p := build()
+				for !pmem.RunOp(func() { m.Begin(p) }) {
+					h.ResetAfterCrash()
+				}
+				h.ScheduleCrashAt(h.AccessCount() + off)
+				var resp bool
+				if pmem.RunOp(func() { resp = invoke(m, p, c.kind, c.key) }) {
+					h.DisarmCrash() // the crash would land after completion
+				} else {
+					covered++
+					h.ResetAfterCrash()
+					if !pmem.RunOp(func() { resp = m.Recover(p, c.kind, c.key) }) {
+						t.Fatalf("off=%d: recovery crashed with no crash armed", off)
+					}
+				}
+				if resp != c.wantResp {
+					t.Fatalf("off=%d: response %v, want %v", off, resp, c.wantResp)
+				}
+				want := wantKeys(c)
+				got := map[uint64]bool{}
+				for _, k := range m.Keys() {
+					got[k] = true
+				}
+				if len(got) != len(want) {
+					t.Fatalf("off=%d: key set %v, want %v", off, m.Keys(), want)
+				}
+				for k := range want {
+					if !got[k] {
+						t.Fatalf("off=%d: key %d missing (set %v)", off, k, m.Keys())
+					}
+				}
+				if msg := m.CheckInvariants(); msg != "" {
+					t.Fatalf("off=%d: %s", off, msg)
+				}
+			}
+			if covered == 0 {
+				t.Fatal("no crash point actually interrupted the operation")
+			}
+		})
+	}
+}

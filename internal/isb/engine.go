@@ -20,6 +20,19 @@ func (e *Engine) Help(p *pmem.Proc, info pmem.Addr, invoker bool) {
 		start = 1
 	}
 
+	// A set result proves the tagging and update phases already completed
+	// (every result store is persisted before the cleanup phase starts), so
+	// skip straight to re-running the idempotent update and cleanup phases.
+	// Without this, recovering a crash that landed mid-cleanup would abort
+	// in the tagging phase — the completed operation's tags have been
+	// recycled to untagged info values that can never match the expected
+	// ones — and surviving nodes would stay tagged until some later
+	// operation happened to help them.
+	if p.Load(info+offResult) != RespNone {
+		e.finish(p, info, tagged, untagged)
+		return
+	}
+
 	// Tagging phase. In opt mode the per-CAS write-backs are deferred and
 	// batched into one barrier at the end of the phase (the paper's
 	// hand-tuned placement); the plain mode issues a pwb after every CAS,
@@ -60,11 +73,19 @@ func (e *Engine) Help(p *pmem.Proc, info pmem.Addr, invoker bool) {
 	}
 	p.PSync()
 
+	e.finish(p, info, tagged, untagged)
+}
+
+// finish runs the update and cleanup phases of Help. Both are idempotent
+// and may be re-executed by recovery or by any number of helpers.
+func (e *Engine) finish(p *pmem.Proc, info pmem.Addr, tagged, untagged uint64) {
+	var batch [MaxAffect + MaxWrites + MaxCleanup + 1]pmem.Addr
+
 	// Update phase: apply the WriteSet CASes. Each change happens exactly
 	// once across all helpers because old values never recur (the ABA
 	// assumption the structures discharge by copying replaced nodes).
 	wn := int(p.Load(info + offWriteLen))
-	nb = 0
+	nb := 0
 	for i := 0; i < wn; i++ {
 		a := pmem.Addr(p.Load(info + offWrites + pmem.Addr(3*i)))
 		old := p.Load(info + offWrites + pmem.Addr(3*i) + 1)

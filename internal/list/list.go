@@ -60,6 +60,14 @@ func NewOpt(h *pmem.Heap) *List {
 	return build(h, isb.NewEngineOpt(h))
 }
 
+// NewWithEngine builds the list on a caller-supplied engine. Several lists
+// can share one engine — and with it one set of per-process RD_q/CP_q
+// recovery registers — which is how the sharded hash map keeps a single
+// recovery obligation per process across all of its buckets.
+func NewWithEngine(h *pmem.Heap, e *isb.Engine) *List {
+	return build(h, e)
+}
+
 // NewNoROpt builds the list with the Algorithm 2 read-only fast path
 // disabled (plain Algorithm 1): even Finds install their Info and run
 // Help. Exists for the ablation benchmarks quantifying ROpt.

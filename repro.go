@@ -4,8 +4,9 @@
 //
 // It exposes detectably recoverable lock-free data structures built with
 // ISB-tracking (a linked list, a FIFO queue, a binary search tree, an
-// exchanger, and an elimination stack) on top of a simulated persistent
-// heap with explicit epoch persistency and whole-system crash injection.
+// exchanger, an elimination stack, and a sharded hash map) on top of a
+// simulated persistent heap with explicit epoch persistency and
+// whole-system crash injection.
 //
 // # Quick start
 //
@@ -32,6 +33,8 @@ import (
 
 	"repro/internal/bst"
 	"repro/internal/exchanger"
+	"repro/internal/hashmap"
+	"repro/internal/isb"
 	"repro/internal/list"
 	"repro/internal/pmem"
 	"repro/internal/queue"
@@ -182,10 +185,10 @@ func (q *Queue) RecoverEnqueue(p *Proc, v uint64) {
 // RecoverDequeue resolves an interrupted Dequeue, returning its response.
 func (q *Queue) RecoverDequeue(p *Proc) (uint64, bool) {
 	r := q.q.Recover(p, queue.OpDeq, 0)
-	if r == respEmpty {
-		return 0, false
+	if !isb.IsValue(r) {
+		return 0, false // r == isb.RespEmpty: the queue was empty
 	}
-	return r - respVBase, true
+	return isb.DecodeValue(r), true
 }
 
 // Begin is the system-side invocation step used by crash harnesses.
@@ -257,10 +260,10 @@ func (s *Stack) RecoverPush(p *Proc, v uint64) { s.s.Recover(p, stack.OpPush, v)
 // RecoverPop resolves an interrupted Pop, returning its response.
 func (s *Stack) RecoverPop(p *Proc) (uint64, bool) {
 	r := s.s.Recover(p, stack.OpPop, 0)
-	if r == respEmpty {
-		return 0, false
+	if !isb.IsValue(r) {
+		return 0, false // r == isb.RespEmpty: the stack was empty
 	}
-	return r - respVBase, true
+	return isb.DecodeValue(r), true
 }
 
 // Begin is the system-side invocation step used by crash harnesses.
@@ -269,8 +272,40 @@ func (s *Stack) Begin(p *Proc) { s.s.Begin(p) }
 // Values snapshots the stack top-to-bottom (requires quiescence).
 func (s *Stack) Values() []uint64 { return s.s.Values() }
 
-// Response encoding shared with internal/isb.
-const (
-	respEmpty uint64 = 3
-	respVBase uint64 = 16
-)
+// HashMap is a detectably recoverable sharded lock-free hash set of uint64
+// keys: ISB-tracked Harris lists, one per bucket, sharing a single set of
+// per-process recovery registers, plus a persistent per-process shard
+// register recording which shard an in-flight operation targets (a
+// cross-check on the deterministic hash route today, and the hook online
+// resharding will need). Unlike the single-point structures above, its
+// throughput scales with cores.
+type HashMap struct{ m *hashmap.Map }
+
+// NewHashMap builds a recoverable hash map with the given shard count
+// (rounded up to a power of two, minimum 1).
+func (r *Runtime) NewHashMap(shards int) *HashMap {
+	return &HashMap{hashmap.New(r.h, shards)}
+}
+
+// Insert adds key (1 ≤ key ≤ MaxUint64-1); false if present.
+func (m *HashMap) Insert(p *Proc, key uint64) bool { return m.m.Insert(p, key) }
+
+// Delete removes key; false if absent.
+func (m *HashMap) Delete(p *Proc, key uint64) bool { return m.m.Delete(p, key) }
+
+// Find reports membership.
+func (m *HashMap) Find(p *Proc, key uint64) bool { return m.m.Find(p, key) }
+
+// Recover completes p's interrupted operation (same kind and key) after a
+// crash, routing to the operation's shard, and returns its response.
+func (m *HashMap) Recover(p *Proc, op, key uint64) bool { return m.m.Recover(p, op, key) }
+
+// Begin is the system-side invocation step used by crash harnesses.
+func (m *HashMap) Begin(p *Proc) { m.m.Begin(p) }
+
+// NumShards reports the map's (power-of-two) shard count.
+func (m *HashMap) NumShards() int { return m.m.NumShards() }
+
+// Keys snapshots the current key set in ascending order (requires
+// quiescence).
+func (m *HashMap) Keys() []uint64 { return m.m.Keys() }

@@ -67,6 +67,35 @@ func TestPublicBSTAndStack(t *testing.T) {
 	}
 }
 
+func TestPublicHashMapLifecycle(t *testing.T) {
+	rt := New(Config{Procs: 2, CrashSim: true})
+	m := rt.NewHashMap(8)
+	if m.NumShards() != 8 {
+		t.Fatalf("NumShards = %d", m.NumShards())
+	}
+	p := rt.Proc(0)
+	if !m.Insert(p, 42) || !m.Find(p, 42) || m.Insert(p, 42) {
+		t.Fatal("insert/find through public API failed")
+	}
+	rt.ScheduleCrash(12)
+	if rt.Run(func() { m.Insert(p, 7) }) {
+		// The crash may land after the op completed; then nothing to do.
+		rt.CancelCrash()
+	} else {
+		rt.Restart()
+		if !m.Recover(p, OpInsert, 7) {
+			t.Fatal("recovery returned false for a fresh key")
+		}
+	}
+	ks := m.Keys()
+	if len(ks) != 2 || ks[0] != 7 || ks[1] != 42 {
+		t.Fatalf("Keys = %v", ks)
+	}
+	if !m.Delete(p, 42) || m.Find(p, 42) {
+		t.Fatal("delete through public API failed")
+	}
+}
+
 func TestPublicExchangerTimeout(t *testing.T) {
 	rt := New(Config{Procs: 1, CrashSim: true})
 	e := rt.NewExchanger()
