@@ -170,5 +170,8 @@ func ablMixed(b *testing.B, build func(*pmem.Heap) *list.List) {
 	}
 }
 
-func BenchmarkAblationPersistPerCAS(b *testing.B)  { ablMixed(b, list.New) }
-func BenchmarkAblationPersistBatched(b *testing.B) { ablMixed(b, list.NewOpt) }
+func BenchmarkAblationPersistBatching(b *testing.B) {
+	for _, e := range engines() {
+		b.Run(e.name, func(b *testing.B) { ablMixed(b, e.list) })
+	}
+}

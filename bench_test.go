@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/figures"
 	"repro/internal/harness"
+	"repro/internal/hashmap"
 	"repro/internal/pmem"
 )
 
@@ -232,6 +233,115 @@ func BenchmarkHashMapShardScaling(b *testing.B) {
 			b.Run(fmt.Sprintf("procs=%d/shards=%d", procs, shards), func(b *testing.B) {
 				benchHashMapContended(b, shards, procs)
 			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine batching: the identical contended hash-map workload on the plain
+// (Isb) and batched (Isb-Opt) engines across procs × shards, reporting the
+// paper's per-operation persistence metrics. Isb-Opt trades the plain
+// engine's per-store stand-alone flushes for one deduplicating barrier per
+// operation phase (and folds the shard register's psync into the engine's
+// begin barrier), so flushes/op, syncs/op, and the combined persists/op
+// (pbarrier + stand-alone pwb events) all drop.
+// ---------------------------------------------------------------------------
+
+// buildEngineBatchingMap constructs a fresh heap and map for one workload
+// run. latency turns on the simulated pwb/psync costs so throughput
+// reflects what the batching saves; the counter assertions don't need it.
+func buildEngineBatchingMap(mkMap func(h *pmem.Heap) *hashmap.Map, procs int, latency bool) (*pmem.Heap, *hashmap.Map) {
+	cfg := pmem.Config{Words: 1 << 21, Procs: procs}
+	if latency {
+		cfg.PWBLatency = pmem.DefaultPWBLatency
+		cfg.PSyncLatency = pmem.DefaultPSyncLatency
+	}
+	h := pmem.NewHeap(cfg)
+	m := mkMap(h)
+	h.ResetAllStats()
+	return h, m
+}
+
+// runEngineBatchingWorkload runs the mixed workload once and returns the
+// persistence counters it accumulated (construction excluded).
+func runEngineBatchingWorkload(h *pmem.Heap, m *hashmap.Map, procs, opsPerProc, keyRange int) pmem.Stats {
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := h.Proc(w)
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for j := 0; j < opsPerProc; j++ {
+				k := uint64(rng.Intn(keyRange)) + 1
+				switch rng.Intn(4) {
+				case 0:
+					m.Insert(p, k)
+				case 1:
+					m.Delete(p, k)
+				default:
+					m.Find(p, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return h.TotalStats()
+}
+
+func BenchmarkEngineBatching(b *testing.B) {
+	const opsPerProc = 2000
+	for _, procs := range []int{1, 4, 8} {
+		for _, shards := range []int{1, 16} {
+			for _, e := range engines() {
+				e := e
+				name := fmt.Sprintf("engine=%s/procs=%d/shards=%d", e.name, procs, shards)
+				b.Run(name, func(b *testing.B) {
+					var agg pmem.Stats
+					for i := 0; i < b.N; i++ {
+						b.StopTimer() // heap + shard construction off the clock
+						h, m := buildEngineBatchingMap(func(h *pmem.Heap) *hashmap.Map {
+							return hashmap.NewWithEngine(h, e.engine(h), shards)
+						}, procs, true)
+						b.StartTimer()
+						agg.Add(runEngineBatchingWorkload(h, m, procs, opsPerProc, 256))
+					}
+					ops := float64(b.N * procs * opsPerProc)
+					b.ReportMetric(ops/b.Elapsed().Seconds(), "mapops/s")
+					b.ReportMetric(float64(agg.Barriers)/ops, "pbarriers/op")
+					b.ReportMetric(float64(agg.Flushes)/ops, "flushes/op")
+					b.ReportMetric(float64(agg.Syncs)/ops, "syncs/op")
+					b.ReportMetric(float64(agg.Barriers+agg.Flushes)/ops, "persists/op")
+				})
+			}
+		}
+	}
+}
+
+// TestEngineBatchingReducesPersistence pins the acceptance bar behind
+// BenchmarkEngineBatching: on the identical workload the batched engine
+// must issue fewer persistence-barrier events (pbarriers + stand-alone
+// flushes) per op than the plain engine, and fewer stand-alone flushes and
+// psyncs outright.
+func TestEngineBatchingReducesPersistence(t *testing.T) {
+	for _, shards := range []int{1, 16} {
+		// Single proc: no helping noise, so the counters are deterministic.
+		hp, mp := buildEngineBatchingMap(func(h *pmem.Heap) *hashmap.Map {
+			return hashmap.New(h, shards)
+		}, 1, false)
+		plain := runEngineBatchingWorkload(hp, mp, 1, 800, 64)
+		ho, mo := buildEngineBatchingMap(func(h *pmem.Heap) *hashmap.Map {
+			return hashmap.NewOpt(h, shards)
+		}, 1, false)
+		opt := runEngineBatchingWorkload(ho, mo, 1, 800, 64)
+		if got, want := opt.Barriers+opt.Flushes, plain.Barriers+plain.Flushes; got >= want {
+			t.Fatalf("shards=%d: Isb-Opt issued %d persistence barriers, plain %d — batching must reduce them", shards, got, want)
+		}
+		if opt.Flushes >= plain.Flushes {
+			t.Fatalf("shards=%d: Isb-Opt stand-alone flushes %d >= plain %d", shards, opt.Flushes, plain.Flushes)
+		}
+		if opt.Syncs >= plain.Syncs {
+			t.Fatalf("shards=%d: Isb-Opt syncs %d >= plain %d (shard-register folding missing?)", shards, opt.Syncs, plain.Syncs)
 		}
 	}
 }

@@ -60,9 +60,21 @@ type BST struct {
 	gIns, gDel, gFind, gFindFast isb.Gather
 }
 
-// New builds an empty tree (root + two sentinel leaves) on the heap.
+// New builds an empty tree (root + two sentinel leaves) on the heap with
+// the paper's Algorithm 1/2 persistence placement.
 func New(h *pmem.Heap) *BST {
-	t := &BST{h: h, e: isb.NewEngine(h)}
+	return NewWithEngine(h, isb.NewEngine(h))
+}
+
+// NewOpt builds the tree on the hand-tuned Isb-Opt engine (batched
+// per-phase write-backs; see isb.NewEngineOpt).
+func NewOpt(h *pmem.Heap) *BST {
+	return NewWithEngine(h, isb.NewEngineOpt(h))
+}
+
+// NewWithEngine builds the tree on a caller-supplied engine.
+func NewWithEngine(h *pmem.Heap, e *isb.Engine) *BST {
+	t := &BST{h: h, e: e}
 	p := h.Proc(0)
 	l1 := newNode(p, inf1, pmem.Null, pmem.Null, 0)
 	l2 := newNode(p, inf2, pmem.Null, pmem.Null, 0)

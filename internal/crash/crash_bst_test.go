@@ -42,13 +42,13 @@ func bstGen(keys uint64) func(id, i int, rng *rand.Rand) Op {
 	}
 }
 
-func runBSTStorm(t *testing.T, seed int64, procs, opsPerProc, crashes int, keys uint64, evictEvery uint64) {
+func runBSTStorm(t *testing.T, eng engineVariant, seed int64, procs, opsPerProc, crashes int, keys uint64, evictEvery uint64) {
 	t.Helper()
 	h := pmem.NewHeap(pmem.Config{
 		Words: 1 << 22, Procs: procs, Tracked: true,
 		EvictEvery: evictEvery, Seed: uint64(seed) + 1,
 	})
-	b := bst.New(h)
+	b := bst.NewWithEngine(h, eng.mk(h))
 	res := Run(Config{
 		Heap: h, Target: bstTarget{b}, Procs: procs, OpsPerProc: opsPerProc,
 		Gen: bstGen(keys), Crashes: crashes,
@@ -93,25 +93,33 @@ func runBSTStorm(t *testing.T, seed int64, procs, opsPerProc, crashes int, keys 
 }
 
 func TestBSTSingleProcCrashStorm(t *testing.T) {
-	for seed := int64(1); seed <= 8; seed++ {
-		runBSTStorm(t, seed, 1, 60, 6, 8, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 8; seed++ {
+			runBSTStorm(t, eng, seed, 1, 60, 6, 8, 0)
+		}
+	})
 }
 
 func TestBSTConcurrentCrashStorm(t *testing.T) {
-	for seed := int64(1); seed <= 6; seed++ {
-		runBSTStorm(t, seed, 4, 40, 5, 16, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 6; seed++ {
+			runBSTStorm(t, eng, seed, 4, 40, 5, 16, 0)
+		}
+	})
 }
 
 func TestBSTCrashStormWithEviction(t *testing.T) {
-	for seed := int64(1); seed <= 5; seed++ {
-		runBSTStorm(t, seed, 4, 40, 5, 12, 3)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 5; seed++ {
+			runBSTStorm(t, eng, seed, 4, 40, 5, 12, 3)
+		}
+	})
 }
 
 func TestBSTHighCrashRate(t *testing.T) {
-	for seed := int64(1); seed <= 4; seed++ {
-		runBSTStorm(t, seed, 3, 30, 18, 8, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 4; seed++ {
+			runBSTStorm(t, eng, seed, 3, 30, 18, 8, 0)
+		}
+	})
 }

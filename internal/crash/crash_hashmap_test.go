@@ -44,13 +44,13 @@ func mapGen(keys uint64) func(id, i int, rng *rand.Rand) Op {
 	}
 }
 
-func runHashMapStorm(t *testing.T, seed int64, shards, procs, opsPerProc, crashes int, keys uint64, evictEvery uint64) {
+func runHashMapStorm(t *testing.T, eng engineVariant, seed int64, shards, procs, opsPerProc, crashes int, keys uint64, evictEvery uint64) {
 	t.Helper()
 	h := pmem.NewHeap(pmem.Config{
 		Words: 1 << 22, Procs: procs, Tracked: true,
 		EvictEvery: evictEvery, Seed: uint64(seed) + 1,
 	})
-	m := hashmap.New(h, shards)
+	m := hashmap.NewWithEngine(h, eng.mk(h), shards)
 	res := Run(Config{
 		Heap: h, Target: mapTarget{m}, Procs: procs, OpsPerProc: opsPerProc,
 		Gen: mapGen(keys), Crashes: crashes,
@@ -96,165 +96,59 @@ func runHashMapStorm(t *testing.T, seed int64, shards, procs, opsPerProc, crashe
 }
 
 func TestHashMapSingleProcCrashStorm(t *testing.T) {
-	for seed := int64(1); seed <= 8; seed++ {
-		runHashMapStorm(t, seed, 4, 1, 60, 6, 8, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 8; seed++ {
+			runHashMapStorm(t, eng, seed, 4, 1, 60, 6, 8, 0)
+		}
+	})
 }
 
 func TestHashMapConcurrentCrashStorm(t *testing.T) {
-	for seed := int64(1); seed <= 6; seed++ {
-		runHashMapStorm(t, seed, 8, 4, 40, 5, 16, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 6; seed++ {
+			runHashMapStorm(t, eng, seed, 8, 4, 40, 5, 16, 0)
+		}
+	})
 }
 
 func TestHashMapOneShardDegeneratesToList(t *testing.T) {
 	// shards=1 exercises the same code with every key contending on one
 	// bucket, the closest comparison with the plain recoverable list.
-	for seed := int64(1); seed <= 4; seed++ {
-		runHashMapStorm(t, seed, 1, 4, 40, 5, 12, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 4; seed++ {
+			runHashMapStorm(t, eng, seed, 1, 4, 40, 5, 12, 0)
+		}
+	})
 }
 
 func TestHashMapCrashStormWithEviction(t *testing.T) {
 	// Random cache-line eviction persists extra state at arbitrary points,
 	// widening the crash-state space (persisted state newer than the last
 	// explicit flush).
-	for seed := int64(1); seed <= 6; seed++ {
-		runHashMapStorm(t, seed, 8, 4, 40, 5, 12, 3)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 6; seed++ {
+			runHashMapStorm(t, eng, seed, 8, 4, 40, 5, 12, 3)
+		}
+	})
 }
 
 func TestHashMapHighCrashRate(t *testing.T) {
 	// Crashes every few operations: most operations recover, many recover
 	// through multiple crashes.
-	for seed := int64(1); seed <= 4; seed++ {
-		runHashMapStorm(t, seed, 8, 3, 30, 20, 8, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 4; seed++ {
+			runHashMapStorm(t, eng, seed, 8, 3, 30, 20, 8, 0)
+		}
+	})
 }
 
 func TestHashMapManyProcsManyShardsStorm(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress")
 	}
-	for seed := int64(1); seed <= 3; seed++ {
-		runHashMapStorm(t, seed, 16, 8, 30, 6, 25, 4)
-	}
-}
-
-// TestHashMapEveryCrashPoint sweeps a crash over every shared-memory access
-// of representative operations: for each crash point the run restarts,
-// recovers, and both the recovered response and the resulting key set must
-// match the sequential model.
-func TestHashMapEveryCrashPoint(t *testing.T) {
-	type crashCase struct {
-		name     string
-		kind     uint64
-		key      uint64
-		wantResp bool
-		wantIn   bool // key present after the operation completes
-	}
-	prefill := []uint64{3, 9, 14, 27, 31}
-	cases := []crashCase{
-		{"insert-fresh", hashmap.OpInsert, 8, true, true},
-		{"insert-dup", hashmap.OpInsert, 9, false, true},
-		{"delete-present", hashmap.OpDelete, 14, true, false},
-		{"delete-absent", hashmap.OpDelete, 15, false, false},
-		{"find-present", hashmap.OpFind, 27, true, true},
-		{"find-absent", hashmap.OpFind, 28, false, false},
-	}
-
-	build := func() (*pmem.Heap, *hashmap.Map, *pmem.Proc) {
-		h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1, Tracked: true, Seed: 42})
-		m := hashmap.New(h, 4)
-		p := h.Proc(0)
-		for _, k := range prefill {
-			m.Insert(p, k)
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 3; seed++ {
+			runHashMapStorm(t, eng, seed, 16, 8, 30, 6, 25, 4)
 		}
-		return h, m, p
-	}
-
-	invoke := func(m *hashmap.Map, p *pmem.Proc, kind, key uint64) bool {
-		switch kind {
-		case hashmap.OpInsert:
-			return m.Insert(p, key)
-		case hashmap.OpDelete:
-			return m.Delete(p, key)
-		default:
-			return m.Find(p, key)
-		}
-	}
-
-	wantKeys := func(c crashCase) map[uint64]bool {
-		w := map[uint64]bool{}
-		for _, k := range prefill {
-			w[k] = true
-		}
-		if c.wantIn {
-			w[c.key] = true
-		} else {
-			delete(w, c.key)
-		}
-		return w
-	}
-
-	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			// Measure the operation's access count on an identical run. The
-			// access counter only advances while a crash is armed, so arm
-			// one far beyond the run.
-			h, m, p := build()
-			h.ScheduleCrashAt(1 << 62)
-			before := h.AccessCount()
-			m.Begin(p)
-			if got := invoke(m, p, c.kind, c.key); got != c.wantResp {
-				t.Fatalf("uninterrupted %s = %v, want %v", c.name, got, c.wantResp)
-			}
-			total := h.AccessCount() - before
-			h.DisarmCrash()
-			if total == 0 {
-				t.Fatal("operation made no tracked accesses")
-			}
-
-			covered := 0
-			for off := uint64(1); off <= total; off++ {
-				h, m, p := build()
-				for !pmem.RunOp(func() { m.Begin(p) }) {
-					h.ResetAfterCrash()
-				}
-				h.ScheduleCrashAt(h.AccessCount() + off)
-				var resp bool
-				if pmem.RunOp(func() { resp = invoke(m, p, c.kind, c.key) }) {
-					h.DisarmCrash() // the crash would land after completion
-				} else {
-					covered++
-					h.ResetAfterCrash()
-					if !pmem.RunOp(func() { resp = m.Recover(p, c.kind, c.key) }) {
-						t.Fatalf("off=%d: recovery crashed with no crash armed", off)
-					}
-				}
-				if resp != c.wantResp {
-					t.Fatalf("off=%d: response %v, want %v", off, resp, c.wantResp)
-				}
-				want := wantKeys(c)
-				got := map[uint64]bool{}
-				for _, k := range m.Keys() {
-					got[k] = true
-				}
-				if len(got) != len(want) {
-					t.Fatalf("off=%d: key set %v, want %v", off, m.Keys(), want)
-				}
-				for k := range want {
-					if !got[k] {
-						t.Fatalf("off=%d: key %d missing (set %v)", off, k, m.Keys())
-					}
-				}
-				if msg := m.CheckInvariants(); msg != "" {
-					t.Fatalf("off=%d: %s", off, msg)
-				}
-			}
-			if covered == 0 {
-				t.Fatal("no crash point actually interrupted the operation")
-			}
-		})
-	}
+	})
 }

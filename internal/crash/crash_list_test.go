@@ -49,13 +49,13 @@ func listGen(keys uint64) func(id, i int, rng *rand.Rand) Op {
 	}
 }
 
-func runListStorm(t *testing.T, seed int64, procs, opsPerProc, crashes int, keys uint64, evictEvery uint64) {
+func runListStorm(t *testing.T, eng engineVariant, seed int64, procs, opsPerProc, crashes int, keys uint64, evictEvery uint64) {
 	t.Helper()
 	h := pmem.NewHeap(pmem.Config{
 		Words: 1 << 22, Procs: procs, Tracked: true,
 		EvictEvery: evictEvery, Seed: uint64(seed) + 1,
 	})
-	l := list.New(h)
+	l := list.NewWithEngine(h, eng.mk(h))
 	res := Run(Config{
 		Heap: h, Target: listTarget{l}, Procs: procs, OpsPerProc: opsPerProc,
 		Gen: listGen(keys), Crashes: crashes,
@@ -101,41 +101,51 @@ func runListStorm(t *testing.T, seed int64, procs, opsPerProc, crashes int, keys
 }
 
 func TestListSingleProcCrashStorm(t *testing.T) {
-	for seed := int64(1); seed <= 8; seed++ {
-		runListStorm(t, seed, 1, 60, 6, 8, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 8; seed++ {
+			runListStorm(t, eng, seed, 1, 60, 6, 8, 0)
+		}
+	})
 }
 
 func TestListConcurrentCrashStorm(t *testing.T) {
-	for seed := int64(1); seed <= 6; seed++ {
-		runListStorm(t, seed, 4, 40, 5, 16, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 6; seed++ {
+			runListStorm(t, eng, seed, 4, 40, 5, 16, 0)
+		}
+	})
 }
 
 func TestListCrashStormWithEviction(t *testing.T) {
 	// Random cache-line eviction persists extra state at arbitrary points,
 	// widening the crash-state space (persisted state newer than the last
 	// explicit flush).
-	for seed := int64(1); seed <= 6; seed++ {
-		runListStorm(t, seed, 4, 40, 5, 12, 3)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 6; seed++ {
+			runListStorm(t, eng, seed, 4, 40, 5, 12, 3)
+		}
+	})
 }
 
 func TestListHighCrashRate(t *testing.T) {
 	// Crashes every few operations: most operations recover, many recover
 	// through multiple crashes.
-	for seed := int64(1); seed <= 4; seed++ {
-		runListStorm(t, seed, 3, 30, 20, 8, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 4; seed++ {
+			runListStorm(t, eng, seed, 3, 30, 20, 8, 0)
+		}
+	})
 }
 
 func TestListManyProcsFewKeysStorm(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress")
 	}
-	for seed := int64(1); seed <= 3; seed++ {
-		runListStorm(t, seed, 8, 30, 6, 25, 4)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 3; seed++ {
+			runListStorm(t, eng, seed, 8, 30, 6, 25, 4)
+		}
+	})
 }
 
 func TestStormReportsRecoveries(t *testing.T) {
@@ -188,27 +198,3 @@ func TestHistoryCapPerKey(t *testing.T) {
 }
 
 func (t listTarget) Begin(p *pmem.Proc) { t.l.Begin(p) }
-
-// TestListOptEngineCrashStorm runs the storm against the hand-tuned
-// (batched-persistence) engine variant.
-func TestListOptEngineCrashStorm(t *testing.T) {
-	for seed := int64(1); seed <= 6; seed++ {
-		h := pmem.NewHeap(pmem.Config{Words: 1 << 22, Procs: 4, Tracked: true, Seed: uint64(seed)})
-		l := list.NewOpt(h)
-		res := Run(Config{
-			Heap: h, Target: listTarget{l}, Procs: 4, OpsPerProc: 40,
-			Gen: listGen(16), Crashes: 5,
-			MeanAccessGap: 4 * 40 * 40 / 6,
-			Seed:          seed,
-		})
-		if len(res.History) != 160 {
-			t.Fatalf("history %d ops", len(res.History))
-		}
-		if msg := l.CheckInvariants(); msg != "" {
-			t.Fatalf("invariant: %s (seed %d)", msg, seed)
-		}
-		if k, ok := linearize.CheckSetHistory(res.History); !ok {
-			t.Fatalf("opt-engine history not linearizable at key %d (seed %d)", k, seed)
-		}
-	}
-}

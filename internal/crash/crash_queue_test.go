@@ -42,13 +42,13 @@ func queueGen(next *atomic.Uint64) func(id, i int, rng *rand.Rand) Op {
 	}
 }
 
-func runQueueStorm(t *testing.T, seed int64, procs, opsPerProc, crashes int, evictEvery uint64) {
+func runQueueStorm(t *testing.T, eng engineVariant, seed int64, procs, opsPerProc, crashes int, evictEvery uint64) {
 	t.Helper()
 	h := pmem.NewHeap(pmem.Config{
 		Words: 1 << 21, Procs: procs, Tracked: true,
 		EvictEvery: evictEvery, Seed: uint64(seed) + 1,
 	})
-	q := queue.New(h)
+	q := queue.NewWithEngine(h, eng.mk(h))
 	var next atomic.Uint64
 	res := Run(Config{
 		Heap: h, Target: queueTarget{q}, Procs: procs, OpsPerProc: opsPerProc,
@@ -108,25 +108,33 @@ func runQueueStorm(t *testing.T, seed int64, procs, opsPerProc, crashes int, evi
 }
 
 func TestQueueSingleProcCrashStorm(t *testing.T) {
-	for seed := int64(1); seed <= 8; seed++ {
-		runQueueStorm(t, seed, 1, 50, 6, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 8; seed++ {
+			runQueueStorm(t, eng, seed, 1, 50, 6, 0)
+		}
+	})
 }
 
 func TestQueueConcurrentCrashStorm(t *testing.T) {
-	for seed := int64(1); seed <= 6; seed++ {
-		runQueueStorm(t, seed, 3, 20, 5, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 6; seed++ {
+			runQueueStorm(t, eng, seed, 3, 20, 5, 0)
+		}
+	})
 }
 
 func TestQueueCrashStormWithEviction(t *testing.T) {
-	for seed := int64(1); seed <= 5; seed++ {
-		runQueueStorm(t, seed, 3, 20, 6, 3)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 5; seed++ {
+			runQueueStorm(t, eng, seed, 3, 20, 6, 3)
+		}
+	})
 }
 
 func TestQueueHighCrashRate(t *testing.T) {
-	for seed := int64(1); seed <= 4; seed++ {
-		runQueueStorm(t, seed, 2, 25, 15, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 4; seed++ {
+			runQueueStorm(t, eng, seed, 2, 25, 15, 0)
+		}
+	})
 }

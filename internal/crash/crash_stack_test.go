@@ -40,10 +40,10 @@ func stackGen(next *atomic.Uint64) func(id, i int, rng *rand.Rand) Op {
 	}
 }
 
-func runStackStorm(t *testing.T, seed int64, procs, opsPerProc, crashes, spins int) {
+func runStackStorm(t *testing.T, eng engineVariant, seed int64, procs, opsPerProc, crashes, spins int) {
 	t.Helper()
 	h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: procs, Tracked: true, Seed: uint64(seed) + 1})
-	s := stack.New(h, spins)
+	s := stack.NewWithEngine(h, eng.mk(h), spins)
 	var next atomic.Uint64
 	res := Run(Config{
 		Heap: h, Target: stackTarget{s}, Procs: procs, OpsPerProc: opsPerProc,
@@ -92,25 +92,33 @@ func runStackStorm(t *testing.T, seed int64, procs, opsPerProc, crashes, spins i
 }
 
 func TestStackSingleProcCrashStorm(t *testing.T) {
-	for seed := int64(1); seed <= 8; seed++ {
-		runStackStorm(t, seed, 1, 50, 6, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 8; seed++ {
+			runStackStorm(t, eng, seed, 1, 50, 6, 0)
+		}
+	})
 }
 
 func TestStackConcurrentCrashStorm(t *testing.T) {
-	for seed := int64(1); seed <= 5; seed++ {
-		runStackStorm(t, seed, 3, 20, 5, 0)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 5; seed++ {
+			runStackStorm(t, eng, seed, 3, 20, 5, 0)
+		}
+	})
 }
 
 func TestStackCrashStormWithElimination(t *testing.T) {
-	for seed := int64(1); seed <= 5; seed++ {
-		runStackStorm(t, seed, 3, 20, 5, stack.DefaultElimSpins)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 5; seed++ {
+			runStackStorm(t, eng, seed, 3, 20, 5, stack.DefaultElimSpins)
+		}
+	})
 }
 
 func TestStackHighCrashRate(t *testing.T) {
-	for seed := int64(1); seed <= 4; seed++ {
-		runStackStorm(t, seed, 2, 25, 15, stack.DefaultElimSpins)
-	}
+	forEachEngine(t, func(t *testing.T, eng engineVariant) {
+		for seed := int64(1); seed <= 4; seed++ {
+			runStackStorm(t, eng, seed, 2, 25, 15, stack.DefaultElimSpins)
+		}
+	})
 }

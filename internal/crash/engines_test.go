@@ -1,0 +1,31 @@
+package crash
+
+import (
+	"testing"
+
+	"repro/internal/isb"
+	"repro/internal/pmem"
+)
+
+// engineVariant names one persistence placement and builds its engine. The
+// whole crash suite — storms and the crash-point conformance sweep — runs
+// once per variant, holding Isb and Isb-Opt to the same detectability bar.
+type engineVariant struct {
+	name string
+	mk   func(h *pmem.Heap) *isb.Engine
+}
+
+func engineVariants() []engineVariant {
+	return []engineVariant{
+		{"isb", isb.NewEngine},
+		{"isb-opt", isb.NewEngineOpt},
+	}
+}
+
+// forEachEngine runs f as a subtest per engine variant.
+func forEachEngine(t *testing.T, f func(t *testing.T, eng engineVariant)) {
+	t.Helper()
+	for _, eng := range engineVariants() {
+		t.Run(eng.name, func(t *testing.T) { f(t, eng) })
+	}
+}

@@ -1,0 +1,100 @@
+package crash
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+// SweepCase is one deterministic single-process operation the crash-point
+// sweep drives through every shared-memory access: the operation, the
+// response the sequential model requires, and a name for the subtest.
+type SweepCase struct {
+	Name     string
+	Op       Op
+	WantResp uint64
+}
+
+// SweepInstance is one freshly built structure under sweep. Build functions
+// return the heap the structure lives on, the adapted Target, and a Verify
+// callback that checks the structure's post-state (final contents plus
+// structural invariants) once a case's operation has resolved; Verify
+// returns a description of the first violation, or "".
+type SweepInstance struct {
+	Heap   *pmem.Heap
+	Target Target
+	Verify func(c SweepCase) string
+}
+
+// SweepAllPoints is the structure-agnostic crash-point conformance sweep:
+// for every case it first measures the operation's tracked access count on
+// an uninterrupted run, then replays the operation once per access offset
+// with a system-wide crash armed exactly there. Each crashed replay must
+// recover to the sequential model's response and post-state — this is the
+// paper's detectability bar, checked exhaustively rather than sampled, and
+// it holds every engine variant to the same standard (a batched phase must
+// be recoverable whether the crash left it fully persisted or fully
+// absent).
+//
+// build must return a fresh, identically prefilled instance on every call
+// (the sweep rebuilds once per crash offset). Cases run on Proc 0.
+func SweepAllPoints(t *testing.T, build func() SweepInstance, cases []SweepCase) {
+	t.Helper()
+	for _, c := range cases {
+		t.Run(c.Name, func(t *testing.T) {
+			// Measure the operation's access count on an identical run. The
+			// access counter only advances while a crash is armed, so arm
+			// one far beyond the run.
+			in := build()
+			p := in.Heap.Proc(0)
+			in.Heap.ScheduleCrashAt(1 << 62)
+			in.Target.Begin(p)
+			// Count Invoke's accesses only: the replays below run Begin
+			// unarmed, so offsets past Invoke's span could never interrupt
+			// the operation and would be wasted rebuilds.
+			before := in.Heap.AccessCount()
+			if got := in.Target.Invoke(p, c.Op); got != c.WantResp {
+				t.Fatalf("uninterrupted %s: response %d, want %d", c.Name, got, c.WantResp)
+			}
+			total := in.Heap.AccessCount() - before
+			in.Heap.DisarmCrash()
+			if total == 0 {
+				t.Fatal("operation made no tracked accesses")
+			}
+			if msg := in.Verify(c); msg != "" {
+				t.Fatalf("uninterrupted %s: %s", c.Name, msg)
+			}
+
+			covered := 0
+			for off := uint64(1); off <= total; off++ {
+				in := build()
+				p := in.Heap.Proc(0)
+				// System-side invocation step: a crash inside Begin leaves
+				// no recovery obligation; the system retries it.
+				for !pmem.RunOp(func() { in.Target.Begin(p) }) {
+					in.Heap.ResetAfterCrash()
+				}
+				in.Heap.ScheduleCrashAt(in.Heap.AccessCount() + off)
+				var resp uint64
+				if pmem.RunOp(func() { resp = in.Target.Invoke(p, c.Op) }) {
+					in.Heap.DisarmCrash() // the crash would land after completion
+				} else {
+					covered++
+					in.Heap.ResetAfterCrash()
+					if !pmem.RunOp(func() { resp = in.Target.Recover(p, c.Op) }) {
+						t.Fatalf("off=%d: recovery crashed with no crash armed", off)
+					}
+				}
+				if resp != c.WantResp {
+					t.Fatalf("off=%d: response %d, want %d", off, resp, c.WantResp)
+				}
+				if msg := in.Verify(c); msg != "" {
+					t.Fatalf("off=%d: %s", off, msg)
+				}
+			}
+			if covered == 0 {
+				t.Fatal("no crash point actually interrupted the operation")
+			}
+		})
+	}
+}

@@ -48,13 +48,28 @@ type Map struct {
 }
 
 // New builds a map with the requested shard count, rounded up to a power of
-// two (minimum 1). Shard bucket sentinels are persisted by list construction.
+// two (minimum 1), with the paper's Algorithm 1/2 persistence placement.
+// Shard bucket sentinels are persisted by list construction.
 func New(h *pmem.Heap, shards int) *Map {
+	return NewWithEngine(h, isb.NewEngine(h), shards)
+}
+
+// NewOpt builds the map on the hand-tuned Isb-Opt engine: every bucket
+// list shares one batched-persistence engine, so each operation phase on a
+// shard's bucket list issues a single barrier, and the per-process shard
+// register's write-back rides the engine's BeginOp psync instead of paying
+// its own (see recordShard).
+func NewOpt(h *pmem.Heap, shards int) *Map {
+	return NewWithEngine(h, isb.NewEngineOpt(h), shards)
+}
+
+// NewWithEngine builds the map on a caller-supplied engine shared by all
+// bucket lists (one set of RD_q/CP_q recovery registers for the whole map).
+func NewWithEngine(h *pmem.Heap, e *isb.Engine, shards int) *Map {
 	n := 1
 	for n < shards {
 		n <<= 1
 	}
-	e := isb.NewEngine(h)
 	m := &Map{h: h, e: e, mask: uint64(n - 1)}
 	m.shards = make([]*list.List, n)
 	for i := range m.shards {
@@ -90,10 +105,20 @@ func (m *Map) reg(p *pmem.Proc) pmem.Addr {
 
 // recordShard persistently notes the shard the next operation targets, so
 // that recovery can route without trusting volatile state.
+//
+// On a batched (Isb-Opt) engine the psync is elided: the operation enters
+// the engine immediately after, and BeginOp's psync — issued before the
+// operation touches its bucket, let alone persists any effect — covers the
+// register's pwb. A crash inside that window leaves the register possibly
+// unpersisted, but then the operation made no changes and Recover's
+// empty/stale-register path re-hashes the key.
 func (m *Map) recordShard(p *pmem.Proc, s int) {
 	r := m.reg(p)
 	p.Store(r, uint64(s)+1)
 	p.PWB(r)
+	if m.e.Batched() {
+		return
+	}
 	p.PSync()
 }
 

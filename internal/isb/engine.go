@@ -4,14 +4,19 @@ import "repro/internal/pmem"
 
 // Help tries to complete the operation described by the Info record at
 // info. It is the paper's Algorithm 1 Help procedure, including the red
-// persistency instructions of the shared cache model: a pwb after every CAS
-// on an info field or WriteSet field, and a psync at the end of every phase.
+// persistency instructions of the shared cache model, with their placement
+// delegated to the engine's Persister: every CAS on an info field or
+// WriteSet field is reported as a dirty word, and every phase ends with
+// EndPhase (the eager placement writes back per CAS; the batched placement
+// issues one barrier per phase).
 //
 // Help is idempotent and may be executed concurrently by any number of
 // processes. The invoker tags starting from the first AffectSet element;
 // helpers start from the second (they discovered the operation through a
 // tag the invoker installed, so the first element needs no help).
 func (e *Engine) Help(p *pmem.Proc, info pmem.Addr, invoker bool) {
+	per := e.per(p)
+	per.Reset()
 	tagged := Tagged(info)
 	untagged := Untagged(info)
 	n := int(p.Load(info + offAffectLen))
@@ -33,22 +38,12 @@ func (e *Engine) Help(p *pmem.Proc, info pmem.Addr, invoker bool) {
 		return
 	}
 
-	// Tagging phase. In opt mode the per-CAS write-backs are deferred and
-	// batched into one barrier at the end of the phase (the paper's
-	// hand-tuned placement); the plain mode issues a pwb after every CAS,
-	// exactly as Algorithm 1 is written.
-	var batch [MaxAffect + MaxWrites + MaxCleanup + 1]pmem.Addr
-	nb := 0
+	// Tagging phase.
 	for i := start; i < n; i++ {
 		nd := pmem.Addr(p.Load(info + offAffect + pmem.Addr(2*i)))
 		exp := p.Load(info + offAffect + pmem.Addr(2*i) + 1)
 		res := p.CAS(nd, exp, tagged)
-		if e.opt {
-			batch[nb] = nd
-			nb++
-		} else {
-			p.PWB(nd)
-		}
+		per.WroteWord(nd)
 		if res != exp && res != tagged {
 			// Backtrack phase: untag earlier elements in reverse order.
 			// Safe even past the invoker's first element: a tag failure at
@@ -57,21 +52,13 @@ func (e *Engine) Help(p *pmem.Proc, info pmem.Addr, invoker bool) {
 			for j := i - 1; j >= 0; j-- {
 				ndj := pmem.Addr(p.Load(info + offAffect + pmem.Addr(2*j)))
 				p.CAS(ndj, tagged, untagged)
-				if !e.opt {
-					p.PWB(ndj)
-				}
+				per.WroteWord(ndj)
 			}
-			if e.opt && nb > 0 {
-				p.PBarrierAddrs(batch[:nb])
-			}
-			p.PSync()
+			per.EndPhase()
 			return
 		}
 	}
-	if e.opt && nb > 0 {
-		p.PBarrierAddrs(batch[:nb])
-	}
-	p.PSync()
+	per.EndPhase()
 
 	e.finish(p, info, tagged, untagged)
 }
@@ -79,53 +66,32 @@ func (e *Engine) Help(p *pmem.Proc, info pmem.Addr, invoker bool) {
 // finish runs the update and cleanup phases of Help. Both are idempotent
 // and may be re-executed by recovery or by any number of helpers.
 func (e *Engine) finish(p *pmem.Proc, info pmem.Addr, tagged, untagged uint64) {
-	var batch [MaxAffect + MaxWrites + MaxCleanup + 1]pmem.Addr
+	per := e.per(p)
 
 	// Update phase: apply the WriteSet CASes. Each change happens exactly
 	// once across all helpers because old values never recur (the ABA
 	// assumption the structures discharge by copying replaced nodes).
 	wn := int(p.Load(info + offWriteLen))
-	nb := 0
 	for i := 0; i < wn; i++ {
 		a := pmem.Addr(p.Load(info + offWrites + pmem.Addr(3*i)))
 		old := p.Load(info + offWrites + pmem.Addr(3*i) + 1)
 		new := p.Load(info + offWrites + pmem.Addr(3*i) + 2)
 		p.CAS(a, old, new)
-		if e.opt {
-			batch[nb] = a
-			nb++
-		} else {
-			p.PWB(a)
-		}
+		per.WroteWord(a)
 	}
 	p.Store(info+offResult, p.Load(info+offSuccess))
-	if e.opt {
-		batch[nb] = info + offResult
-		nb++
-		p.PBarrierAddrs(batch[:nb])
-	} else {
-		p.PWB(info + offResult)
-	}
-	p.PSync()
+	per.WroteWord(info + offResult)
+	per.EndPhase()
 
 	// Cleanup phase: untag the surviving nodes. Retired nodes are absent
 	// from the CleanupSet and stay tagged forever.
 	cn := int(p.Load(info + offCleanupLen))
-	nb = 0
 	for i := 0; i < cn; i++ {
 		nd := pmem.Addr(p.Load(info + offCleanup + pmem.Addr(i)))
 		p.CAS(nd, tagged, untagged)
-		if e.opt {
-			batch[nb] = nd
-			nb++
-		} else {
-			p.PWB(nd)
-		}
+		per.WroteWord(nd)
 	}
-	if e.opt && nb > 0 {
-		p.PBarrierAddrs(batch[:nb])
-	}
-	p.PSync()
+	per.EndPhase()
 }
 
 // RunOp executes one recoverable operation via the Algorithm 2 (ROpt)
@@ -152,6 +118,7 @@ func (e *Engine) runAttempts(p *pmem.Proc, opType, argKey uint64, gather Gather)
 	p.PWB(cp)
 	p.PSync()
 
+	per := e.per(p)
 	var spec Spec
 	for {
 		info := e.allocInfo(p)
@@ -178,29 +145,15 @@ func (e *Engine) runAttempts(p *pmem.Proc, opType, argKey uint64, gather Gather)
 		}
 
 		// Install the Info record and persist it with the new nodes. The
-		// opt mode covers the record and the whole NewSet in one barrier.
+		// batched persister covers the record and the whole NewSet in one
+		// barrier; the eager one issues a pbarrier per range.
+		per.Reset()
 		e.install(p, info, &spec)
-		if e.opt {
-			var addrs [MaxAffect*2 + InfoWords/pmem.WordsPerLine + 1]pmem.Addr
-			na := 0
-			for l := info; l < info+InfoWords; l += pmem.WordsPerLine {
-				addrs[na] = l
-				na++
-			}
-			for i := 0; i < spec.NPersist; i++ {
-				r := spec.Persist[i]
-				for l := r.Addr; l < r.Addr+pmem.Addr(r.Words); l += pmem.WordsPerLine {
-					addrs[na] = l
-					na++
-				}
-			}
-			p.PBarrierAddrs(addrs[:na])
-		} else {
-			p.PBarrierRange(info, InfoWords)
-			for i := 0; i < spec.NPersist; i++ {
-				p.PBarrierRange(spec.Persist[i].Addr, spec.Persist[i].Words)
-			}
+		per.WroteRange(info, InfoWords)
+		for i := 0; i < spec.NPersist; i++ {
+			per.WroteRange(spec.Persist[i].Addr, spec.Persist[i].Words)
 		}
+		per.Flush()
 		p.Store(rd, uint64(info))
 		p.PWB(rd)
 		p.PSync()

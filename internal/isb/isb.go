@@ -187,11 +187,14 @@ type Gather func(p *pmem.Proc, info pmem.Addr, spec *Spec) GatherResult
 
 // Engine holds the per-process recovery variables for one data structure
 // instance. RD_q and CP_q live in persistent memory, one cache line per
-// process to avoid false sharing.
+// process to avoid false sharing. Persistence-instruction placement is
+// delegated to a Persister per process (see persist.go); everything else —
+// helping, tagging, backtracking, the update and cleanup phases, recovery —
+// is identical across placements.
 type Engine struct {
 	h    *pmem.Heap
 	base pmem.Addr // proc q's line: base + q*WordsPerLine; word0 = RD, word1 = CP
-	opt  bool      // hand-tuned persistence batching (the paper's Isb-Opt)
+	pers []Persister
 	// noROpt disables the Algorithm 2 read-only fast path, forcing every
 	// operation through Help — i.e. plain Algorithm 1. Used by the ROpt
 	// ablation benchmarks.
@@ -201,11 +204,7 @@ type Engine struct {
 // NewEngine allocates RD/CP lines for every process of the heap, with the
 // paper's Algorithm 1/2 persistence placement (the "Isb" curve).
 func NewEngine(h *pmem.Heap) *Engine {
-	p0 := h.Proc(0)
-	n := uint64(h.NumProcs())
-	raw := p0.Alloc(n*pmem.WordsPerLine + pmem.WordsPerLine)
-	base := (raw + pmem.WordsPerLine - 1) &^ (pmem.WordsPerLine - 1)
-	return &Engine{h: h, base: base}
+	return NewEngineWith(h, func(p *pmem.Proc) Persister { return &eagerPersister{p: p} })
 }
 
 // NewEngineOpt is NewEngine with hand-tuned persistence (the "Isb-Opt"
@@ -214,8 +213,21 @@ func NewEngine(h *pmem.Heap) *Engine {
 // barrier. The paper licenses this explicitly: "all pwb instructions can be
 // issued at the end of the phase, before the psync".
 func NewEngineOpt(h *pmem.Heap) *Engine {
-	e := NewEngine(h)
-	e.opt = true
+	return NewEngineWith(h, func(p *pmem.Proc) Persister { return &batchPersister{p: p} })
+}
+
+// NewEngineWith builds an engine whose persistence placement is supplied by
+// the caller: mk is invoked once per process and must return a Persister
+// bound to that process.
+func NewEngineWith(h *pmem.Heap, mk func(p *pmem.Proc) Persister) *Engine {
+	p0 := h.Proc(0)
+	n := uint64(h.NumProcs())
+	raw := p0.Alloc(n*pmem.WordsPerLine + pmem.WordsPerLine)
+	base := (raw + pmem.WordsPerLine - 1) &^ (pmem.WordsPerLine - 1)
+	e := &Engine{h: h, base: base, pers: make([]Persister, h.NumProcs())}
+	for i := range e.pers {
+		e.pers[i] = mk(h.Proc(i))
+	}
 	return e
 }
 
@@ -227,6 +239,23 @@ func NewEngineNoROpt(h *pmem.Heap) *Engine {
 	e.noROpt = true
 	return e
 }
+
+// Batched reports whether the engine defers write-backs to phase
+// boundaries (the Isb-Opt placement). Structures use it to fold their own
+// auxiliary persistence (e.g. the hash map's shard register) into the
+// engine's barriers.
+func (e *Engine) Batched() bool { return e.pers[0].Batched() }
+
+// Variant names the persistence placement: "isb" or "isb-opt".
+func (e *Engine) Variant() string {
+	if e.Batched() {
+		return "isb-opt"
+	}
+	return "isb"
+}
+
+// per returns the calling process's Persister.
+func (e *Engine) per(p *pmem.Proc) Persister { return e.pers[p.ID()] }
 
 func (e *Engine) rd(p *pmem.Proc) pmem.Addr {
 	return e.base + pmem.Addr(p.ID()*pmem.WordsPerLine)

@@ -34,6 +34,10 @@ func newCounter(h *pmem.Heap, opt bool) *counter {
 	if opt {
 		e = NewEngineOpt(h)
 	}
+	return newCounterWith(h, e)
+}
+
+func newCounterWith(h *pmem.Heap, e *Engine) *counter {
 	c := &counter{e: e}
 	p := h.Proc(0)
 	box := p.Alloc(2)
@@ -177,6 +181,64 @@ func TestEngineBeginOpClearsCheckpoint(t *testing.T) {
 	c.e.BeginOp(p)
 	if got := DecodeValue(c.e.Recover(p, opInc, 0, c.g)); got != 2 {
 		t.Fatalf("post-Begin recovery returned %d, want fresh execution (2)", got)
+	}
+}
+
+// countingPersister proves custom placements plug into NewEngineWith: it
+// delegates to the eager placement and counts the phases it ends.
+type countingPersister struct {
+	p      *pmem.Proc
+	phases int
+}
+
+func (c *countingPersister) Reset()                               {}
+func (c *countingPersister) WroteWord(a pmem.Addr)                { c.p.PWB(a) }
+func (c *countingPersister) WroteRange(a pmem.Addr, words uint64) { c.p.PBarrierRange(a, words) }
+func (c *countingPersister) Flush()                               {}
+func (c *countingPersister) EndPhase()                            { c.phases++; c.p.PSync() }
+func (c *countingPersister) Batched() bool                        { return false }
+
+func TestEngineVariantsAndPersisterHook(t *testing.T) {
+	h := pmem.NewHeap(pmem.Config{Words: 1 << 18, Procs: 1, Tracked: true})
+	if e := NewEngine(h); e.Batched() || e.Variant() != "isb" {
+		t.Fatalf("plain engine: Batched=%v Variant=%q", e.Batched(), e.Variant())
+	}
+	if e := NewEngineOpt(h); !e.Batched() || e.Variant() != "isb-opt" {
+		t.Fatalf("opt engine: Batched=%v Variant=%q", e.Batched(), e.Variant())
+	}
+
+	var cp *countingPersister
+	e := NewEngineWith(h, func(p *pmem.Proc) Persister {
+		cp = &countingPersister{p: p}
+		return cp
+	})
+	c := newCounterWith(h, e)
+	p := h.Proc(0)
+	if got := c.inc(p); got != 1 {
+		t.Fatalf("inc through custom persister returned %d", got)
+	}
+	if cp.phases == 0 {
+		t.Fatal("custom persister saw no phase boundaries")
+	}
+}
+
+// TestBatchPersisterCoversUnalignedRangeTail: the arena only guarantees
+// 2-word alignment, so a range may span one more cache line than
+// words/WordsPerLine; the batched placement must record the tail line.
+func TestBatchPersisterCoversUnalignedRangeTail(t *testing.T) {
+	b := &batchPersister{}
+	start := pmem.Addr(10*pmem.WordsPerLine + 4) // 4 words into a line
+	b.WroteRange(start, InfoWords)               // spans 5 lines, not 4
+	lines := map[pmem.Addr]bool{}
+	for _, a := range b.dirty {
+		lines[a&^(pmem.WordsPerLine-1)] = true
+	}
+	last := (start + InfoWords - 1) &^ (pmem.WordsPerLine - 1)
+	if !lines[last] {
+		t.Fatalf("tail line %d not recorded (lines %v)", last, b.dirty)
+	}
+	if want := int(InfoWords/pmem.WordsPerLine) + 1; len(lines) != want {
+		t.Fatalf("recorded %d distinct lines, want %d", len(lines), want)
 	}
 }
 

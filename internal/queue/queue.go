@@ -40,9 +40,21 @@ type Queue struct {
 	gEnq, gDeq isb.Gather
 }
 
-// New builds an empty queue (one dummy node) on the heap.
+// New builds an empty queue (one dummy node) on the heap with the paper's
+// Algorithm 1/2 persistence placement.
 func New(h *pmem.Heap) *Queue {
-	q := &Queue{h: h, e: isb.NewEngine(h)}
+	return NewWithEngine(h, isb.NewEngine(h))
+}
+
+// NewOpt builds the queue on the hand-tuned Isb-Opt engine (batched
+// per-phase write-backs; see isb.NewEngineOpt).
+func NewOpt(h *pmem.Heap) *Queue {
+	return NewWithEngine(h, isb.NewEngineOpt(h))
+}
+
+// NewWithEngine builds the queue on a caller-supplied engine.
+func NewWithEngine(h *pmem.Heap, e *isb.Engine) *Queue {
+	q := &Queue{h: h, e: e}
 	p := h.Proc(0)
 	anchors := p.Alloc(2 * pmem.WordsPerLine)
 	q.head = anchors

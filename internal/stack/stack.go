@@ -63,9 +63,22 @@ type Stack struct {
 	gPush, gPop isb.Gather
 }
 
-// New builds an empty stack. elimSpins ≤ 0 disables elimination.
+// New builds an empty stack with the paper's Algorithm 1/2 persistence
+// placement. elimSpins ≤ 0 disables elimination.
 func New(h *pmem.Heap, elimSpins int) *Stack {
-	s := &Stack{h: h, e: isb.NewEngine(h), ex: exchanger.New(h), spins: elimSpins}
+	return NewWithEngine(h, isb.NewEngine(h), elimSpins)
+}
+
+// NewOpt builds the stack on the hand-tuned Isb-Opt engine (batched
+// per-phase write-backs; see isb.NewEngineOpt). The engine covers the
+// central stack; the exchanger keeps its own bespoke recovery data.
+func NewOpt(h *pmem.Heap, elimSpins int) *Stack {
+	return NewWithEngine(h, isb.NewEngineOpt(h), elimSpins)
+}
+
+// NewWithEngine builds the stack on a caller-supplied engine.
+func NewWithEngine(h *pmem.Heap, e *isb.Engine, elimSpins int) *Stack {
+	s := &Stack{h: h, e: e, ex: exchanger.New(h), spins: elimSpins}
 	p := h.Proc(0)
 	bottom := newNode(p, bottomMark, pmem.Null, 0)
 	s.sentinel = newNode(p, 0, bottom, 0)

@@ -54,6 +54,23 @@ const (
 	PrivateCache = pmem.PrivateCache
 )
 
+// EngineKind selects the persistence-instruction placement used by every
+// structure a Runtime builds (the paper's Isb vs Isb-Opt curves).
+type EngineKind int
+
+const (
+	// EngineIsb is the paper's Algorithm 1/2 placement: a pwb after every
+	// persistent store or CAS, a psync at the end of every phase. Each
+	// tracked write is durable as soon as its pwb retires.
+	EngineIsb EngineKind = iota
+	// EngineIsbOpt is the hand-tuned batched placement: each operation
+	// phase (tag → update → cleanup) accumulates its dirty words and
+	// issues one barrier, deduplicating cache lines, before the phase's
+	// psync. After a crash a phase is either fully persisted or absent;
+	// recovery tolerates both.
+	EngineIsbOpt
+)
+
 // Operation kinds accepted by the Recover methods.
 const (
 	OpInsert = list.OpInsert
@@ -82,11 +99,15 @@ type Config struct {
 	Seed uint64
 	// EvictEvery, with CrashSim, randomly persists ~1/EvictEvery stores.
 	EvictEvery uint64
+	// Engine selects the persistence placement (default EngineIsb) for
+	// every structure this runtime builds.
+	Engine EngineKind
 }
 
 // Runtime owns a simulated persistent heap and its process descriptors.
 type Runtime struct {
-	h *pmem.Heap
+	h      *pmem.Heap
+	engine EngineKind
 }
 
 // New builds a runtime.
@@ -99,7 +120,18 @@ func New(cfg Config) *Runtime {
 		Words: words, Procs: cfg.Procs, Model: cfg.Model,
 		Tracked: cfg.CrashSim, Seed: cfg.Seed, EvictEvery: cfg.EvictEvery,
 		PWBLatency: cfg.PWBLatency, PSyncLatency: cfg.PSyncLatency,
-	})}
+	}), engine: cfg.Engine}
+}
+
+// Engine reports the runtime's configured persistence placement.
+func (r *Runtime) Engine() EngineKind { return r.engine }
+
+// newEngine builds one ISB engine of the configured kind.
+func (r *Runtime) newEngine() *isb.Engine {
+	if r.engine == EngineIsbOpt {
+		return isb.NewEngineOpt(r.h)
+	}
+	return isb.NewEngine(r.h)
 }
 
 // Proc returns process descriptor id (0-based).
@@ -138,12 +170,12 @@ func (r *Runtime) Restart() { r.h.ResetAfterCrash() }
 // Section 4; ISB-tracking over a Harris-style list).
 type List struct{ l *list.List }
 
-// NewList builds a recoverable list with the paper's Algorithm 2
-// persistence placement.
-func (r *Runtime) NewList() *List { return &List{list.New(r.h)} }
+// NewList builds a recoverable list with the runtime's configured engine
+// (Config.Engine; EngineIsb by default).
+func (r *Runtime) NewList() *List { return &List{list.NewWithEngine(r.h, r.newEngine())} }
 
 // NewListOpt builds a recoverable list with hand-tuned (batched)
-// persistence — the paper's Isb-Opt variant.
+// persistence — the paper's Isb-Opt variant — regardless of Config.Engine.
 func (r *Runtime) NewListOpt() *List { return &List{list.NewOpt(r.h)} }
 
 // Insert adds key (1 ≤ key ≤ MaxUint64-1); false if present.
@@ -168,8 +200,8 @@ func (l *List) Keys() []uint64 { return l.l.Keys() }
 // Queue is a detectably recoverable FIFO queue (ISB over MS-queue).
 type Queue struct{ q *queue.Queue }
 
-// NewQueue builds a recoverable queue.
-func (r *Runtime) NewQueue() *Queue { return &Queue{queue.New(r.h)} }
+// NewQueue builds a recoverable queue with the runtime's configured engine.
+func (r *Runtime) NewQueue() *Queue { return &Queue{queue.NewWithEngine(r.h, r.newEngine())} }
 
 // Enqueue appends v.
 func (q *Queue) Enqueue(p *Proc, v uint64) { q.q.Enqueue(p, v) }
@@ -201,8 +233,8 @@ func (q *Queue) Values() []uint64 { return q.q.Values() }
 // (Section 6; ISB over the Ellen et al. non-blocking BST).
 type BST struct{ b *bst.BST }
 
-// NewBST builds a recoverable BST.
-func (r *Runtime) NewBST() *BST { return &BST{bst.New(r.h)} }
+// NewBST builds a recoverable BST with the runtime's configured engine.
+func (r *Runtime) NewBST() *BST { return &BST{bst.NewWithEngine(r.h, r.newEngine())} }
 
 // Insert adds key (1 ≤ key ≤ bst.MaxUserKey); false if present.
 func (b *BST) Insert(p *Proc, key uint64) bool { return b.b.Insert(p, key) }
@@ -244,9 +276,12 @@ func (e *Exchanger) Recover(p *Proc, v uint64, spins int, retry bool) (uint64, b
 // plus exchanger-based elimination).
 type Stack struct{ s *stack.Stack }
 
-// NewStack builds a recoverable stack. elimSpins sets the elimination
-// window (0 disables elimination).
-func (r *Runtime) NewStack(elimSpins int) *Stack { return &Stack{stack.New(r.h, elimSpins)} }
+// NewStack builds a recoverable stack with the runtime's configured engine
+// (covering the central stack; the exchanger keeps its own recovery data).
+// elimSpins sets the elimination window (0 disables elimination).
+func (r *Runtime) NewStack(elimSpins int) *Stack {
+	return &Stack{stack.NewWithEngine(r.h, r.newEngine(), elimSpins)}
+}
 
 // Push adds v (v ≤ stack.MaxValue).
 func (s *Stack) Push(p *Proc, v uint64) { s.s.Push(p, v) }
@@ -282,9 +317,12 @@ func (s *Stack) Values() []uint64 { return s.s.Values() }
 type HashMap struct{ m *hashmap.Map }
 
 // NewHashMap builds a recoverable hash map with the given shard count
-// (rounded up to a power of two, minimum 1).
+// (rounded up to a power of two, minimum 1) on the runtime's configured
+// engine. With EngineIsbOpt each operation phase on a shard's bucket list
+// issues one batched barrier and the shard register's write-back is folded
+// into the engine's begin barrier.
 func (r *Runtime) NewHashMap(shards int) *HashMap {
-	return &HashMap{hashmap.New(r.h, shards)}
+	return &HashMap{hashmap.NewWithEngine(r.h, r.newEngine(), shards)}
 }
 
 // Insert adds key (1 ≤ key ≤ MaxUint64-1); false if present.

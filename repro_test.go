@@ -3,96 +3,112 @@ package repro
 import "testing"
 
 func TestPublicListLifecycle(t *testing.T) {
-	rt := New(Config{Procs: 2, CrashSim: true})
-	l := rt.NewList()
-	p := rt.Proc(0)
-	if !l.Insert(p, 42) || !l.Find(p, 42) {
-		t.Fatal("insert/find through public API failed")
-	}
-	rt.ScheduleCrash(8)
-	if rt.Run(func() { l.Insert(p, 7) }) {
-		// The crash may land after the op completed; then nothing to do.
-		rt.CancelCrash()
-	} else {
-		rt.Restart()
-		if !l.Recover(p, OpInsert, 7) {
-			t.Fatal("recovery returned false for a fresh key")
-		}
-	}
-	ks := l.Keys()
-	if len(ks) != 2 || ks[0] != 7 || ks[1] != 42 {
-		t.Fatalf("Keys = %v", ks)
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			rt := New(Config{Procs: 2, CrashSim: true, Engine: e.kind})
+			l := rt.NewList()
+			p := rt.Proc(0)
+			if !l.Insert(p, 42) || !l.Find(p, 42) {
+				t.Fatal("insert/find through public API failed")
+			}
+			rt.ScheduleCrash(8)
+			if rt.Run(func() { l.Insert(p, 7) }) {
+				// The crash may land after the op completed; then nothing to do.
+				rt.CancelCrash()
+			} else {
+				rt.Restart()
+				if !l.Recover(p, OpInsert, 7) {
+					t.Fatal("recovery returned false for a fresh key")
+				}
+			}
+			ks := l.Keys()
+			if len(ks) != 2 || ks[0] != 7 || ks[1] != 42 {
+				t.Fatalf("Keys = %v", ks)
+			}
+		})
 	}
 }
 
 func TestPublicQueueRecovery(t *testing.T) {
-	rt := New(Config{Procs: 1, CrashSim: true})
-	q := rt.NewQueue()
-	p := rt.Proc(0)
-	q.Enqueue(p, 1)
-	rt.ScheduleCrash(5)
-	if !rt.Run(func() { q.Enqueue(p, 2) }) {
-		rt.Restart()
-		q.RecoverEnqueue(p, 2)
-	} else {
-		rt.CancelCrash()
-	}
-	v1, ok1 := q.Dequeue(p)
-	v2, ok2 := q.Dequeue(p)
-	if !ok1 || !ok2 || v1 != 1 || v2 != 2 {
-		t.Fatalf("dequeued (%d,%v) (%d,%v)", v1, ok1, v2, ok2)
-	}
-	if _, ok := q.Dequeue(p); ok {
-		t.Fatal("phantom element")
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			rt := New(Config{Procs: 1, CrashSim: true, Engine: e.kind})
+			q := rt.NewQueue()
+			p := rt.Proc(0)
+			q.Enqueue(p, 1)
+			rt.ScheduleCrash(5)
+			if !rt.Run(func() { q.Enqueue(p, 2) }) {
+				rt.Restart()
+				q.RecoverEnqueue(p, 2)
+			} else {
+				rt.CancelCrash()
+			}
+			v1, ok1 := q.Dequeue(p)
+			v2, ok2 := q.Dequeue(p)
+			if !ok1 || !ok2 || v1 != 1 || v2 != 2 {
+				t.Fatalf("dequeued (%d,%v) (%d,%v)", v1, ok1, v2, ok2)
+			}
+			if _, ok := q.Dequeue(p); ok {
+				t.Fatal("phantom element")
+			}
+		})
 	}
 }
 
 func TestPublicBSTAndStack(t *testing.T) {
-	rt := New(Config{Procs: 1, CrashSim: true})
-	b := rt.NewBST()
-	p := rt.Proc(0)
-	for _, k := range []uint64{5, 3, 9} {
-		if !b.Insert(p, k) {
-			t.Fatalf("BST insert %d", k)
-		}
-	}
-	if got := b.Keys(); len(got) != 3 || got[0] != 3 {
-		t.Fatalf("BST keys %v", got)
-	}
-	s := rt.NewStack(0)
-	s.Push(p, 10)
-	s.Push(p, 20)
-	if v, ok := s.Pop(p); !ok || v != 20 {
-		t.Fatalf("stack pop (%d,%v)", v, ok)
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			rt := New(Config{Procs: 1, CrashSim: true, Engine: e.kind})
+			b := rt.NewBST()
+			p := rt.Proc(0)
+			for _, k := range []uint64{5, 3, 9} {
+				if !b.Insert(p, k) {
+					t.Fatalf("BST insert %d", k)
+				}
+			}
+			if got := b.Keys(); len(got) != 3 || got[0] != 3 {
+				t.Fatalf("BST keys %v", got)
+			}
+			s := rt.NewStack(0)
+			s.Push(p, 10)
+			s.Push(p, 20)
+			if v, ok := s.Pop(p); !ok || v != 20 {
+				t.Fatalf("stack pop (%d,%v)", v, ok)
+			}
+		})
 	}
 }
 
 func TestPublicHashMapLifecycle(t *testing.T) {
-	rt := New(Config{Procs: 2, CrashSim: true})
-	m := rt.NewHashMap(8)
-	if m.NumShards() != 8 {
-		t.Fatalf("NumShards = %d", m.NumShards())
-	}
-	p := rt.Proc(0)
-	if !m.Insert(p, 42) || !m.Find(p, 42) || m.Insert(p, 42) {
-		t.Fatal("insert/find through public API failed")
-	}
-	rt.ScheduleCrash(12)
-	if rt.Run(func() { m.Insert(p, 7) }) {
-		// The crash may land after the op completed; then nothing to do.
-		rt.CancelCrash()
-	} else {
-		rt.Restart()
-		if !m.Recover(p, OpInsert, 7) {
-			t.Fatal("recovery returned false for a fresh key")
-		}
-	}
-	ks := m.Keys()
-	if len(ks) != 2 || ks[0] != 7 || ks[1] != 42 {
-		t.Fatalf("Keys = %v", ks)
-	}
-	if !m.Delete(p, 42) || m.Find(p, 42) {
-		t.Fatal("delete through public API failed")
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			rt := New(Config{Procs: 2, CrashSim: true, Engine: e.kind})
+			m := rt.NewHashMap(8)
+			if m.NumShards() != 8 {
+				t.Fatalf("NumShards = %d", m.NumShards())
+			}
+			p := rt.Proc(0)
+			if !m.Insert(p, 42) || !m.Find(p, 42) || m.Insert(p, 42) {
+				t.Fatal("insert/find through public API failed")
+			}
+			rt.ScheduleCrash(12)
+			if rt.Run(func() { m.Insert(p, 7) }) {
+				// The crash may land after the op completed; then nothing to do.
+				rt.CancelCrash()
+			} else {
+				rt.Restart()
+				if !m.Recover(p, OpInsert, 7) {
+					t.Fatal("recovery returned false for a fresh key")
+				}
+			}
+			ks := m.Keys()
+			if len(ks) != 2 || ks[0] != 7 || ks[1] != 42 {
+				t.Fatalf("Keys = %v", ks)
+			}
+			if !m.Delete(p, 42) || m.Find(p, 42) {
+				t.Fatal("delete through public API failed")
+			}
+		})
 	}
 }
 
