@@ -262,9 +262,17 @@ func buildEngineBatchingMap(mkMap func(h *pmem.Heap) *hashmap.Map, procs int, la
 	return h, m
 }
 
+// mapOps is the workload surface shared by the internal hashmap and the
+// public (announcing) HashMap wrapper.
+type mapOps interface {
+	Insert(p *pmem.Proc, key uint64) bool
+	Delete(p *pmem.Proc, key uint64) bool
+	Find(p *pmem.Proc, key uint64) bool
+}
+
 // runEngineBatchingWorkload runs the mixed workload once and returns the
 // persistence counters it accumulated (construction excluded).
-func runEngineBatchingWorkload(h *pmem.Heap, m *hashmap.Map, procs, opsPerProc, keyRange int) pmem.Stats {
+func runEngineBatchingWorkload(h *pmem.Heap, m mapOps, procs, opsPerProc, keyRange int) pmem.Stats {
 	var wg sync.WaitGroup
 	for w := 0; w < procs; w++ {
 		wg.Add(1)
@@ -322,17 +330,22 @@ func BenchmarkEngineBatching(b *testing.B) {
 // BenchmarkEngineBatching: on the identical workload the batched engine
 // must issue fewer persistence-barrier events (pbarriers + stand-alone
 // flushes) per op than the plain engine, and fewer stand-alone flushes and
-// psyncs outright.
+// psyncs outright. The maps are built through the Runtime, so the
+// per-process announcement record is active: its write must ride the begin
+// barrier (one pwb, zero extra psyncs per op) in both placements, or the
+// opt < plain pins below would break.
 func TestEngineBatchingReducesPersistence(t *testing.T) {
+	build := func(kind EngineKind, shards int) (*pmem.Heap, *HashMap) {
+		rt := New(Config{Procs: 1, HeapWords: 1 << 21, Engine: kind})
+		m := rt.NewHashMap(shards)
+		rt.h.ResetAllStats()
+		return rt.h, m
+	}
 	for _, shards := range []int{1, 16} {
 		// Single proc: no helping noise, so the counters are deterministic.
-		hp, mp := buildEngineBatchingMap(func(h *pmem.Heap) *hashmap.Map {
-			return hashmap.New(h, shards)
-		}, 1, false)
+		hp, mp := build(EngineIsb, shards)
 		plain := runEngineBatchingWorkload(hp, mp, 1, 800, 64)
-		ho, mo := buildEngineBatchingMap(func(h *pmem.Heap) *hashmap.Map {
-			return hashmap.NewOpt(h, shards)
-		}, 1, false)
+		ho, mo := build(EngineIsbOpt, shards)
 		opt := runEngineBatchingWorkload(ho, mo, 1, 800, 64)
 		if got, want := opt.Barriers+opt.Flushes, plain.Barriers+plain.Flushes; got >= want {
 			t.Fatalf("shards=%d: Isb-Opt issued %d persistence barriers, plain %d — batching must reduce them", shards, got, want)

@@ -22,81 +22,12 @@ import (
 
 	"repro/internal/bst"
 	"repro/internal/crash"
-	"repro/internal/isb"
 	"repro/internal/linearize"
 	"repro/internal/list"
 	"repro/internal/pmem"
 	"repro/internal/queue"
 	"repro/internal/stack"
 )
-
-type listTarget struct{ l *list.List }
-
-func (t listTarget) Begin(p *pmem.Proc) { t.l.Begin(p) }
-func (t listTarget) Invoke(p *pmem.Proc, op crash.Op) uint64 {
-	switch op.Kind {
-	case list.OpInsert:
-		return isb.BoolResp(t.l.Insert(p, op.Arg))
-	case list.OpDelete:
-		return isb.BoolResp(t.l.Delete(p, op.Arg))
-	default:
-		return isb.BoolResp(t.l.Find(p, op.Arg))
-	}
-}
-func (t listTarget) Recover(p *pmem.Proc, op crash.Op) uint64 {
-	return isb.BoolResp(t.l.Recover(p, op.Kind, op.Arg))
-}
-
-type bstTarget struct{ b *bst.BST }
-
-func (t bstTarget) Begin(p *pmem.Proc) { t.b.Begin(p) }
-func (t bstTarget) Invoke(p *pmem.Proc, op crash.Op) uint64 {
-	switch op.Kind {
-	case bst.OpInsert:
-		return isb.BoolResp(t.b.Insert(p, op.Arg))
-	case bst.OpDelete:
-		return isb.BoolResp(t.b.Delete(p, op.Arg))
-	default:
-		return isb.BoolResp(t.b.Find(p, op.Arg))
-	}
-}
-func (t bstTarget) Recover(p *pmem.Proc, op crash.Op) uint64 {
-	return isb.BoolResp(t.b.Recover(p, op.Kind, op.Arg))
-}
-
-type queueTarget struct{ q *queue.Queue }
-
-func (t queueTarget) Begin(p *pmem.Proc) { t.q.Begin(p) }
-func (t queueTarget) Invoke(p *pmem.Proc, op crash.Op) uint64 {
-	if op.Kind == queue.OpEnq {
-		t.q.Enqueue(p, op.Arg)
-		return isb.RespTrue
-	}
-	if v, ok := t.q.Dequeue(p); ok {
-		return isb.EncodeValue(v)
-	}
-	return isb.RespEmpty
-}
-func (t queueTarget) Recover(p *pmem.Proc, op crash.Op) uint64 {
-	return t.q.Recover(p, op.Kind, op.Arg)
-}
-
-type stackTarget struct{ s *stack.Stack }
-
-func (t stackTarget) Begin(p *pmem.Proc) { t.s.Begin(p) }
-func (t stackTarget) Invoke(p *pmem.Proc, op crash.Op) uint64 {
-	if op.Kind == stack.OpPush {
-		t.s.Push(p, op.Arg)
-		return isb.RespTrue
-	}
-	if v, ok := t.s.Pop(p); ok {
-		return isb.EncodeValue(v)
-	}
-	return isb.RespEmpty
-}
-func (t stackTarget) Recover(p *pmem.Proc, op crash.Op) uint64 {
-	return t.s.Recover(p, op.Kind, op.Arg)
-}
 
 func main() {
 	structure := flag.String("structure", "all", "list | bst | queue | stack | all")
@@ -169,17 +100,17 @@ func runRound(structure string, seed int64, procs, ops, crashes int, keys uint64
 	switch structure {
 	case "list":
 		l := list.New(h)
-		target = listTarget{l}
+		target = crash.Adapt(l)
 		gen = setGen(list.OpInsert, list.OpDelete, list.OpFind)
 		check = setCheck(l.CheckInvariants)
 	case "bst":
 		b := bst.New(h)
-		target = bstTarget{b}
+		target = crash.Adapt(b)
 		gen = setGen(bst.OpInsert, bst.OpDelete, bst.OpFind)
 		check = setCheck(b.CheckInvariants)
 	case "queue":
 		q := queue.New(h)
-		target = queueTarget{q}
+		target = crash.Adapt(q)
 		var next atomic.Uint64
 		gen = func(id, i int, rng *rand.Rand) crash.Op {
 			if rng.Intn(2) == 0 {
@@ -199,7 +130,7 @@ func runRound(structure string, seed int64, procs, ops, crashes int, keys uint64
 		}
 	case "stack":
 		s := stack.New(h, stack.DefaultElimSpins)
-		target = stackTarget{s}
+		target = crash.Adapt(s)
 		var next atomic.Uint64
 		gen = func(id, i int, rng *rand.Rand) crash.Op {
 			if rng.Intn(2) == 0 {

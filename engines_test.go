@@ -21,6 +21,7 @@ type engineCase struct {
 func engines() []engineCase {
 	return []engineCase{
 		{"isb", EngineIsb, isb.NewEngine, list.New},
-		{"isb-opt", EngineIsbOpt, isb.NewEngineOpt, list.NewOpt},
+		{"isb-opt", EngineIsbOpt, isb.NewEngineOpt,
+			func(h *pmem.Heap) *list.List { return list.NewWithEngine(h, isb.NewEngineOpt(h)) }},
 	}
 }

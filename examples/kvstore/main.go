@@ -1,9 +1,16 @@
 // kvstore: a small recoverable key-value membership store built on the
 // detectably recoverable sharded hash map, hammered by concurrent workers
 // while the "machine" keeps crashing. Keys spread over the map's shards, so
-// the workers mostly run contention-free; after every crash each worker
-// recovers its in-flight operation, and the store's contents are audited
-// against the responses the workers observed.
+// the workers mostly run contention-free.
+//
+// Recovery is the new zero-bookkeeping workflow: after each crash the
+// coordinator (playing "the system") makes exactly one call —
+// Runtime.RecoverAll — which reads every process's persistent announcement
+// record, routes each in-flight operation to its structure through the
+// registry, and resolves it. Workers just look up their entry in the
+// report; a worker absent from the report re-submits (its operation
+// provably had no effect). The store's final contents are audited against
+// the responses the workers observed.
 //
 //	go run ./examples/kvstore
 package main
@@ -24,11 +31,6 @@ const (
 	keySpace  = 64
 )
 
-type op struct {
-	kind uint64
-	key  uint64
-}
-
 func main() {
 	rt := repro.New(repro.Config{Procs: workers, CrashSim: true, HeapWords: 1 << 23})
 	store := rt.NewHashMap(shards)
@@ -37,19 +39,31 @@ func main() {
 	var cond = sync.NewCond(&mu)
 	parked, generation, crashes := 0, 0, 0
 	active := workers
+	reports := map[int]repro.ProcReport{} // refreshed by each RecoverAll
 
-	// park blocks a crashed worker until everyone crashed and the heap
-	// restarted — the role the "system" plays in the paper's model.
+	// restartAndRecover is the system's whole crash-handling duty: discard
+	// volatile state, then one RecoverAll call resolves every in-flight
+	// operation across all structures. Runs with mu held, all workers parked.
+	restartAndRecover := func() {
+		rt.Restart()
+		reports = map[int]repro.ProcReport{}
+		for _, rep := range rt.RecoverAll() {
+			reports[rep.Proc] = rep
+		}
+		crashes++
+		generation++
+		parked = 0
+	}
+
+	// park blocks a crashed worker until everyone crashed and the system
+	// recovered — the role the "system" plays in the paper's model.
 	park := func() {
 		mu.Lock()
 		defer mu.Unlock()
 		parked++
 		g := generation
 		if parked == active && rt.Crashing() {
-			rt.Restart()
-			crashes++
-			generation++
-			parked = 0
+			restartAndRecover()
 			rt.ScheduleCrash(crashEach)
 			cond.Broadcast()
 		}
@@ -62,12 +76,18 @@ func main() {
 		defer mu.Unlock()
 		active--
 		if parked == active && active > 0 && rt.Crashing() {
-			rt.Restart()
-			crashes++
-			generation++
-			parked = 0
+			restartAndRecover()
 			cond.Broadcast()
 		}
+	}
+	// report fetches (and consumes) this worker's RecoverAll entry, if the
+	// last sweep resolved an operation for it.
+	report := func(w int) (repro.ProcReport, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		rep, ok := reports[w]
+		delete(reports, w)
+		return rep, ok
 	}
 
 	rt.ScheduleCrash(crashEach)
@@ -83,28 +103,31 @@ func main() {
 			p := rt.Proc(w)
 			rng := rand.New(rand.NewSource(int64(w) + 1))
 			for i := 0; i < opsPerW; i++ {
-				o := op{kind: uint64(rng.Intn(2)) + 1, key: uint64(rng.Intn(keySpace)) + 1}
+				op := repro.Op{
+					Kind: uint64(rng.Intn(2)) + 1, // OpInsert or OpDelete
+					Arg:  uint64(rng.Intn(keySpace)) + 1,
+				}
 				for !rt.Run(func() { store.Begin(p) }) {
 					park()
 				}
-				var resp bool
-				invoke := func() {
-					if o.kind == repro.OpInsert {
-						resp = store.Insert(p, o.key)
-					} else {
-						resp = store.Delete(p, o.key)
-					}
-				}
-				ok := rt.Run(invoke)
+				var resp repro.Resp
+				ok := rt.Run(func() { resp = store.Apply(p, op) })
 				for !ok {
 					park()
-					ok = rt.Run(func() { resp = store.Recover(p, o.kind, o.key) })
+					if rep, hit := report(w); hit && rep.Op == op {
+						// RecoverAll already resolved our operation.
+						resp, ok = rep.Resp, true
+						continue
+					}
+					// Absent from the report: the crash preceded the durable
+					// announcement, so the operation had no effect — re-submit.
+					ok = rt.Run(func() { resp = store.Apply(p, op) })
 				}
-				if resp {
-					if o.kind == repro.OpInsert {
-						net[w][o.key]++
+				if resp.Bool() {
+					if op.Kind == repro.OpInsert {
+						net[w][op.Arg]++
 					} else {
-						net[w][o.key]--
+						net[w][op.Arg]--
 					}
 				}
 			}
@@ -134,7 +157,7 @@ func main() {
 			fmt.Printf("MISMATCH key %d: net=%d present=%v\n", k, total[k], present[k])
 		}
 	}
-	fmt.Printf("%d workers × %d ops over %d shards, %d crashes survived, %d keys stored, %d mismatches\n",
+	fmt.Printf("%d workers × %d ops over %d shards, %d crashes survived (one RecoverAll each), %d keys stored, %d mismatches\n",
 		workers, opsPerW, store.NumShards(), crashes, len(store.Keys()), bad)
 	if bad > 0 {
 		panic("audit failed")

@@ -1,5 +1,6 @@
 // Quickstart: a detectably recoverable sorted set surviving a simulated
-// power failure in the middle of an insert.
+// power failure in the middle of an insert — recovered with a single
+// Runtime.RecoverAll call, no caller bookkeeping.
 //
 //	go run ./examples/quickstart
 package main
@@ -20,21 +21,37 @@ func main() {
 	}
 	fmt.Println("initial keys:", l.Keys())
 
+	// Begin is the system-side invocation step: it retires the previous
+	// operation's announcement so the recovery report below can only
+	// describe the operation in flight.
+	l.Begin(p)
+
 	// Arm a crash a few memory accesses into the next operation: the
 	// machine "loses power" while Insert(25) is half-done.
 	rt.ScheduleCrash(12)
-	if rt.Run(func() { l.Insert(p, 25) }) {
+	if rt.Run(func() { l.Apply(p, repro.Op{Kind: repro.OpInsert, Arg: 25}) }) {
 		fmt.Println("the crash missed the operation window")
 		rt.CancelCrash()
 	} else {
 		fmt.Println("crash! volatile state lost mid-insert")
 		rt.Restart() // unflushed cache lines are gone; NVRAM remains
 
-		// Detectable recovery: the per-process recovery data (RD_q, CP_q)
-		// and the persisted Info structure let the process determine
-		// whether its insert took effect — and finish it if it had not.
-		resp := l.Recover(p, repro.OpInsert, 25)
-		fmt.Println("recovered insert response:", resp)
+		// Registry-routed recovery: each process's persistent announcement
+		// record says which structure it was operating on and with what
+		// operation; RecoverAll routes every one through the structure
+		// registry and resolves it. (A process absent from the report
+		// crashed before announcing — its operation had no effect and can
+		// simply be re-submitted.)
+		reps := rt.RecoverAll()
+		if len(reps) == 0 {
+			l.Apply(p, repro.Op{Kind: repro.OpInsert, Arg: 25})
+			fmt.Println("crash preceded the announcement; re-submitted")
+		}
+		for _, rep := range reps {
+			fmt.Printf("recovered: proc %d, %s #%d, op (kind=%d, arg=%d) → %s\n",
+				rep.Proc, rt.Structure(rep.StructID).Kind(), rep.StructID,
+				rep.Op.Kind, rep.Op.Arg, rep.Resp)
+		}
 	}
 
 	fmt.Println("keys after recovery:", l.Keys())

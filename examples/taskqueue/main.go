@@ -3,6 +3,12 @@
 // recovery guarantees every task is handed out exactly once — no lost and
 // no duplicated work — which the final audit verifies.
 //
+// Recovery uses the registry-routed workflow: after each crash the
+// coordinator calls Runtime.RecoverAll once; every in-flight enqueue and
+// dequeue is found through the per-process announcement records and
+// resolved, and each worker just reads its outcome from the report (or
+// re-submits if the crash preceded its announcement).
+//
 //	go run ./examples/taskqueue
 package main
 
@@ -29,16 +35,26 @@ func main() {
 	cond := sync.NewCond(&mu)
 	parked, generation, crashes := 0, 0, 0
 	active := procs
+	reports := map[int]repro.ProcReport{}
+
+	// One RecoverAll call resolves every worker's in-flight operation.
+	restartAndRecover := func() {
+		rt.Restart()
+		reports = map[int]repro.ProcReport{}
+		for _, rep := range rt.RecoverAll() {
+			reports[rep.Proc] = rep
+		}
+		crashes++
+		generation++
+		parked = 0
+	}
 	park := func() {
 		mu.Lock()
 		defer mu.Unlock()
 		parked++
 		g := generation
 		if parked == active && rt.Crashing() {
-			rt.Restart()
-			crashes++
-			generation++
-			parked = 0
+			restartAndRecover()
 			rt.ScheduleCrash(crashGap)
 			cond.Broadcast()
 		}
@@ -51,12 +67,35 @@ func main() {
 		defer mu.Unlock()
 		active--
 		if parked == active && active > 0 && rt.Crashing() {
-			rt.Restart()
-			crashes++
-			generation++
-			parked = 0
+			restartAndRecover()
 			cond.Broadcast()
 		}
+	}
+	report := func(w int) (repro.ProcReport, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		rep, ok := reports[w]
+		delete(reports, w)
+		return rep, ok
+	}
+
+	// apply runs one operation to a definite response, riding RecoverAll's
+	// report across any number of crashes.
+	apply := func(w int, p *repro.Proc, op repro.Op) repro.Resp {
+		for !rt.Run(func() { q.Begin(p) }) {
+			park()
+		}
+		var resp repro.Resp
+		ok := rt.Run(func() { resp = q.Apply(p, op) })
+		for !ok {
+			park()
+			if rep, hit := report(w); hit && rep.Op == op {
+				resp, ok = rep.Resp, true
+				continue
+			}
+			ok = rt.Run(func() { resp = q.Apply(p, op) })
+		}
+		return resp
 	}
 
 	rt.ScheduleCrash(crashGap)
@@ -71,14 +110,7 @@ func main() {
 			p := rt.Proc(w)
 			for i := 0; i < tasksEach; i++ {
 				task := uint64(w)*1_000_000 + uint64(i) + 1
-				for !rt.Run(func() { q.Begin(p) }) {
-					park()
-				}
-				ok := rt.Run(func() { q.Enqueue(p, task) })
-				for !ok {
-					park()
-					ok = rt.Run(func() { q.RecoverEnqueue(p, task) })
-				}
+				apply(w, p, repro.Op{Kind: repro.OpEnq, Arg: task})
 			}
 		}(w)
 	}
@@ -91,7 +123,8 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			defer leave()
-			p := rt.Proc(producers + w)
+			id := producers + w
+			p := rt.Proc(id)
 			for {
 				seenMu.Lock()
 				done := len(seen) >= totalTasks
@@ -99,17 +132,8 @@ func main() {
 				if done {
 					return
 				}
-				for !rt.Run(func() { q.Begin(p) }) {
-					park()
-				}
-				var task uint64
-				var got bool
-				ok := rt.Run(func() { task, got = q.Dequeue(p) })
-				for !ok {
-					park()
-					ok = rt.Run(func() { task, got = q.RecoverDequeue(p) })
-				}
-				if got {
+				resp := apply(id, p, repro.Op{Kind: repro.OpDeq})
+				if task, got := resp.Value(); got {
 					seenMu.Lock()
 					seen[task]++
 					seenMu.Unlock()
@@ -125,7 +149,7 @@ func main() {
 			dups++
 		}
 	}
-	fmt.Printf("%d tasks produced, %d consumed, %d crashes survived, %d duplicates\n",
+	fmt.Printf("%d tasks produced, %d consumed, %d crashes survived (one RecoverAll each), %d duplicates\n",
 		totalTasks, len(seen), crashes, dups)
 	if len(seen) != totalTasks || dups != 0 {
 		panic("exactly-once delivery violated")

@@ -66,12 +66,6 @@ func New(h *pmem.Heap) *BST {
 	return NewWithEngine(h, isb.NewEngine(h))
 }
 
-// NewOpt builds the tree on the hand-tuned Isb-Opt engine (batched
-// per-phase write-backs; see isb.NewEngineOpt).
-func NewOpt(h *pmem.Heap) *BST {
-	return NewWithEngine(h, isb.NewEngineOpt(h))
-}
-
 // NewWithEngine builds the tree on a caller-supplied engine.
 func NewWithEngine(h *pmem.Heap, e *isb.Engine) *BST {
 	t := &BST{h: h, e: e}
@@ -99,19 +93,45 @@ func newNode(p *pmem.Proc, key uint64, left, right pmem.Addr, info uint64) pmem.
 	return nd
 }
 
+// gather maps an operation kind to its gather function.
+func (t *BST) gather(kind uint64) isb.Gather {
+	switch kind {
+	case OpInsert:
+		return t.gIns
+	case OpDelete:
+		return t.gDel
+	case OpFindFast:
+		return t.gFindFast
+	default:
+		return t.gFind
+	}
+}
+
+// ApplyOp runs the operation described by (kind, arg) and returns its
+// encoded response: the uniform invocation surface every structure shares.
+func (t *BST) ApplyOp(p *pmem.Proc, kind, arg uint64) uint64 {
+	return t.e.RunOp(p, kind, arg, t.gather(kind))
+}
+
+// RecoverOp is the uniform recovery surface: it completes an interrupted
+// (kind, arg) operation and returns its encoded response.
+func (t *BST) RecoverOp(p *pmem.Proc, kind, arg uint64) uint64 {
+	return t.e.Recover(p, kind, arg, t.gather(kind))
+}
+
 // Insert adds key; false if present. Keys must be in [1, MaxUserKey].
 func (t *BST) Insert(p *pmem.Proc, key uint64) bool {
-	return isb.Bool(t.e.RunOp(p, OpInsert, key, t.gIns))
+	return isb.Bool(t.ApplyOp(p, OpInsert, key))
 }
 
 // Delete removes key; false if absent.
 func (t *BST) Delete(p *pmem.Proc, key uint64) bool {
-	return isb.Bool(t.e.RunOp(p, OpDelete, key, t.gDel))
+	return isb.Bool(t.ApplyOp(p, OpDelete, key))
 }
 
 // Find reports membership (read-only ROpt fast path).
 func (t *BST) Find(p *pmem.Proc, key uint64) bool {
-	return isb.Bool(t.e.RunOp(p, OpFind, key, t.gFind))
+	return isb.Bool(t.ApplyOp(p, OpFind, key))
 }
 
 // FindFast is the paper's further Find optimization (Section 6): the
@@ -120,21 +140,12 @@ func (t *BST) Find(p *pmem.Proc, key uint64) bool {
 // operation still persists its Info record and RD_q, so it remains
 // detectably recoverable, but it can never trigger helping.
 func (t *BST) FindFast(p *pmem.Proc, key uint64) bool {
-	return isb.Bool(t.e.RunOp(p, OpFindFast, key, t.gFindFast))
+	return isb.Bool(t.ApplyOp(p, OpFindFast, key))
 }
 
-// Recover completes an interrupted operation after a crash.
+// Recover is the boolean-typed wrapper over RecoverOp.
 func (t *BST) Recover(p *pmem.Proc, op, key uint64) bool {
-	g := t.gFind
-	switch op {
-	case OpInsert:
-		g = t.gIns
-	case OpDelete:
-		g = t.gDel
-	case OpFindFast:
-		g = t.gFindFast
-	}
-	return isb.Bool(t.e.Recover(p, op, key, g))
+	return isb.Bool(t.RecoverOp(p, op, key))
 }
 
 // Begin is the system-side invocation step (persist CP_q := 0).

@@ -87,7 +87,7 @@ func TestListCrashConformance(t *testing.T) {
 			}
 			return SweepInstance{
 				Heap:   h,
-				Target: listTarget{l},
+				Target: Adapt(l),
 				Verify: setVerify(list.OpInsert, list.OpDelete, l.Keys, l.CheckInvariants),
 			}
 		}
@@ -106,7 +106,7 @@ func TestBSTCrashConformance(t *testing.T) {
 			}
 			return SweepInstance{
 				Heap:   h,
-				Target: bstTarget{b},
+				Target: Adapt(b),
 				Verify: setVerify(bst.OpInsert, bst.OpDelete, b.Keys, b.CheckInvariants),
 			}
 		}
@@ -125,7 +125,7 @@ func TestHashMapCrashConformance(t *testing.T) {
 			}
 			return SweepInstance{
 				Heap:   h,
-				Target: mapTarget{m},
+				Target: Adapt(m),
 				Verify: setVerify(hashmap.OpInsert, hashmap.OpDelete, m.Keys, m.CheckInvariants),
 			}
 		}
@@ -160,7 +160,7 @@ func TestQueueCrashConformance(t *testing.T) {
 			q.Enqueue(p, 6)
 			return SweepInstance{
 				Heap:   h,
-				Target: queueTarget{q},
+				Target: Adapt(q),
 				Verify: queueVerify(q, func(c SweepCase) []uint64 {
 					if c.Op.Kind == queue.OpEnq {
 						return []uint64{5, 6, c.Op.Arg}
@@ -179,12 +179,29 @@ func TestQueueCrashConformance(t *testing.T) {
 			q := queue.NewWithEngine(h, eng.mk(h))
 			return SweepInstance{
 				Heap:   h,
-				Target: queueTarget{q},
+				Target: Adapt(q),
 				Verify: queueVerify(q, func(SweepCase) []uint64 { return nil }),
 			}
 		}
 		SweepAllPoints(t, empty, []SweepCase{
 			{"dequeue-empty", Op{Kind: queue.OpDeq}, isb.RespEmpty},
+		})
+
+		// Regression: a dequeued value of 0 must stay distinguishable from
+		// "empty" at every crash point (the response encoding keeps payloads
+		// disjoint from RespEmpty; decoding must not conflate them).
+		zero := func() SweepInstance {
+			h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1, Tracked: true, Seed: 42})
+			q := queue.NewWithEngine(h, eng.mk(h))
+			q.Enqueue(h.Proc(0), 0)
+			return SweepInstance{
+				Heap:   h,
+				Target: Adapt(q),
+				Verify: queueVerify(q, func(SweepCase) []uint64 { return nil }),
+			}
+		}
+		SweepAllPoints(t, zero, []SweepCase{
+			{"dequeue-zero", Op{Kind: queue.OpDeq}, isb.EncodeValue(0)},
 		})
 	})
 }
@@ -216,7 +233,7 @@ func TestStackCrashConformance(t *testing.T) {
 			s.Push(p, 6)
 			return SweepInstance{
 				Heap:   h,
-				Target: stackTarget{s},
+				Target: Adapt(s),
 				Verify: stackVerify(s, func(c SweepCase) []uint64 {
 					if c.Op.Kind == stack.OpPush {
 						return []uint64{c.Op.Arg, 6, 5}
@@ -235,12 +252,28 @@ func TestStackCrashConformance(t *testing.T) {
 			s := stack.NewWithEngine(h, eng.mk(h), 0)
 			return SweepInstance{
 				Heap:   h,
-				Target: stackTarget{s},
+				Target: Adapt(s),
 				Verify: stackVerify(s, func(SweepCase) []uint64 { return nil }),
 			}
 		}
 		SweepAllPoints(t, empty, []SweepCase{
 			{"pop-empty", Op{Kind: stack.OpPop}, isb.RespEmpty},
+		})
+
+		// Regression: a popped value of 0 must stay distinguishable from
+		// "empty" at every crash point.
+		zero := func() SweepInstance {
+			h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1, Tracked: true, Seed: 42})
+			s := stack.NewWithEngine(h, eng.mk(h), 0)
+			s.Push(h.Proc(0), 0)
+			return SweepInstance{
+				Heap:   h,
+				Target: Adapt(s),
+				Verify: stackVerify(s, func(SweepCase) []uint64 { return nil }),
+			}
+		}
+		SweepAllPoints(t, zero, []SweepCase{
+			{"pop-zero", Op{Kind: stack.OpPop}, isb.EncodeValue(0)},
 		})
 	})
 }

@@ -39,6 +39,31 @@ type Target interface {
 	Recover(p *pmem.Proc, op Op) uint64
 }
 
+// Applier is the uniform operation surface the structure packages share:
+// Begin (system-side invocation step), ApplyOp (run one operation, encoded
+// response) and RecoverOp (resolve an interrupted operation). Adapt turns
+// any of them into a Target, which is what lets the storms, the sweep and
+// cmd/crashtest drive every structure without per-structure glue.
+type Applier interface {
+	Begin(p *pmem.Proc)
+	ApplyOp(p *pmem.Proc, kind, arg uint64) uint64
+	RecoverOp(p *pmem.Proc, kind, arg uint64) uint64
+}
+
+// applierTarget adapts an Applier to the Target interface.
+type applierTarget struct{ a Applier }
+
+func (t applierTarget) Begin(p *pmem.Proc) { t.a.Begin(p) }
+func (t applierTarget) Invoke(p *pmem.Proc, op Op) uint64 {
+	return t.a.ApplyOp(p, op.Kind, op.Arg)
+}
+func (t applierTarget) Recover(p *pmem.Proc, op Op) uint64 {
+	return t.a.RecoverOp(p, op.Kind, op.Arg)
+}
+
+// Adapt wraps an Applier as a Target.
+func Adapt(a Applier) Target { return applierTarget{a} }
+
 // Event is one completed operation in the recorded history.
 type Event struct {
 	Proc      int

@@ -9,25 +9,6 @@ import (
 	"repro/internal/pmem"
 )
 
-type bstTarget struct{ b *bst.BST }
-
-func (t bstTarget) Begin(p *pmem.Proc) { t.b.Begin(p) }
-
-func (t bstTarget) Invoke(p *pmem.Proc, op Op) uint64 {
-	switch op.Kind {
-	case bst.OpInsert:
-		return respBool(t.b.Insert(p, op.Arg))
-	case bst.OpDelete:
-		return respBool(t.b.Delete(p, op.Arg))
-	default:
-		return respBool(t.b.Find(p, op.Arg))
-	}
-}
-
-func (t bstTarget) Recover(p *pmem.Proc, op Op) uint64 {
-	return respBool(t.b.Recover(p, op.Kind, op.Arg))
-}
-
 func bstGen(keys uint64) func(id, i int, rng *rand.Rand) Op {
 	return func(id, i int, rng *rand.Rand) Op {
 		k := uint64(rng.Intn(int(keys))) + 1
@@ -50,7 +31,7 @@ func runBSTStorm(t *testing.T, eng engineVariant, seed int64, procs, opsPerProc,
 	})
 	b := bst.NewWithEngine(h, eng.mk(h))
 	res := Run(Config{
-		Heap: h, Target: bstTarget{b}, Procs: procs, OpsPerProc: opsPerProc,
+		Heap: h, Target: Adapt(b), Procs: procs, OpsPerProc: opsPerProc,
 		Gen: bstGen(keys), Crashes: crashes,
 		MeanAccessGap: procs * opsPerProc * 50 / (crashes + 1),
 		Seed:          seed,

@@ -9,26 +9,6 @@ import (
 	"repro/internal/pmem"
 )
 
-// mapTarget adapts the recoverable sharded hash map to the storm harness.
-type mapTarget struct{ m *hashmap.Map }
-
-func (t mapTarget) Begin(p *pmem.Proc) { t.m.Begin(p) }
-
-func (t mapTarget) Invoke(p *pmem.Proc, op Op) uint64 {
-	switch op.Kind {
-	case hashmap.OpInsert:
-		return respBool(t.m.Insert(p, op.Arg))
-	case hashmap.OpDelete:
-		return respBool(t.m.Delete(p, op.Arg))
-	default:
-		return respBool(t.m.Find(p, op.Arg))
-	}
-}
-
-func (t mapTarget) Recover(p *pmem.Proc, op Op) uint64 {
-	return respBool(t.m.Recover(p, op.Kind, op.Arg))
-}
-
 // mapGen mirrors listGen (the op codes coincide with linearize kinds).
 func mapGen(keys uint64) func(id, i int, rng *rand.Rand) Op {
 	return func(id, i int, rng *rand.Rand) Op {
@@ -52,7 +32,7 @@ func runHashMapStorm(t *testing.T, eng engineVariant, seed int64, shards, procs,
 	})
 	m := hashmap.NewWithEngine(h, eng.mk(h), shards)
 	res := Run(Config{
-		Heap: h, Target: mapTarget{m}, Procs: procs, OpsPerProc: opsPerProc,
+		Heap: h, Target: Adapt(m), Procs: procs, OpsPerProc: opsPerProc,
 		Gen: mapGen(keys), Crashes: crashes,
 		MeanAccessGap: procs * opsPerProc * 40 / (crashes + 1),
 		Seed:          seed,

@@ -9,29 +9,11 @@ import (
 	"repro/internal/pmem"
 )
 
-// listTarget adapts the recoverable list to the storm harness.
-type listTarget struct{ l *list.List }
-
 func respBool(b bool) uint64 {
 	if b {
 		return linearize.RespTrue
 	}
 	return linearize.RespFalse
-}
-
-func (t listTarget) Invoke(p *pmem.Proc, op Op) uint64 {
-	switch op.Kind {
-	case list.OpInsert:
-		return respBool(t.l.Insert(p, op.Arg))
-	case list.OpDelete:
-		return respBool(t.l.Delete(p, op.Arg))
-	default:
-		return respBool(t.l.Find(p, op.Arg))
-	}
-}
-
-func (t listTarget) Recover(p *pmem.Proc, op Op) uint64 {
-	return respBool(t.l.Recover(p, op.Kind, op.Arg))
 }
 
 // listKindMap translates list op codes to linearize kinds (they coincide).
@@ -57,7 +39,7 @@ func runListStorm(t *testing.T, eng engineVariant, seed int64, procs, opsPerProc
 	})
 	l := list.NewWithEngine(h, eng.mk(h))
 	res := Run(Config{
-		Heap: h, Target: listTarget{l}, Procs: procs, OpsPerProc: opsPerProc,
+		Heap: h, Target: Adapt(l), Procs: procs, OpsPerProc: opsPerProc,
 		Gen: listGen(keys), Crashes: crashes,
 		MeanAccessGap: procs * opsPerProc * 40 / (crashes + 1),
 		Seed:          seed,
@@ -152,7 +134,7 @@ func TestStormReportsRecoveries(t *testing.T) {
 	h := pmem.NewHeap(pmem.Config{Words: 1 << 22, Procs: 2, Tracked: true})
 	l := list.New(h)
 	res := Run(Config{
-		Heap: h, Target: listTarget{l}, Procs: 2, OpsPerProc: 100,
+		Heap: h, Target: Adapt(l), Procs: 2, OpsPerProc: 100,
 		Gen: listGen(4), Crashes: 8, MeanAccessGap: 700, Seed: 99,
 	})
 	if res.CrashesFired == 0 {
@@ -170,7 +152,7 @@ func TestStormZeroCrashesIsPlainConcurrency(t *testing.T) {
 	h := pmem.NewHeap(pmem.Config{Words: 1 << 22, Procs: 4, Tracked: true})
 	l := list.New(h)
 	res := Run(Config{
-		Heap: h, Target: listTarget{l}, Procs: 4, OpsPerProc: 50,
+		Heap: h, Target: Adapt(l), Procs: 4, OpsPerProc: 50,
 		Gen: listGen(10), Crashes: 0, Seed: 7,
 	})
 	if res.CrashesFired != 0 || res.RecoveredOps != 0 {
@@ -196,5 +178,3 @@ func TestHistoryCapPerKey(t *testing.T) {
 		}
 	}
 }
-
-func (t listTarget) Begin(p *pmem.Proc) { t.l.Begin(p) }

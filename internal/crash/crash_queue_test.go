@@ -11,26 +11,6 @@ import (
 	"repro/internal/queue"
 )
 
-type queueTarget struct{ q *queue.Queue }
-
-func (t queueTarget) Begin(p *pmem.Proc) { t.q.Begin(p) }
-
-func (t queueTarget) Invoke(p *pmem.Proc, op Op) uint64 {
-	if op.Kind == queue.OpEnq {
-		t.q.Enqueue(p, op.Arg)
-		return isb.RespTrue
-	}
-	v, ok := t.q.Dequeue(p)
-	if !ok {
-		return isb.RespEmpty
-	}
-	return isb.EncodeValue(v)
-}
-
-func (t queueTarget) Recover(p *pmem.Proc, op Op) uint64 {
-	return t.q.Recover(p, op.Kind, op.Arg)
-}
-
 // queueGen produces globally unique enqueue values (required by the FIFO
 // checker) interleaved with dequeues.
 func queueGen(next *atomic.Uint64) func(id, i int, rng *rand.Rand) Op {
@@ -51,7 +31,7 @@ func runQueueStorm(t *testing.T, eng engineVariant, seed int64, procs, opsPerPro
 	q := queue.NewWithEngine(h, eng.mk(h))
 	var next atomic.Uint64
 	res := Run(Config{
-		Heap: h, Target: queueTarget{q}, Procs: procs, OpsPerProc: opsPerProc,
+		Heap: h, Target: Adapt(q), Procs: procs, OpsPerProc: opsPerProc,
 		Gen: queueGen(&next), Crashes: crashes,
 		MeanAccessGap: procs * opsPerProc * 30 / (crashes + 1),
 		Seed:          seed,

@@ -11,26 +11,6 @@ import (
 	"repro/internal/stack"
 )
 
-type stackTarget struct{ s *stack.Stack }
-
-func (t stackTarget) Begin(p *pmem.Proc) { t.s.Begin(p) }
-
-func (t stackTarget) Invoke(p *pmem.Proc, op Op) uint64 {
-	if op.Kind == stack.OpPush {
-		t.s.Push(p, op.Arg)
-		return isb.RespTrue
-	}
-	v, ok := t.s.Pop(p)
-	if !ok {
-		return isb.RespEmpty
-	}
-	return isb.EncodeValue(v)
-}
-
-func (t stackTarget) Recover(p *pmem.Proc, op Op) uint64 {
-	return t.s.Recover(p, op.Kind, op.Arg)
-}
-
 func stackGen(next *atomic.Uint64) func(id, i int, rng *rand.Rand) Op {
 	return func(id, i int, rng *rand.Rand) Op {
 		if rng.Intn(2) == 0 {
@@ -46,7 +26,7 @@ func runStackStorm(t *testing.T, eng engineVariant, seed int64, procs, opsPerPro
 	s := stack.NewWithEngine(h, eng.mk(h), spins)
 	var next atomic.Uint64
 	res := Run(Config{
-		Heap: h, Target: stackTarget{s}, Procs: procs, OpsPerProc: opsPerProc,
+		Heap: h, Target: Adapt(s), Procs: procs, OpsPerProc: opsPerProc,
 		Gen: stackGen(&next), Crashes: crashes,
 		MeanAccessGap: procs * opsPerProc * 40 / (crashes + 1),
 		Seed:          seed,

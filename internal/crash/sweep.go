@@ -24,6 +24,15 @@ type SweepInstance struct {
 	Heap   *pmem.Heap
 	Target Target
 	Verify func(c SweepCase) string
+	// RecoverAll, when non-nil, replaces Target.Recover in the crashed
+	// replays: the sweep's registry-routed mode, where recovery is driven
+	// by the runtime (announcement record + structure registry) instead of
+	// the harness re-supplying the operation. The callback must resolve the
+	// crashed operation — typically by invoking Runtime.RecoverAll and, if
+	// the crash preceded the durable announcement (so the operation
+	// provably had no effect and is absent from the report), re-invoking it
+	// — and return the encoded response.
+	RecoverAll func(p *pmem.Proc, op Op) uint64
 }
 
 // SweepAllPoints is the structure-agnostic crash-point conformance sweep:
@@ -81,7 +90,11 @@ func SweepAllPoints(t *testing.T, build func() SweepInstance, cases []SweepCase)
 				} else {
 					covered++
 					in.Heap.ResetAfterCrash()
-					if !pmem.RunOp(func() { resp = in.Target.Recover(p, c.Op) }) {
+					rec := in.Target.Recover
+					if in.RecoverAll != nil {
+						rec = in.RecoverAll
+					}
+					if !pmem.RunOp(func() { resp = rec(p, c.Op) }) {
 						t.Fatalf("off=%d: recovery crashed with no crash armed", off)
 					}
 				}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/baseline/harris"
 	"repro/internal/baseline/logqueue"
 	"repro/internal/baseline/msqueue"
+	"repro/internal/isb"
 	"repro/internal/list"
 	"repro/internal/pmem"
 	"repro/internal/queue"
@@ -118,7 +119,7 @@ func newListAlgo(cfg Config) (Set, *pmem.Heap) {
 	case AlgoIsb:
 		s = list.New(h)
 	case AlgoIsbOpt:
-		s = list.NewOpt(h)
+		s = list.NewWithEngine(h, isb.NewEngineOpt(h))
 	case AlgoCapsules:
 		s = capsules.New(h, capsules.General)
 	case AlgoCapsulesOpt:

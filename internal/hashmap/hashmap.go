@@ -54,15 +54,6 @@ func New(h *pmem.Heap, shards int) *Map {
 	return NewWithEngine(h, isb.NewEngine(h), shards)
 }
 
-// NewOpt builds the map on the hand-tuned Isb-Opt engine: every bucket
-// list shares one batched-persistence engine, so each operation phase on a
-// shard's bucket list issues a single barrier, and the per-process shard
-// register's write-back rides the engine's BeginOp psync instead of paying
-// its own (see recordShard).
-func NewOpt(h *pmem.Heap, shards int) *Map {
-	return NewWithEngine(h, isb.NewEngineOpt(h), shards)
-}
-
 // NewWithEngine builds the map on a caller-supplied engine shared by all
 // bucket lists (one set of RD_q/CP_q recovery registers for the whole map).
 func NewWithEngine(h *pmem.Heap, e *isb.Engine, shards int) *Map {
@@ -132,25 +123,28 @@ func (m *Map) RecordedShard(p *pmem.Proc) int {
 	return int(v - 1)
 }
 
+// ApplyOp runs the operation described by (kind, arg) and returns its
+// encoded response: the uniform invocation surface every structure shares.
+// It records the target shard, then drives the shard's bucket list.
+func (m *Map) ApplyOp(p *pmem.Proc, kind, arg uint64) uint64 {
+	s := m.ShardOf(arg)
+	m.recordShard(p, s)
+	return m.shards[s].ApplyOp(p, kind, arg)
+}
+
 // Insert adds key to the map; it returns false if the key was present.
 func (m *Map) Insert(p *pmem.Proc, key uint64) bool {
-	s := m.ShardOf(key)
-	m.recordShard(p, s)
-	return m.shards[s].Insert(p, key)
+	return isb.Bool(m.ApplyOp(p, OpInsert, key))
 }
 
 // Delete removes key from the map; it returns false if the key was absent.
 func (m *Map) Delete(p *pmem.Proc, key uint64) bool {
-	s := m.ShardOf(key)
-	m.recordShard(p, s)
-	return m.shards[s].Delete(p, key)
+	return isb.Bool(m.ApplyOp(p, OpDelete, key))
 }
 
 // Find reports whether key is in the map (read-only, ROpt fast path).
 func (m *Map) Find(p *pmem.Proc, key uint64) bool {
-	s := m.ShardOf(key)
-	m.recordShard(p, s)
-	return m.shards[s].Find(p, key)
+	return isb.Bool(m.ApplyOp(p, OpFind, key))
 }
 
 // Recover completes p's interrupted operation (same kind and key) after a
@@ -163,17 +157,23 @@ func (m *Map) Find(p *pmem.Proc, key uint64) bool {
 // operation. Recover may itself crash and be re-invoked any number of
 // times.
 func (m *Map) Recover(p *pmem.Proc, op, key uint64) bool {
+	return isb.Bool(m.RecoverOp(p, op, key))
+}
+
+// RecoverOp is the uniform recovery surface behind Recover: it routes to
+// the operation's shard and returns the encoded response.
+func (m *Map) RecoverOp(p *pmem.Proc, kind, arg uint64) uint64 {
 	s := m.RecordedShard(p)
-	if s < 0 || s != m.ShardOf(key) {
+	if s < 0 || s != m.ShardOf(arg) {
 		// Register empty or recording an earlier operation's target: the
 		// crash landed before this operation wrote the register, so the
 		// operation never reached a bucket. Re-hash the key — with a fixed
 		// power-of-two shard count this is the shard the register would have
 		// recorded — and let the engine re-run the operation from scratch
 		// (its CP/RD checks detect that nothing took effect).
-		s = m.ShardOf(key)
+		s = m.ShardOf(arg)
 	}
-	return m.shards[s].Recover(p, op, key)
+	return m.shards[s].RecoverOp(p, kind, arg)
 }
 
 // Begin is the system-side invocation step used by crash harnesses: it

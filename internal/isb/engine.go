@@ -98,13 +98,13 @@ func (e *Engine) finish(p *pmem.Proc, info pmem.Addr, tagged, untagged uint64) {
 // driver and returns its encoded response. gather is called once per
 // attempt with a fresh Info record.
 //
-// The sequence is exactly the paper's: persist CP_q := 0 (BeginOp, the
-// system-side invocation step), RD_q := Null + pbarrier, CP_q := 1 + pwb +
+// The sequence is exactly the paper's: announce the operation and persist
+// CP_q := 0 (BeginOpFor), RD_q := Null + pbarrier, CP_q := 1 + pwb +
 // psync, then attempts of gather → helping phase → install Info → pbarrier
 // over the record and the NewSet → RD_q := info + pwb + psync → read-only
 // fast return or Help → return result if set.
 func (e *Engine) RunOp(p *pmem.Proc, opType, argKey uint64, gather Gather) uint64 {
-	e.BeginOp(p)
+	e.BeginOpFor(p, opType, argKey)
 	return e.runAttempts(p, opType, argKey, gather)
 }
 

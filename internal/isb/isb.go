@@ -199,6 +199,14 @@ type Engine struct {
 	// operation through Help — i.e. plain Algorithm 1. Used by the ROpt
 	// ablation benchmarks.
 	noROpt bool
+	// annID, when nonzero, is the runtime-registry structure ID this engine
+	// announces: BeginOpFor durably records (annID, opType, argKey) in the
+	// calling process's announcement line before the operation's tag phase,
+	// and BeginOp durably clears it. Both writes ride the begin barrier's
+	// existing psync, so announcing adds no stand-alone sync in either
+	// placement. Engines built outside a Runtime leave annID 0 and behave
+	// exactly as before.
+	annID uint64
 }
 
 // NewEngine allocates RD/CP lines for every process of the heap, with the
@@ -262,14 +270,74 @@ func (e *Engine) rd(p *pmem.Proc) pmem.Addr {
 }
 func (e *Engine) cp(p *pmem.Proc) pmem.Addr { return e.rd(p) + 1 }
 
+// SetAnnounceID registers the runtime structure ID this engine announces
+// operations under (see the annID field). Call once, at structure
+// registration, before any operation runs.
+func (e *Engine) SetAnnounceID(id uint64) { e.annID = id }
+
+// AnnounceID reports the registered announcement ID (0 = announcing off).
+func (e *Engine) AnnounceID() uint64 { return e.annID }
+
 // BeginOp is the system-side action of the paper's model: persistently set
 // CP_q := 0 just before a fresh operation starts, so that recovery can tell
 // a brand-new operation (whose RD_q still points at a previous operation's
-// Info) from one that already initialized its recovery data.
+// Info) from one that already initialized its recovery data. On an
+// announcing engine it first durably clears the announcement record — the
+// clear's pwb must retire before CP_q resets, or registry-routed recovery
+// could re-invoke (duplicate) the previous, completed operation — with the
+// single existing psync covering both lines.
 func (e *Engine) BeginOp(p *pmem.Proc) {
+	if e.annID != 0 {
+		p.ClearAnnounce()
+	}
 	cp := e.cp(p)
 	p.Store(cp, 0)
 	p.PWB(cp)
+	p.PSync()
+}
+
+// AnnounceFor durably publishes the announcement (annID, opType, argKey)
+// for the calling process without touching CP_q: the composition hook for
+// structures whose operations can take effect outside the engine (the
+// elimination stack). The caller must already have durably cleared the old
+// announcement and reset every recovery register the announced operation
+// could be routed to (BeginOp, then e.g. the exchanger's Begin) — a
+// register still describing a previous operation would be read as this
+// one's outcome. No-op on a non-announcing engine.
+func (e *Engine) AnnounceFor(p *pmem.Proc, opType, argKey uint64) {
+	if e.annID != 0 {
+		p.Announce(e.annID, opType, argKey)
+	}
+}
+
+// BeginOpFor is the operation-entry variant of BeginOp: on an announcing
+// engine it durably records (annID, opType, argKey) in the calling process's
+// announcement line — before the operation's tag phase, and before any
+// pre-engine effect such as the stack's elimination attempt — around
+// persisting CP_q := 0. Everything rides the single begin psync, so neither
+// placement pays an extra sync per operation. RunOp calls it; structures
+// with effects outside the engine (the elimination stack) call it directly.
+//
+// The write order is load-bearing (each pwb is synchronous):
+//  1. clear the old announcement — once CP_q resets, a stale announcement
+//     would read as "in flight, made no changes" and registry-routed
+//     recovery would re-invoke (duplicate) the previous, completed op;
+//  2. persist CP_q := 0 — the new announcement must only become valid once
+//     the engine can no longer attribute the previous operation's RD_q
+//     record to it; otherwise recovering an announced operation whose
+//     (kind, arg) equal the previous one's would return the previous
+//     response instead of running this operation;
+//  3. announce — durable before the operation can take any effect.
+func (e *Engine) BeginOpFor(p *pmem.Proc, opType, argKey uint64) {
+	cp := e.cp(p)
+	if e.annID != 0 {
+		p.ClearAnnounce()
+	}
+	p.Store(cp, 0)
+	p.PWB(cp)
+	if e.annID != 0 {
+		p.Announce(e.annID, opType, argKey)
+	}
 	p.PSync()
 }
 

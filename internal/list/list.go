@@ -54,12 +54,6 @@ func New(h *pmem.Heap) *List {
 	return build(h, isb.NewEngine(h))
 }
 
-// NewOpt builds the list on the hand-tuned Isb-Opt engine (batched
-// per-phase write-backs; see isb.NewEngineOpt).
-func NewOpt(h *pmem.Heap) *List {
-	return build(h, isb.NewEngineOpt(h))
-}
-
 // NewWithEngine builds the list on a caller-supplied engine. Several lists
 // can share one engine — and with it one set of per-process RD_q/CP_q
 // recovery registers — which is how the sharded hash map keeps a single
@@ -97,33 +91,50 @@ func newNode(p *pmem.Proc, key uint64, next pmem.Addr, info uint64) pmem.Addr {
 	return nd
 }
 
+// gather maps an operation kind to its gather function.
+func (l *List) gather(kind uint64) isb.Gather {
+	switch kind {
+	case OpInsert:
+		return l.gIns
+	case OpDelete:
+		return l.gDel
+	default:
+		return l.gFind
+	}
+}
+
+// ApplyOp runs the operation described by (kind, arg) and returns its
+// encoded response: the uniform invocation surface every structure shares
+// (crash harnesses and the repro Apply/RecoverOp API are built on it).
+func (l *List) ApplyOp(p *pmem.Proc, kind, arg uint64) uint64 {
+	return l.e.RunOp(p, kind, arg, l.gather(kind))
+}
+
+// RecoverOp is the uniform recovery surface: called after a crash with the
+// same (kind, arg) the interrupted invocation had, it returns the
+// operation's encoded response, completing it if necessary.
+func (l *List) RecoverOp(p *pmem.Proc, kind, arg uint64) uint64 {
+	return l.e.Recover(p, kind, arg, l.gather(kind))
+}
+
 // Insert adds key to the set; it returns false if the key was present.
 func (l *List) Insert(p *pmem.Proc, key uint64) bool {
-	return isb.Bool(l.e.RunOp(p, OpInsert, key, l.gIns))
+	return isb.Bool(l.ApplyOp(p, OpInsert, key))
 }
 
 // Delete removes key from the set; it returns false if the key was absent.
 func (l *List) Delete(p *pmem.Proc, key uint64) bool {
-	return isb.Bool(l.e.RunOp(p, OpDelete, key, l.gDel))
+	return isb.Bool(l.ApplyOp(p, OpDelete, key))
 }
 
 // Find reports whether key is in the set (read-only, ROpt fast path).
 func (l *List) Find(p *pmem.Proc, key uint64) bool {
-	return isb.Bool(l.e.RunOp(p, OpFind, key, l.gFind))
+	return isb.Bool(l.ApplyOp(p, OpFind, key))
 }
 
-// Recover is the operation's recovery function: the system calls it after a
-// crash with the same operation kind and key the interrupted invocation
-// had. It returns the operation's response, completing it if necessary.
+// Recover is the boolean-typed wrapper over RecoverOp.
 func (l *List) Recover(p *pmem.Proc, op, key uint64) bool {
-	g := l.gFind
-	switch op {
-	case OpInsert:
-		g = l.gIns
-	case OpDelete:
-		g = l.gDel
-	}
-	return isb.Bool(l.e.Recover(p, op, key, g))
+	return isb.Bool(l.RecoverOp(p, op, key))
 }
 
 // search returns pred/curr straddling key: the first node with

@@ -97,6 +97,8 @@ type Heap struct {
 	vol []atomic.Uint64 // volatile image: what primitives act on
 	per []atomic.Uint64 // persisted image (tracked mode only)
 
+	annBase Addr // per-proc announcement lines (see proc.go: Announce)
+
 	next    atomic.Uint64 // bump pointer (word index)
 	cap     uint64
 	procs   []*Proc
@@ -118,16 +120,28 @@ type Heap struct {
 // and the first line is never flushed by accident).
 const reservedWords = WordsPerLine
 
+// Announcement record layout: one cache line per process, reserved in the
+// heap layout right after the Null line, holding the per-process operation
+// announcement (structure ID, operation kind, argument, checksum) that the
+// runtime's registry-routed recovery reads after a crash. See Proc.Announce.
+const (
+	annStruct = 0 // structure ID (0 = no announcement)
+	annKind   = 1 // operation kind
+	annArg    = 2 // operation argument
+	annSum    = 3 // checksum binding the three words (see annCheck)
+)
+
 // NewHeap allocates a simulated persistent heap and its process descriptors.
 func NewHeap(cfg Config) *Heap {
 	if cfg.Words <= 0 {
 		cfg.Words = 1 << 20
 	}
-	if cfg.Words < reservedWords*2 {
-		cfg.Words = reservedWords * 2
-	}
 	if cfg.Procs <= 0 {
 		cfg.Procs = 1
+	}
+	// Room for the Null line, the per-proc announcement lines, and an arena.
+	if min := reservedWords * (2 + cfg.Procs); cfg.Words < min {
+		cfg.Words = min
 	}
 	h := &Heap{
 		vol:        make([]atomic.Uint64, cfg.Words),
@@ -139,7 +153,8 @@ func NewHeap(cfg Config) *Heap {
 	if cfg.Tracked {
 		h.per = make([]atomic.Uint64, cfg.Words)
 	}
-	h.next.Store(reservedWords)
+	h.annBase = reservedWords
+	h.next.Store(reservedWords + uint64(cfg.Procs)*WordsPerLine)
 	h.pwbSpin = spinIters(cfg.PWBLatency)
 	h.psyncSpin = spinIters(cfg.PSyncLatency)
 	seed := cfg.Seed
@@ -160,6 +175,26 @@ func NewHeap(cfg Config) *Heap {
 // Proc returns process descriptor id (0-based).
 func (h *Heap) Proc(id int) *Proc {
 	return h.procs[id]
+}
+
+// annAddr returns the first word of proc id's announcement line.
+func (h *Heap) annAddr(id int) Addr { return h.annBase + Addr(id)*WordsPerLine }
+
+// annCheck is the checksum word binding an announcement's three payload
+// words. An announcement is only valid if the persisted checksum matches the
+// persisted payload, which makes a partially persisted announcement (a crash
+// between its stores and its pwb, with some words reaching persistence via
+// simulated eviction) detectably invalid instead of a garbled route. The
+// result is never zero, so a cleared line can never validate.
+func annCheck(structID, kind, arg uint64) uint64 {
+	x := structID*0x9e3779b97f4a7c15 ^ kind*0xbf58476d1ce4e5b9 ^ arg*0x94d049bb133111eb
+	x ^= x >> 29
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 32
+	if x == 0 {
+		x = 1
+	}
+	return x
 }
 
 // NumProcs reports how many process descriptors the heap was built with.

@@ -399,3 +399,51 @@ func TestDisarmCrash(t *testing.T) {
 		t.Fatal("disarmed crash still fired")
 	}
 }
+
+func TestAnnouncementRecordLifecycle(t *testing.T) {
+	h := newTracked(t, 2)
+	p := h.Proc(1)
+	if _, _, _, ok := p.Announcement(); ok {
+		t.Fatal("fresh heap reports an announcement")
+	}
+	p.Announce(3, 7, 9)
+	if sid, kind, arg, ok := p.Announcement(); !ok || sid != 3 || kind != 7 || arg != 9 {
+		t.Fatalf("Announcement = (%d,%d,%d,%v), want (3,7,9,true)", sid, kind, arg, ok)
+	}
+	// The single pwb makes the record crash-durable.
+	h.Crash()
+	h.ResetAfterCrash()
+	if sid, kind, arg, ok := p.Announcement(); !ok || sid != 3 || kind != 7 || arg != 9 {
+		t.Fatalf("announcement lost across crash: (%d,%d,%d,%v)", sid, kind, arg, ok)
+	}
+	// Per-proc isolation: proc 0 still has none.
+	if _, _, _, ok := h.Proc(0).Announcement(); ok {
+		t.Fatal("announcement leaked across procs")
+	}
+	p.ClearAnnounce()
+	h.Crash()
+	h.ResetAfterCrash()
+	if _, _, _, ok := p.Announcement(); ok {
+		t.Fatal("cleared announcement survived the crash")
+	}
+}
+
+func TestAnnouncementPartialPersistInvalid(t *testing.T) {
+	h := newTracked(t, 1)
+	p := h.Proc(0)
+	p.Announce(1, 2, 3)
+	// Overwrite with a new announcement whose pwb never happens, with one
+	// payload word leaking to persistence via eviction: the checksum must
+	// reject the mixed record after the crash.
+	a := h.annAddr(0)
+	p.Store(a+annStruct, 2)
+	p.Store(a+annKind, 5)
+	h.persistLine(a) // evict: new structID/kind durable, but old checksum...
+	p.Store(a+annArg, 6)
+	p.Store(a+annSum, annCheck(2, 5, 6)) // never written back
+	h.Crash()
+	h.ResetAfterCrash()
+	if sid, kind, arg, ok := p.Announcement(); ok {
+		t.Fatalf("mixed announcement validated: (%d,%d,%d)", sid, kind, arg)
+	}
+}

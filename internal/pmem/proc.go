@@ -277,6 +277,55 @@ func (p *Proc) Alloc(words uint64) Addr {
 	return a
 }
 
+// Announce durably records that this process is about to execute operation
+// (kind, arg) on the structure with registry ID structID (nonzero): the
+// paper's announcement discipline, generalized across structures. It writes
+// the process's announcement line — reserved in the heap layout — and issues
+// a single pwb; the caller's next psync (in practice the engine's begin
+// barrier) orders it, so announcing costs no stand-alone sync. The record
+// stays in place for the whole operation and is only cleared by
+// ClearAnnounce at the next operation's system-side Begin step, which is
+// what lets registry-routed recovery find in-flight work after a crash.
+func (p *Proc) Announce(structID, kind, arg uint64) {
+	if structID == 0 {
+		panic("pmem: Announce with structID 0")
+	}
+	a := p.h.annAddr(p.id)
+	p.Store(a+annStruct, structID)
+	p.Store(a+annKind, kind)
+	p.Store(a+annArg, arg)
+	p.Store(a+annSum, annCheck(structID, kind, arg))
+	p.PWB(a)
+}
+
+// ClearAnnounce durably empties this process's announcement record. It must
+// become durable before any recovery register of the previous operation is
+// reset (CP_q := 0): once CP says "nothing in flight", a stale announcement
+// would make registry-routed recovery re-invoke — and therefore duplicate —
+// the previous, completed operation. The simulator's pwb writes back
+// synchronously, so issuing the clear's pwb before touching CP_q suffices.
+func (p *Proc) ClearAnnounce() {
+	a := p.h.annAddr(p.id)
+	p.Store(a+annStruct, 0)
+	p.PWB(a)
+}
+
+// Announcement reads this process's announcement record, validating the
+// checksum. ok is false if the record is cleared or was only partially
+// persisted when the crash hit — in both cases the announced operation
+// provably performed no tracked writes, so there is nothing to recover.
+func (p *Proc) Announcement() (structID, kind, arg uint64, ok bool) {
+	a := p.h.annAddr(p.id)
+	structID = p.Load(a + annStruct)
+	kind = p.Load(a + annKind)
+	arg = p.Load(a + annArg)
+	sum := p.Load(a + annSum)
+	if structID == 0 || sum != annCheck(structID, kind, arg) {
+		return 0, 0, 0, false
+	}
+	return structID, kind, arg, true
+}
+
 // nextRand steps the per-proc xorshift PRNG.
 func (p *Proc) nextRand() uint64 {
 	x := p.rng

@@ -46,12 +46,6 @@ func New(h *pmem.Heap) *Queue {
 	return NewWithEngine(h, isb.NewEngine(h))
 }
 
-// NewOpt builds the queue on the hand-tuned Isb-Opt engine (batched
-// per-phase write-backs; see isb.NewEngineOpt).
-func NewOpt(h *pmem.Heap) *Queue {
-	return NewWithEngine(h, isb.NewEngineOpt(h))
-}
-
 // NewWithEngine builds the queue on a caller-supplied engine.
 func NewWithEngine(h *pmem.Heap, e *isb.Engine) *Queue {
 	q := &Queue{h: h, e: e}
@@ -79,28 +73,39 @@ func newNode(p *pmem.Proc, val, info uint64) pmem.Addr {
 	return nd
 }
 
+// gather maps an operation kind to its gather function.
+func (q *Queue) gather(kind uint64) isb.Gather {
+	if kind == OpEnq {
+		return q.gEnq
+	}
+	return q.gDeq
+}
+
+// ApplyOp runs the operation described by (kind, arg) and returns its
+// encoded response (isb.RespTrue for enqueue; isb.RespEmpty or an encoded
+// value for dequeue): the uniform invocation surface every structure shares.
+func (q *Queue) ApplyOp(p *pmem.Proc, kind, arg uint64) uint64 {
+	return q.e.RunOp(p, kind, arg, q.gather(kind))
+}
+
+// RecoverOp completes an interrupted operation after a crash and returns
+// its encoded response.
+func (q *Queue) RecoverOp(p *pmem.Proc, kind, arg uint64) uint64 {
+	return q.e.Recover(p, kind, arg, q.gather(kind))
+}
+
 // Enqueue appends v to the queue.
 func (q *Queue) Enqueue(p *pmem.Proc, v uint64) {
-	q.e.RunOp(p, OpEnq, v, q.gEnq)
+	q.ApplyOp(p, OpEnq, v)
 }
 
 // Dequeue removes and returns the oldest value; ok is false on empty.
 func (q *Queue) Dequeue(p *pmem.Proc) (v uint64, ok bool) {
-	r := q.e.RunOp(p, OpDeq, 0, q.gDeq)
+	r := q.ApplyOp(p, OpDeq, 0)
 	if r == isb.RespEmpty {
 		return 0, false
 	}
 	return isb.DecodeValue(r), true
-}
-
-// Recover completes an interrupted operation after a crash and returns its
-// encoded response (isb.RespTrue for enqueue; isb.RespEmpty or an encoded
-// value for dequeue).
-func (q *Queue) Recover(p *pmem.Proc, op, arg uint64) uint64 {
-	if op == OpEnq {
-		return q.e.Recover(p, OpEnq, arg, q.gEnq)
-	}
-	return q.e.Recover(p, OpDeq, arg, q.gDeq)
 }
 
 // Begin is the system-side invocation step (persist CP_q := 0).

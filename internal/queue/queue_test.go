@@ -148,7 +148,7 @@ func TestRecoverAfterCompletedOps(t *testing.T) {
 	q, h := newQueue(t, 1)
 	p := h.Proc(0)
 	q.Enqueue(p, 42)
-	if r := q.Recover(p, OpEnq, 42); r != isb.RespTrue {
+	if r := q.RecoverOp(p, OpEnq, 42); r != isb.RespTrue {
 		t.Fatalf("Recover(enq) = %d", r)
 	}
 	if q.Len() != 1 {
@@ -158,7 +158,7 @@ func TestRecoverAfterCompletedOps(t *testing.T) {
 	if !ok || v != 42 {
 		t.Fatalf("Dequeue = (%d,%v)", v, ok)
 	}
-	if r := q.Recover(p, OpDeq, 0); r != isb.EncodeValue(42) {
+	if r := q.RecoverOp(p, OpDeq, 0); r != isb.EncodeValue(42) {
 		t.Fatalf("Recover(deq) = %d, want EncodeValue(42)", r)
 	}
 	if q.Len() != 0 {
@@ -178,7 +178,7 @@ func TestRecoverAfterCrashMidEnqueue(t *testing.T) {
 		crashed := !pmem.RunOp(func() { q.Enqueue(p, 2) })
 		if crashed {
 			h.ResetAfterCrash()
-			if r := q.Recover(p, OpEnq, 2); r != isb.RespTrue {
+			if r := q.RecoverOp(p, OpEnq, 2); r != isb.RespTrue {
 				t.Fatalf("offset %d: recover = %d", offset, r)
 			}
 		}
@@ -205,7 +205,7 @@ func TestRecoverAfterCrashMidDequeue(t *testing.T) {
 		crashed := !pmem.RunOp(func() { v, ok = q.Dequeue(p) })
 		if crashed {
 			h.ResetAfterCrash()
-			r := q.Recover(p, OpDeq, 0)
+			r := q.RecoverOp(p, OpDeq, 0)
 			if r == isb.RespEmpty {
 				t.Fatalf("offset %d: dequeue on 2-element queue recovered empty", offset)
 			}

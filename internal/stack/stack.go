@@ -69,13 +69,6 @@ func New(h *pmem.Heap, elimSpins int) *Stack {
 	return NewWithEngine(h, isb.NewEngine(h), elimSpins)
 }
 
-// NewOpt builds the stack on the hand-tuned Isb-Opt engine (batched
-// per-phase write-backs; see isb.NewEngineOpt). The engine covers the
-// central stack; the exchanger keeps its own bespoke recovery data.
-func NewOpt(h *pmem.Heap, elimSpins int) *Stack {
-	return NewWithEngine(h, isb.NewEngineOpt(h), elimSpins)
-}
-
 // NewWithEngine builds the stack on a caller-supplied engine.
 func NewWithEngine(h *pmem.Heap, e *isb.Engine, elimSpins int) *Stack {
 	s := &Stack{h: h, e: e, ex: exchanger.New(h), spins: elimSpins}
@@ -98,57 +91,82 @@ func newNode(p *pmem.Proc, val uint64, next pmem.Addr, info uint64) pmem.Addr {
 	return nd
 }
 
-// Begin is the system-side invocation step for both recovery registers.
+// Begin is the system-side invocation step for both recovery registers. The
+// engine's BeginOp also durably clears the announcement record (on an
+// announcing engine) before either CP_q resets, so it runs first: once a CP
+// says "nothing in flight", a stale announcement must already be gone or
+// registry-routed recovery would duplicate the previous operation.
 func (s *Stack) Begin(p *pmem.Proc) {
-	s.ex.Begin(p)
 	s.e.BeginOp(p)
+	s.ex.Begin(p)
+}
+
+// ApplyOp runs the operation described by (kind, arg) and returns its
+// encoded response (RespTrue for push; RespEmpty or a value for pop).
+//
+// With elimination enabled the operation can take effect outside the
+// engine (a collision never reaches the central stack), so its
+// announcement must exist before Exchange runs — and every recovery
+// register the announcement could be routed to must reset before the
+// announcement exists, or a previous operation's outcome would be read as
+// this one's. Hence the order: BeginOp (retire the old announcement, CP_q
+// := 0), exchanger Begin (CP_ex := 0; Exchange's own internal Begin runs
+// too late to provide this), then AnnounceFor. Without elimination the
+// engine's RunOp entry (BeginOpFor) provides the whole sequence itself.
+func (s *Stack) ApplyOp(p *pmem.Proc, kind, arg uint64) uint64 {
+	if s.spins > 0 {
+		s.e.BeginOp(p)
+		s.ex.Begin(p)
+		s.e.AnnounceFor(p, kind, arg)
+		if kind == OpPush {
+			if _, ok := s.ex.Exchange(p, arg, exchanger.WaiterOnly, s.spins); ok {
+				return isb.RespTrue // eliminated by a pop
+			}
+		} else {
+			if v, ok := s.ex.Exchange(p, 0, exchanger.ColliderOnly, s.spins); ok {
+				return isb.EncodeValue(v) // eliminated a concurrent push
+			}
+		}
+	}
+	if kind == OpPush {
+		return s.e.RunOp(p, OpPush, arg, s.gPush)
+	}
+	return s.e.RunOp(p, OpPop, arg, s.gPop)
 }
 
 // Push adds v to the stack (eliminating with a concurrent Pop if possible).
 func (s *Stack) Push(p *pmem.Proc, v uint64) {
-	s.Begin(p)
-	if s.spins > 0 {
-		if _, ok := s.ex.Exchange(p, v, exchanger.WaiterOnly, s.spins); ok {
-			return // eliminated by a pop
-		}
-	}
-	s.e.RunOp(p, OpPush, v, s.gPush)
+	s.ApplyOp(p, OpPush, v)
 }
 
 // Pop removes and returns the top value; ok=false on empty.
 func (s *Stack) Pop(p *pmem.Proc) (uint64, bool) {
-	s.Begin(p)
-	if s.spins > 0 {
-		if v, ok := s.ex.Exchange(p, 0, exchanger.ColliderOnly, s.spins); ok {
-			return v, true // eliminated a concurrent push
-		}
-	}
-	r := s.e.RunOp(p, OpPop, 0, s.gPop)
+	r := s.ApplyOp(p, OpPop, 0)
 	if r == isb.RespEmpty {
 		return 0, false
 	}
 	return isb.DecodeValue(r), true
 }
 
-// Recover resumes an interrupted Push or Pop after a crash, returning the
+// RecoverOp resumes an interrupted Push or Pop after a crash, returning the
 // encoded response (RespTrue for push; RespEmpty or a value for pop). It
 // first consults the exchanger's recovery data: if the elimination took
 // effect, that outcome stands; otherwise the central stack's ISB recovery
 // decides.
-func (s *Stack) Recover(p *pmem.Proc, op, arg uint64) uint64 {
+func (s *Stack) RecoverOp(p *pmem.Proc, kind, arg uint64) uint64 {
 	if s.spins > 0 {
 		role := exchanger.WaiterOnly
-		if op == OpPop {
+		if kind == OpPop {
 			role = exchanger.ColliderOnly
 		}
 		if v, ok := s.ex.Recover(p, arg, role, 1, false); ok {
-			if op == OpPush {
+			if kind == OpPush {
 				return isb.RespTrue
 			}
 			return isb.EncodeValue(v)
 		}
 	}
-	if op == OpPush {
+	if kind == OpPush {
 		return s.e.Recover(p, OpPush, arg, s.gPush)
 	}
 	return s.e.Recover(p, OpPop, arg, s.gPop)

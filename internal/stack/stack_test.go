@@ -186,7 +186,7 @@ func TestRecoverAfterCompletedOps(t *testing.T) {
 	s, h := newStack(t, 1, 0)
 	p := h.Proc(0)
 	s.Push(p, 9)
-	if r := s.Recover(p, OpPush, 9); r != isb.RespTrue {
+	if r := s.RecoverOp(p, OpPush, 9); r != isb.RespTrue {
 		t.Fatalf("Recover(push) = %d", r)
 	}
 	if n := len(s.Values()); n != 1 {
@@ -196,7 +196,7 @@ func TestRecoverAfterCompletedOps(t *testing.T) {
 	if !ok || v != 9 {
 		t.Fatalf("Pop = (%d,%v)", v, ok)
 	}
-	if r := s.Recover(p, OpPop, 0); r != isb.EncodeValue(9) {
+	if r := s.RecoverOp(p, OpPop, 0); r != isb.EncodeValue(9) {
 		t.Fatalf("Recover(pop) = %d", r)
 	}
 	if len(s.Values()) != 0 {
@@ -216,7 +216,7 @@ func TestCrashSweepPushPop(t *testing.T) {
 			crashed := !pmem.RunOp(func() { s.Push(p, 2) })
 			if crashed {
 				h.ResetAfterCrash()
-				if r := s.Recover(p, OpPush, 2); r != isb.RespTrue {
+				if r := s.RecoverOp(p, OpPush, 2); r != isb.RespTrue {
 					t.Fatalf("spins %d offset %d: push recovery = %d", spins, offset, r)
 				}
 			}
@@ -231,7 +231,7 @@ func TestCrashSweepPushPop(t *testing.T) {
 			crashed = !pmem.RunOp(func() { v, ok = s.Pop(p) })
 			if crashed {
 				h.ResetAfterCrash()
-				r := s.Recover(p, OpPop, 0)
+				r := s.RecoverOp(p, OpPop, 0)
 				if r == isb.RespEmpty {
 					t.Fatalf("spins %d offset %d: pop recovered empty on 2-element stack", spins, offset)
 				}

@@ -10,25 +10,47 @@
 //
 // # Quick start
 //
+// Every structure a Runtime builds is registered under a durable structure
+// ID and speaks one operation protocol: Apply(p, Op) runs an operation and
+// returns a typed Resp; after a crash, a single Runtime.RecoverAll call
+// finds every process's in-flight operation (from its persistent
+// announcement record), routes it to the right structure through the
+// registry, and resolves it — no caller bookkeeping:
+//
 //	rt := repro.New(repro.Config{Procs: 4, CrashSim: true})
 //	l := rt.NewList()
 //	p := rt.Proc(0)
-//	l.Insert(p, 42)
+//	l.Apply(p, repro.Op{Kind: repro.OpInsert, Arg: 42})
 //
-//	// Simulate a crash in the middle of an operation:
+//	// Simulate a crash in the middle of an operation. Begin is the
+//	// system-side invocation step: it retires the previous operation's
+//	// announcement, keeping the report unambiguous (see RecoverAll).
+//	l.Begin(p)
 //	rt.ScheduleCrash(10) // after ~10 more memory accesses
-//	if !rt.Run(func() { l.Insert(p, 7) }) {
-//	    rt.Restart()                     // discard volatile state
-//	    ok := l.Recover(p, repro.OpInsert, 7) // detectably recover
-//	    _ = ok
+//	if !rt.Run(func() { l.Apply(p, repro.Op{Kind: repro.OpInsert, Arg: 7}) }) {
+//	    rt.Restart() // discard volatile state
+//	    for _, rep := range rt.RecoverAll() {
+//	        // rep says which structure proc rep.Proc was operating on,
+//	        // which operation it was, and what it returned.
+//	        _ = rep.Resp.Bool()
+//	    }
 //	}
 //
+// A process whose operation crashed before its announcement persisted is
+// absent from the report; that operation provably performed no tracked
+// writes and can simply be re-submitted. Typed convenience methods
+// (Insert/Delete/Find, Enqueue/Dequeue, Push/Pop, …) and per-structure
+// targeted recovery (List.Recover, Queue.RecoverEnqueue, …) remain as thin
+// wrappers over the same protocol.
+//
 // Every operation persists enough tracking state (the paper's Info
-// structures plus per-process RD_q/CP_q registers) that Recover can always
-// tell whether the interrupted operation took effect and what it returned.
+// structures, per-process RD_q/CP_q registers, and the per-process
+// announcement record) that recovery can always tell whether the
+// interrupted operation took effect and what it returned.
 package repro
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/bst"
@@ -71,7 +93,15 @@ const (
 	EngineIsbOpt
 )
 
-// Operation kinds accepted by the Recover methods.
+// Op is one operation invocation: a structure-specific kind plus its
+// argument. It is the single invocation currency of Apply/RecoverOp and
+// the payload of the per-process announcement record.
+type Op struct {
+	Kind uint64
+	Arg  uint64
+}
+
+// Operation kinds accepted by Apply and the typed Recover wrappers.
 const (
 	OpInsert = list.OpInsert
 	OpDelete = list.OpDelete
@@ -80,7 +110,109 @@ const (
 	OpDeq    = queue.OpDeq
 	OpPush   = stack.OpPush
 	OpPop    = stack.OpPop
+	// OpExchange offers Arg on an Exchanger.
+	OpExchange uint64 = 30
 )
+
+// Resp is the typed response of Apply and RecoverOp, wrapping the engine's
+// encoded response word. Exactly one accessor is meaningful per operation
+// kind: Bool for set operations, pushes and enqueues; Value/Empty for
+// dequeues, pops and exchanges. The encoding keeps payloads disjoint from
+// the control responses, so a carried value of 0 can never be confused
+// with "empty" (see TestRecoverDequeueZeroValue).
+type Resp struct{ raw uint64 }
+
+// Raw exposes the encoded response word (harness/test plumbing).
+func (r Resp) Raw() uint64 { return r.raw }
+
+// Bool decodes a true/false response (set membership updates, finds).
+func (r Resp) Bool() bool { return r.raw == isb.RespTrue }
+
+// Empty reports the distinguished empty-structure response (dequeue or pop
+// on an empty container).
+func (r Resp) Empty() bool { return r.raw == isb.RespEmpty }
+
+// Value decodes a carried payload (dequeued/popped/exchanged value);
+// ok is false when the response carries no payload (e.g. Empty).
+func (r Resp) Value() (uint64, bool) {
+	if !isb.IsValue(r.raw) {
+		return 0, false
+	}
+	return isb.DecodeValue(r.raw), true
+}
+
+// String renders the response for logs and reports.
+func (r Resp) String() string {
+	switch {
+	case r.raw == isb.RespTrue:
+		return "true"
+	case r.raw == isb.RespFalse:
+		return "false"
+	case r.raw == isb.RespEmpty:
+		return "empty"
+	case isb.IsValue(r.raw):
+		return fmt.Sprintf("value(%d)", isb.DecodeValue(r.raw))
+	default:
+		return fmt.Sprintf("resp(%d)", r.raw)
+	}
+}
+
+// respOf wraps an encoded response word.
+func respOf(raw uint64) Resp { return Resp{raw: raw} }
+
+// StructKind identifies a structure's type in the persisted registry.
+type StructKind uint64
+
+const (
+	KindList StructKind = iota + 1
+	KindQueue
+	KindBST
+	KindStack
+	KindHashMap
+	KindExchanger
+)
+
+func (k StructKind) String() string {
+	switch k {
+	case KindList:
+		return "list"
+	case KindQueue:
+		return "queue"
+	case KindBST:
+		return "bst"
+	case KindStack:
+		return "stack"
+	case KindHashMap:
+		return "hashmap"
+	case KindExchanger:
+		return "exchanger"
+	default:
+		return fmt.Sprintf("StructKind(%d)", uint64(k))
+	}
+}
+
+// Structure is the uniform operation/recovery surface every Runtime
+// structure implements. Begin is the system-side invocation step of the
+// paper's model (durably clear the announcement record, then CP_q := 0); a
+// crash inside Begin leaves no recovery obligation — the system simply
+// retries it. Apply runs one operation to completion, durably announcing
+// (ID, Op) before the operation can take effect; RecoverOp is the
+// operation's recovery function, idempotent and re-invocable across
+// further crashes. Runtime.RecoverAll drives RecoverOp through the
+// registry, so applications never call it directly unless they keep their
+// own per-operation bookkeeping.
+type Structure interface {
+	// ID is the structure's durable registry ID (1-based, per Runtime).
+	ID() uint64
+	// Kind reports the structure's registered type.
+	Kind() StructKind
+	// Begin is the system-side invocation step used by crash harnesses.
+	Begin(p *Proc)
+	// Apply runs op to completion and returns its response.
+	Apply(p *Proc, op Op) Resp
+	// RecoverOp resolves an interrupted op after a crash.
+	RecoverOp(p *Proc, op Op) Resp
+}
 
 // Config parameterises a Runtime.
 type Config struct {
@@ -104,10 +236,16 @@ type Config struct {
 	Engine EngineKind
 }
 
-// Runtime owns a simulated persistent heap and its process descriptors.
+// regCapacity bounds the number of structures one Runtime can register.
+const regCapacity = 256
+
+// Runtime owns a simulated persistent heap, its process descriptors, and
+// the persistent structure registry that RecoverAll routes through.
 type Runtime struct {
-	h      *pmem.Heap
-	engine EngineKind
+	h       *pmem.Heap
+	engine  EngineKind
+	structs []Structure // index id-1
+	regBase pmem.Addr   // persisted registry: word0 = count, word id = kind
 }
 
 // New builds a runtime.
@@ -116,15 +254,52 @@ func New(cfg Config) *Runtime {
 	if words == 0 {
 		words = 1 << 22
 	}
-	return &Runtime{h: pmem.NewHeap(pmem.Config{
+	r := &Runtime{h: pmem.NewHeap(pmem.Config{
 		Words: words, Procs: cfg.Procs, Model: cfg.Model,
 		Tracked: cfg.CrashSim, Seed: cfg.Seed, EvictEvery: cfg.EvictEvery,
 		PWBLatency: cfg.PWBLatency, PSyncLatency: cfg.PSyncLatency,
 	}), engine: cfg.Engine}
+	r.regBase = r.h.Proc(0).Alloc(1 + regCapacity)
+	return r
+}
+
+// register assigns the next durable structure ID, persists the registry
+// entry, and remembers the structure for RecoverAll routing.
+func (r *Runtime) register(s Structure, kind StructKind) uint64 {
+	if len(r.structs) >= regCapacity {
+		panic("repro: structure registry full")
+	}
+	r.structs = append(r.structs, s)
+	id := uint64(len(r.structs))
+	p := r.h.Proc(0)
+	p.Store(r.regBase+pmem.Addr(id), uint64(kind))
+	p.Store(r.regBase, uint64(len(r.structs)))
+	p.PBarrier(r.regBase, r.regBase+pmem.Addr(id))
+	p.PSync()
+	return id
+}
+
+// Structure returns the registered structure with the given durable ID, or
+// nil if no such ID was assigned.
+func (r *Runtime) Structure(id uint64) Structure {
+	if id == 0 || id > uint64(len(r.structs)) {
+		return nil
+	}
+	return r.structs[id-1]
+}
+
+// Structures lists the registered structures in creation (ID) order.
+func (r *Runtime) Structures() []Structure {
+	out := make([]Structure, len(r.structs))
+	copy(out, r.structs)
+	return out
 }
 
 // Engine reports the runtime's configured persistence placement.
 func (r *Runtime) Engine() EngineKind { return r.engine }
+
+// Heap exposes the underlying simulated heap (internal test plumbing).
+func (r *Runtime) Heap() *pmem.Heap { return r.h }
 
 // newEngine builds one ISB engine of the configured kind.
 func (r *Runtime) newEngine() *isb.Engine {
@@ -157,8 +332,8 @@ func (r *Runtime) Crash() { r.h.Crash() }
 func (r *Runtime) Crashing() bool { return r.h.Crashing() }
 
 // Run executes f, returning false if a simulated crash interrupted it.
-// After a crash, call Restart (once all Procs have unwound) and then the
-// appropriate Recover method for each interrupted operation.
+// After a crash, call Restart (once all Procs have unwound) and then
+// RecoverAll (or a targeted per-structure Recover method).
 func (r *Runtime) Run(f func()) bool { return pmem.RunOp(f) }
 
 // Restart discards all volatile state, as a machine restart after a power
@@ -166,17 +341,87 @@ func (r *Runtime) Run(f func()) bool { return pmem.RunOp(f) }
 // Procs must have unwound (their Run calls returned) before Restart.
 func (r *Runtime) Restart() { r.h.ResetAfterCrash() }
 
+// ProcReport is one entry of RecoverAll's report: the structure and
+// operation process Proc had announced, and the response recovery
+// resolved it to.
+type ProcReport struct {
+	Proc     int
+	StructID uint64
+	Op       Op
+	Resp     Resp
+}
+
+// RecoverAll is the registry-routed recovery sweep. Call it after Restart:
+// for every process it reads the persistent announcement record; if one is
+// set, the announced operation is routed to its structure's RecoverOp and
+// resolved, and the outcome is reported. Zero caller bookkeeping is needed
+// — the announcement carries the structure ID, operation kind and argument.
+//
+// Semantics worth knowing:
+//   - A process absent from the report either was idle or crashed before
+//     its announcement persisted; in the latter case the operation provably
+//     performed no tracked writes and can simply be re-submitted.
+//   - An announcement may describe an operation that had already completed
+//     (the crash landed between its completion and the next Begin).
+//     Recovery of a completed operation is idempotent: it changes nothing
+//     and re-reports the operation's original response.
+//   - For exactly-once consumption of the report, call the structure's
+//     Begin(p) before each Apply, as the crash harnesses and examples do:
+//     Begin durably retires the previous operation's announcement, so any
+//     report entry for p is the current operation's. Without Begin, a
+//     report entry can be the previous operation's idempotent
+//     re-confirmation, which is indistinguishable from the in-flight one
+//     when two consecutive operations are identical — an application that
+//     acts on the reported response twice would double-apply it.
+//   - RecoverAll may itself be interrupted by a further crash and re-run;
+//     announcements are only cleared by each process's next Begin (or the
+//     next operation's entry step).
+func (r *Runtime) RecoverAll() []ProcReport {
+	var out []ProcReport
+	for id := 0; id < r.h.NumProcs(); id++ {
+		p := r.h.Proc(id)
+		sid, kind, arg, ok := p.Announcement()
+		if !ok {
+			continue
+		}
+		s := r.Structure(sid)
+		if s == nil {
+			panic(fmt.Sprintf("repro: announcement for unregistered structure %d (proc %d)", sid, id))
+		}
+		op := Op{Kind: kind, Arg: arg}
+		out = append(out, ProcReport{Proc: id, StructID: sid, Op: op, Resp: s.RecoverOp(p, op)})
+	}
+	return out
+}
+
 // List is a detectably recoverable sorted set of uint64 keys (paper
 // Section 4; ISB-tracking over a Harris-style list).
-type List struct{ l *list.List }
+type List struct {
+	l  *list.List
+	id uint64
+}
 
 // NewList builds a recoverable list with the runtime's configured engine
-// (Config.Engine; EngineIsb by default).
-func (r *Runtime) NewList() *List { return &List{list.NewWithEngine(r.h, r.newEngine())} }
+// (Config.Engine; EngineIsb by default) and registers it for RecoverAll.
+func (r *Runtime) NewList() *List {
+	e := r.newEngine()
+	l := &List{l: list.NewWithEngine(r.h, e)}
+	l.id = r.register(l, KindList)
+	e.SetAnnounceID(l.id)
+	return l
+}
 
-// NewListOpt builds a recoverable list with hand-tuned (batched)
-// persistence — the paper's Isb-Opt variant — regardless of Config.Engine.
-func (r *Runtime) NewListOpt() *List { return &List{list.NewOpt(r.h)} }
+// ID is the list's durable registry ID.
+func (l *List) ID() uint64 { return l.id }
+
+// Kind reports KindList.
+func (l *List) Kind() StructKind { return KindList }
+
+// Apply runs op (OpInsert/OpDelete/OpFind) and returns its response.
+func (l *List) Apply(p *Proc, op Op) Resp { return respOf(l.l.ApplyOp(p, op.Kind, op.Arg)) }
+
+// RecoverOp resolves an interrupted op after a crash.
+func (l *List) RecoverOp(p *Proc, op Op) Resp { return respOf(l.l.RecoverOp(p, op.Kind, op.Arg)) }
 
 // Insert adds key (1 ≤ key ≤ MaxUint64-1); false if present.
 func (l *List) Insert(p *Proc, key uint64) bool { return l.l.Insert(p, key) }
@@ -188,7 +433,7 @@ func (l *List) Delete(p *Proc, key uint64) bool { return l.l.Delete(p, key) }
 func (l *List) Find(p *Proc, key uint64) bool { return l.l.Find(p, key) }
 
 // Recover completes p's interrupted operation (same kind and key) after a
-// crash and returns its response.
+// crash and returns its response: the targeted wrapper over RecoverOp.
 func (l *List) Recover(p *Proc, op, key uint64) bool { return l.l.Recover(p, op, key) }
 
 // Begin is the system-side invocation step used by crash harnesses.
@@ -197,11 +442,36 @@ func (l *List) Begin(p *Proc) { l.l.Begin(p) }
 // Keys snapshots the current key set (requires quiescence).
 func (l *List) Keys() []uint64 { return l.l.Keys() }
 
+// CheckInvariants verifies the list's structural invariants at quiescence,
+// returning a description of the first violation, or "".
+func (l *List) CheckInvariants() string { return l.l.CheckInvariants() }
+
 // Queue is a detectably recoverable FIFO queue (ISB over MS-queue).
-type Queue struct{ q *queue.Queue }
+type Queue struct {
+	q  *queue.Queue
+	id uint64
+}
 
 // NewQueue builds a recoverable queue with the runtime's configured engine.
-func (r *Runtime) NewQueue() *Queue { return &Queue{queue.NewWithEngine(r.h, r.newEngine())} }
+func (r *Runtime) NewQueue() *Queue {
+	e := r.newEngine()
+	q := &Queue{q: queue.NewWithEngine(r.h, e)}
+	q.id = r.register(q, KindQueue)
+	e.SetAnnounceID(q.id)
+	return q
+}
+
+// ID is the queue's durable registry ID.
+func (q *Queue) ID() uint64 { return q.id }
+
+// Kind reports KindQueue.
+func (q *Queue) Kind() StructKind { return KindQueue }
+
+// Apply runs op (OpEnq/OpDeq) and returns its response.
+func (q *Queue) Apply(p *Proc, op Op) Resp { return respOf(q.q.ApplyOp(p, op.Kind, op.Arg)) }
+
+// RecoverOp resolves an interrupted op after a crash.
+func (q *Queue) RecoverOp(p *Proc, op Op) Resp { return respOf(q.q.RecoverOp(p, op.Kind, op.Arg)) }
 
 // Enqueue appends v.
 func (q *Queue) Enqueue(p *Proc, v uint64) { q.q.Enqueue(p, v) }
@@ -211,16 +481,14 @@ func (q *Queue) Dequeue(p *Proc) (uint64, bool) { return q.q.Dequeue(p) }
 
 // RecoverEnqueue resolves an interrupted Enqueue(v).
 func (q *Queue) RecoverEnqueue(p *Proc, v uint64) {
-	q.q.Recover(p, queue.OpEnq, v)
+	q.RecoverOp(p, Op{Kind: OpEnq, Arg: v})
 }
 
-// RecoverDequeue resolves an interrupted Dequeue, returning its response.
+// RecoverDequeue resolves an interrupted Dequeue, returning its response
+// exactly as Dequeue would (ok=false only on empty; a dequeued value of 0
+// is (0, true)).
 func (q *Queue) RecoverDequeue(p *Proc) (uint64, bool) {
-	r := q.q.Recover(p, queue.OpDeq, 0)
-	if !isb.IsValue(r) {
-		return 0, false // r == isb.RespEmpty: the queue was empty
-	}
-	return isb.DecodeValue(r), true
+	return q.RecoverOp(p, Op{Kind: OpDeq}).Value()
 }
 
 // Begin is the system-side invocation step used by crash harnesses.
@@ -229,12 +497,36 @@ func (q *Queue) Begin(p *Proc) { q.q.Begin(p) }
 // Values snapshots the queue front-to-back (requires quiescence).
 func (q *Queue) Values() []uint64 { return q.q.Values() }
 
+// CheckInvariants verifies the queue's structural invariants at quiescence.
+func (q *Queue) CheckInvariants() string { return q.q.CheckInvariants() }
+
 // BST is a detectably recoverable leaf-oriented binary search tree
 // (Section 6; ISB over the Ellen et al. non-blocking BST).
-type BST struct{ b *bst.BST }
+type BST struct {
+	b  *bst.BST
+	id uint64
+}
 
 // NewBST builds a recoverable BST with the runtime's configured engine.
-func (r *Runtime) NewBST() *BST { return &BST{bst.NewWithEngine(r.h, r.newEngine())} }
+func (r *Runtime) NewBST() *BST {
+	e := r.newEngine()
+	b := &BST{b: bst.NewWithEngine(r.h, e)}
+	b.id = r.register(b, KindBST)
+	e.SetAnnounceID(b.id)
+	return b
+}
+
+// ID is the tree's durable registry ID.
+func (b *BST) ID() uint64 { return b.id }
+
+// Kind reports KindBST.
+func (b *BST) Kind() StructKind { return KindBST }
+
+// Apply runs op (OpInsert/OpDelete/OpFind) and returns its response.
+func (b *BST) Apply(p *Proc, op Op) Resp { return respOf(b.b.ApplyOp(p, op.Kind, op.Arg)) }
+
+// RecoverOp resolves an interrupted op after a crash.
+func (b *BST) RecoverOp(p *Proc, op Op) Resp { return respOf(b.b.RecoverOp(p, op.Kind, op.Arg)) }
 
 // Insert adds key (1 ≤ key ≤ bst.MaxUserKey); false if present.
 func (b *BST) Insert(p *Proc, key uint64) bool { return b.b.Insert(p, key) }
@@ -245,7 +537,8 @@ func (b *BST) Delete(p *Proc, key uint64) bool { return b.b.Delete(p, key) }
 // Find reports membership.
 func (b *BST) Find(p *Proc, key uint64) bool { return b.b.Find(p, key) }
 
-// Recover completes p's interrupted operation after a crash.
+// Recover completes p's interrupted operation after a crash: the targeted
+// wrapper over RecoverOp.
 func (b *BST) Recover(p *Proc, op, key uint64) bool { return b.b.Recover(p, op, key) }
 
 // Begin is the system-side invocation step used by crash harnesses.
@@ -254,15 +547,78 @@ func (b *BST) Begin(p *Proc) { b.b.Begin(p) }
 // Keys returns the keys in order (requires quiescence).
 func (b *BST) Keys() []uint64 { return b.b.Keys() }
 
-// Exchanger is a detectably recoverable two-party exchange channel.
-type Exchanger struct{ e *exchanger.Exchanger }
+// CheckInvariants verifies the tree's structural invariants at quiescence.
+func (b *BST) CheckInvariants() string { return b.b.CheckInvariants() }
 
-// NewExchanger builds a recoverable exchanger.
-func (r *Runtime) NewExchanger() *Exchanger { return &Exchanger{exchanger.New(r.h)} }
+// DefaultExchangeSpins is the partner-wait window Apply uses for
+// OpExchange. The typed Exchange method takes an explicit window.
+const DefaultExchangeSpins = 64
+
+// Exchanger is a detectably recoverable two-party exchange channel.
+type Exchanger struct {
+	e  *exchanger.Exchanger
+	h  *pmem.Heap
+	id uint64
+}
+
+// NewExchanger builds a recoverable exchanger and registers it for
+// RecoverAll.
+func (r *Runtime) NewExchanger() *Exchanger {
+	e := &Exchanger{e: exchanger.New(r.h), h: r.h}
+	e.id = r.register(e, KindExchanger)
+	return e
+}
+
+// ID is the exchanger's durable registry ID.
+func (e *Exchanger) ID() uint64 { return e.id }
+
+// Kind reports KindExchanger.
+func (e *Exchanger) Kind() StructKind { return KindExchanger }
+
+// exchResp encodes an exchange outcome: the partner's value on success,
+// false if the exchange aborted (timeout / provably no effect).
+func exchResp(v uint64, ok bool) Resp {
+	if !ok {
+		return respOf(isb.RespFalse)
+	}
+	return respOf(isb.EncodeValue(v))
+}
+
+// Apply offers op.Arg for exchange (kind OpExchange), waiting up to
+// DefaultExchangeSpins iterations for a partner. The exchanger keeps its
+// own recovery registers rather than an ISB engine, so Apply sequences the
+// announcement protocol itself: retire the old announcement, reset CP_ex
+// (so a previous exchange's recovery data cannot be read as this
+// operation's), then announce. Exchange's internal Begin re-runs harmlessly
+// after the announcement exists.
+func (e *Exchanger) Apply(p *Proc, op Op) Resp {
+	p.ClearAnnounce()
+	e.e.Begin(p)
+	p.Announce(e.id, op.Kind, op.Arg)
+	return exchResp(e.e.Exchange(p, op.Arg, exchanger.Symmetric, DefaultExchangeSpins))
+}
+
+// RecoverOp resolves an interrupted exchange of op.Arg: the partner's value
+// if the collision took effect, false if the operation provably had no
+// effect (it is not re-offered; re-submit to retry).
+func (e *Exchanger) RecoverOp(p *Proc, op Op) Resp {
+	return exchResp(e.e.Recover(p, op.Arg, exchanger.Symmetric, 1, false))
+}
+
+// Begin is the system-side invocation step: it durably clears the
+// announcement record, then the exchanger's CP register.
+func (e *Exchanger) Begin(p *Proc) {
+	p.ClearAnnounce()
+	e.e.Begin(p)
+}
 
 // Exchange offers v and waits up to spins iterations for a partner; on
-// success it returns the partner's value.
+// success it returns the partner's value. Announcement ordering as in
+// Apply.
 func (e *Exchanger) Exchange(p *Proc, v uint64, spins int) (uint64, bool) {
+	p.ClearAnnounce()
+	e.e.Begin(p)
+	p.Announce(e.id, OpExchange, v)
 	return e.e.Exchange(p, v, exchanger.Symmetric, spins)
 }
 
@@ -274,14 +630,35 @@ func (e *Exchanger) Recover(p *Proc, v uint64, spins int, retry bool) (uint64, b
 
 // Stack is a detectably recoverable elimination stack (ISB central stack
 // plus exchanger-based elimination).
-type Stack struct{ s *stack.Stack }
+type Stack struct {
+	s  *stack.Stack
+	id uint64
+}
 
 // NewStack builds a recoverable stack with the runtime's configured engine
 // (covering the central stack; the exchanger keeps its own recovery data).
 // elimSpins sets the elimination window (0 disables elimination).
 func (r *Runtime) NewStack(elimSpins int) *Stack {
-	return &Stack{stack.NewWithEngine(r.h, r.newEngine(), elimSpins)}
+	e := r.newEngine()
+	s := &Stack{s: stack.NewWithEngine(r.h, e, elimSpins)}
+	s.id = r.register(s, KindStack)
+	e.SetAnnounceID(s.id)
+	return s
 }
+
+// ID is the stack's durable registry ID.
+func (s *Stack) ID() uint64 { return s.id }
+
+// Kind reports KindStack.
+func (s *Stack) Kind() StructKind { return KindStack }
+
+// Apply runs op (OpPush/OpPop) and returns its response. The announcement
+// is durable before the elimination attempt, so even an eliminated
+// operation's effect is routable by RecoverAll.
+func (s *Stack) Apply(p *Proc, op Op) Resp { return respOf(s.s.ApplyOp(p, op.Kind, op.Arg)) }
+
+// RecoverOp resolves an interrupted op after a crash.
+func (s *Stack) RecoverOp(p *Proc, op Op) Resp { return respOf(s.s.RecoverOp(p, op.Kind, op.Arg)) }
 
 // Push adds v (v ≤ stack.MaxValue).
 func (s *Stack) Push(p *Proc, v uint64) { s.s.Push(p, v) }
@@ -290,15 +667,12 @@ func (s *Stack) Push(p *Proc, v uint64) { s.s.Push(p, v) }
 func (s *Stack) Pop(p *Proc) (uint64, bool) { return s.s.Pop(p) }
 
 // RecoverPush resolves an interrupted Push(v).
-func (s *Stack) RecoverPush(p *Proc, v uint64) { s.s.Recover(p, stack.OpPush, v) }
+func (s *Stack) RecoverPush(p *Proc, v uint64) { s.RecoverOp(p, Op{Kind: OpPush, Arg: v}) }
 
-// RecoverPop resolves an interrupted Pop, returning its response.
+// RecoverPop resolves an interrupted Pop, returning its response exactly
+// as Pop would (ok=false only on empty; a popped value of 0 is (0, true)).
 func (s *Stack) RecoverPop(p *Proc) (uint64, bool) {
-	r := s.s.Recover(p, stack.OpPop, 0)
-	if !isb.IsValue(r) {
-		return 0, false // r == isb.RespEmpty: the stack was empty
-	}
-	return isb.DecodeValue(r), true
+	return s.RecoverOp(p, Op{Kind: OpPop}).Value()
 }
 
 // Begin is the system-side invocation step used by crash harnesses.
@@ -307,6 +681,9 @@ func (s *Stack) Begin(p *Proc) { s.s.Begin(p) }
 // Values snapshots the stack top-to-bottom (requires quiescence).
 func (s *Stack) Values() []uint64 { return s.s.Values() }
 
+// CheckInvariants verifies the stack's structural invariants at quiescence.
+func (s *Stack) CheckInvariants() string { return s.s.CheckInvariants() }
+
 // HashMap is a detectably recoverable sharded lock-free hash set of uint64
 // keys: ISB-tracked Harris lists, one per bucket, sharing a single set of
 // per-process recovery registers, plus a persistent per-process shard
@@ -314,7 +691,10 @@ func (s *Stack) Values() []uint64 { return s.s.Values() }
 // cross-check on the deterministic hash route today, and the hook online
 // resharding will need). Unlike the single-point structures above, its
 // throughput scales with cores.
-type HashMap struct{ m *hashmap.Map }
+type HashMap struct {
+	m  *hashmap.Map
+	id uint64
+}
 
 // NewHashMap builds a recoverable hash map with the given shard count
 // (rounded up to a power of two, minimum 1) on the runtime's configured
@@ -322,8 +702,25 @@ type HashMap struct{ m *hashmap.Map }
 // issues one batched barrier and the shard register's write-back is folded
 // into the engine's begin barrier.
 func (r *Runtime) NewHashMap(shards int) *HashMap {
-	return &HashMap{hashmap.NewWithEngine(r.h, r.newEngine(), shards)}
+	e := r.newEngine()
+	m := &HashMap{m: hashmap.NewWithEngine(r.h, e, shards)}
+	m.id = r.register(m, KindHashMap)
+	e.SetAnnounceID(m.id)
+	return m
 }
+
+// ID is the map's durable registry ID.
+func (m *HashMap) ID() uint64 { return m.id }
+
+// Kind reports KindHashMap.
+func (m *HashMap) Kind() StructKind { return KindHashMap }
+
+// Apply runs op (OpInsert/OpDelete/OpFind) and returns its response.
+func (m *HashMap) Apply(p *Proc, op Op) Resp { return respOf(m.m.ApplyOp(p, op.Kind, op.Arg)) }
+
+// RecoverOp resolves an interrupted op after a crash, routing to the
+// operation's shard.
+func (m *HashMap) RecoverOp(p *Proc, op Op) Resp { return respOf(m.m.RecoverOp(p, op.Kind, op.Arg)) }
 
 // Insert adds key (1 ≤ key ≤ MaxUint64-1); false if present.
 func (m *HashMap) Insert(p *Proc, key uint64) bool { return m.m.Insert(p, key) }
@@ -347,3 +744,7 @@ func (m *HashMap) NumShards() int { return m.m.NumShards() }
 // Keys snapshots the current key set in ascending order (requires
 // quiescence).
 func (m *HashMap) Keys() []uint64 { return m.m.Keys() }
+
+// CheckInvariants verifies every shard's structural invariants plus the
+// sharding invariant.
+func (m *HashMap) CheckInvariants() string { return m.m.CheckInvariants() }

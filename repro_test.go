@@ -120,6 +120,264 @@ func TestPublicExchangerTimeout(t *testing.T) {
 	}
 }
 
+// TestRecoverAllRoutesAnnouncedOps drives crashes at a range of offsets
+// into a list insert while a second proc has a completed queue enqueue
+// outstanding, and checks the registry-routed report: the interrupted
+// operation is found, routed to the right structure, and resolved; the
+// completed operation is at most idempotently re-confirmed; a crash that
+// precedes the durable announcement yields no report entry and the
+// operation can simply be re-submitted. Also checks RecoverAll is
+// re-runnable (announcements persist until the next Begin).
+func TestRecoverAllRoutesAnnouncedOps(t *testing.T) {
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			routed, absent := 0, 0
+			for off := uint64(1); off <= 40; off++ {
+				rt := New(Config{Procs: 2, CrashSim: true, HeapWords: 1 << 20, Engine: e.kind})
+				l := rt.NewList()
+				q := rt.NewQueue()
+				p0, p1 := rt.Proc(0), rt.Proc(1)
+				l.Insert(p0, 5)
+				q.Enqueue(p1, 9)
+				l.Begin(p0)
+				rt.ScheduleCrash(off)
+				if rt.Run(func() { l.Apply(p0, Op{Kind: OpInsert, Arg: 7}) }) {
+					rt.CancelCrash()
+					continue
+				}
+				rt.Restart()
+				reps := rt.RecoverAll()
+				var mine *ProcReport
+				for i := range reps {
+					rep := reps[i]
+					switch rep.Proc {
+					case 0:
+						mine = &reps[i]
+					case 1:
+						// p1's enqueue completed before the crash; its
+						// announcement may still be set, in which case
+						// recovery idempotently re-confirms it.
+						if rep.StructID != q.ID() || rep.Op != (Op{Kind: OpEnq, Arg: 9}) || !rep.Resp.Bool() {
+							t.Fatalf("off=%d: stale enqueue re-confirmed wrong: %+v", off, rep)
+						}
+					}
+				}
+				if mine == nil {
+					// Crash preceded the durable announcement: provably no
+					// effect; re-submit.
+					absent++
+					if !rt.Run(func() { l.Apply(p0, Op{Kind: OpInsert, Arg: 7}) }) {
+						t.Fatalf("off=%d: re-submission crashed with no crash armed", off)
+					}
+				} else {
+					routed++
+					if mine.StructID != l.ID() || mine.Op != (Op{Kind: OpInsert, Arg: 7}) || !mine.Resp.Bool() {
+						t.Fatalf("off=%d: bad report %+v (list ID %d)", off, *mine, l.ID())
+					}
+					// Re-running RecoverAll must re-confirm the same outcome.
+					for _, rep := range rt.RecoverAll() {
+						if rep.Proc == 0 && (rep.Op != mine.Op || rep.Resp != mine.Resp) {
+							t.Fatalf("off=%d: RecoverAll not idempotent: %+v vs %+v", off, rep, *mine)
+						}
+					}
+				}
+				ks := l.Keys()
+				if len(ks) != 2 || ks[0] != 5 || ks[1] != 7 {
+					t.Fatalf("off=%d: keys %v", off, ks)
+				}
+				if vs := q.Values(); len(vs) != 1 || vs[0] != 9 {
+					t.Fatalf("off=%d: queue %v", off, vs)
+				}
+			}
+			if routed == 0 || absent == 0 {
+				t.Fatalf("coverage hole: routed=%d absent=%d (want both nonzero)", routed, absent)
+			}
+		})
+	}
+}
+
+// TestRecoverAllEmptyWhenIdle: procs with no announced operation produce no
+// report entries.
+func TestRecoverAllEmptyWhenIdle(t *testing.T) {
+	rt := New(Config{Procs: 3, CrashSim: true, HeapWords: 1 << 20})
+	l := rt.NewList()
+	p := rt.Proc(0)
+	l.Insert(p, 1)
+	l.Begin(p) // clears proc 0's announcement
+	rt.Crash()
+	rt.Run(func() { l.Find(p, 1) }) // unwind the pending crash on proc 0
+	rt.Restart()
+	if reps := rt.RecoverAll(); len(reps) != 0 {
+		t.Fatalf("idle runtime reported %+v", reps)
+	}
+}
+
+// TestRecoverDequeueZeroValue pins the public boundary: recovering a
+// dequeue (and pop) of value 0 must return (0, true), never be mistaken
+// for "empty" — at every crash offset that interrupts the operation.
+func TestRecoverDequeueZeroValue(t *testing.T) {
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			crashes := 0
+			for off := uint64(1); off <= 120; off++ {
+				rt := New(Config{Procs: 1, CrashSim: true, HeapWords: 1 << 20, Engine: e.kind})
+				q := rt.NewQueue()
+				s := rt.NewStack(0)
+				p := rt.Proc(0)
+				q.Enqueue(p, 0)
+				s.Push(p, 0)
+
+				q.Begin(p)
+				rt.ScheduleCrash(off)
+				if !rt.Run(func() { q.Dequeue(p) }) {
+					crashes++
+					rt.Restart()
+					if v, ok := q.RecoverDequeue(p); !ok || v != 0 {
+						t.Fatalf("off=%d: RecoverDequeue = (%d,%v), want (0,true)", off, v, ok)
+					}
+				} else {
+					rt.CancelCrash()
+				}
+				if _, ok := q.Dequeue(p); ok {
+					t.Fatalf("off=%d: queue not empty after dequeue of 0", off)
+				}
+
+				s.Begin(p)
+				rt.ScheduleCrash(off)
+				if !rt.Run(func() { s.Pop(p) }) {
+					crashes++
+					rt.Restart()
+					if v, ok := s.RecoverPop(p); !ok || v != 0 {
+						t.Fatalf("off=%d: RecoverPop = (%d,%v), want (0,true)", off, v, ok)
+					}
+				} else {
+					rt.CancelCrash()
+				}
+				if _, ok := s.Pop(p); ok {
+					t.Fatalf("off=%d: stack not empty after pop of 0", off)
+				}
+			}
+			if crashes == 0 {
+				t.Fatal("no crash offset interrupted the operations")
+			}
+		})
+	}
+}
+
+// TestRecoverAllExchanger: at every crash offset that interrupts a lonely
+// exchange, RecoverAll either finds no announcement (the crash preceded
+// it; nothing to recover) or routes the announced OpExchange to the
+// exchanger and resolves it to an abort — never a phantom success. Both
+// branches must be exercised.
+func TestRecoverAllExchanger(t *testing.T) {
+	routed, absent, completed := 0, 0, 0
+	for off := uint64(1); off <= 60; off++ {
+		rt := New(Config{Procs: 1, CrashSim: true, HeapWords: 1 << 20})
+		ex := rt.NewExchanger()
+		p := rt.Proc(0)
+		ex.Begin(p)
+		rt.ScheduleCrash(off)
+		if rt.Run(func() { ex.Apply(p, Op{Kind: OpExchange, Arg: 5}) }) {
+			rt.CancelCrash()
+			completed++
+			continue
+		}
+		rt.Restart()
+		reps := rt.RecoverAll()
+		if len(reps) == 0 {
+			absent++ // crash preceded the announcement
+			continue
+		}
+		routed++
+		if len(reps) != 1 || reps[0].StructID != ex.ID() ||
+			reps[0].Op != (Op{Kind: OpExchange, Arg: 5}) {
+			t.Fatalf("off=%d: report %+v", off, reps)
+		}
+		if _, ok := reps[0].Resp.Value(); ok {
+			t.Fatalf("off=%d: lonely exchange reported success: %v", off, reps[0].Resp)
+		}
+	}
+	if routed == 0 || absent == 0 {
+		t.Fatalf("coverage hole: routed=%d absent=%d completed=%d (want routed and absent nonzero)",
+			routed, absent, completed)
+	}
+}
+
+// TestRecoverAllNoDuplicateOnRepeatedOp pins the exactly-once contract for
+// consecutive identical operations under the documented Begin discipline:
+// dequeue 11, then crash a second (identical) dequeue at every early
+// offset. The resolution — report entry or, absent one, re-submission —
+// must always yield 22, never re-deliver 11.
+func TestRecoverAllNoDuplicateOnRepeatedOp(t *testing.T) {
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			crashed := 0
+			for off := uint64(1); off <= 30; off++ {
+				rt := New(Config{Procs: 1, CrashSim: true, HeapWords: 1 << 20, Engine: e.kind})
+				q := rt.NewQueue()
+				p := rt.Proc(0)
+				q.Enqueue(p, 11)
+				q.Enqueue(p, 22)
+				q.Begin(p)
+				if v, ok := q.Apply(p, Op{Kind: OpDeq}).Value(); !ok || v != 11 {
+					t.Fatalf("first dequeue = (%d,%v)", v, ok)
+				}
+				q.Begin(p) // retires the first dequeue's announcement
+				rt.ScheduleCrash(off)
+				var resp Resp
+				if rt.Run(func() { resp = q.Apply(p, Op{Kind: OpDeq}) }) {
+					rt.CancelCrash()
+				} else {
+					crashed++
+					rt.Restart()
+					reps := rt.RecoverAll()
+					switch len(reps) {
+					case 0:
+						// No announcement ⇒ the second dequeue had no
+						// effect; re-submit.
+						resp = q.Apply(p, Op{Kind: OpDeq})
+					case 1:
+						if reps[0].Op != (Op{Kind: OpDeq}) {
+							t.Fatalf("off=%d: routed %+v", off, reps[0])
+						}
+						resp = reps[0].Resp
+					default:
+						t.Fatalf("off=%d: %d reports", off, len(reps))
+					}
+				}
+				if v, ok := resp.Value(); !ok || v != 22 {
+					t.Fatalf("off=%d: second dequeue resolved to (%d,%v), want (22,true) — value 11 would be a duplicate delivery", off, v, ok)
+				}
+				if vs := q.Values(); len(vs) != 0 {
+					t.Fatalf("off=%d: queue left %v", off, vs)
+				}
+			}
+			if crashed == 0 {
+				t.Fatal("no crash offset interrupted the second dequeue")
+			}
+		})
+	}
+}
+
+// TestRegistryAssignsDurableIDs: structure IDs are 1-based, stable, and the
+// registry lists them in creation order with their kinds.
+func TestRegistryAssignsDurableIDs(t *testing.T) {
+	rt := New(Config{Procs: 1, CrashSim: true, HeapWords: 1 << 20})
+	l := rt.NewList()
+	q := rt.NewQueue()
+	m := rt.NewHashMap(4)
+	if l.ID() != 1 || q.ID() != 2 || m.ID() != 3 {
+		t.Fatalf("IDs %d %d %d, want 1 2 3", l.ID(), q.ID(), m.ID())
+	}
+	ss := rt.Structures()
+	if len(ss) != 3 || ss[0].Kind() != KindList || ss[1].Kind() != KindQueue || ss[2].Kind() != KindHashMap {
+		t.Fatalf("registry %v", ss)
+	}
+	if rt.Structure(2) != ss[1] || rt.Structure(0) != nil || rt.Structure(4) != nil {
+		t.Fatal("Structure lookup broken")
+	}
+}
+
 func TestPrivateCacheModelThroughAPI(t *testing.T) {
 	rt := New(Config{Procs: 1, Model: PrivateCache})
 	l := rt.NewList()
