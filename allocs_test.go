@@ -1,0 +1,82 @@
+package repro
+
+import "testing"
+
+// TestOpHotPathZeroAllocs pins zero steady-state Go allocations on the
+// operation hot path, through the public Runtime so the announcement path
+// is included: every Insert/Delete/Find (and Enqueue/Dequeue, Push/Pop)
+// durably announces, runs its phases and persists, and none of it may
+// allocate Go memory once scratch buffers (the batched engine's dirty
+// slice, the barrier dedup line set) have grown to steady state. The
+// simulated pmem arena does not count — its words come from pre-allocated
+// slices — which is exactly the point: simulator overhead must not scale
+// with operations.
+func TestOpHotPathZeroAllocs(t *testing.T) {
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			rt := New(Config{Procs: 1, HeapWords: 1 << 22, Engine: e.kind})
+			p := rt.Proc(0)
+
+			l := rt.NewList()
+			q := rt.NewQueue()
+			s := rt.NewStack(0)
+			// Warm-up: grow scratch buffers and touch every code path once.
+			for k := uint64(1); k <= 64; k++ {
+				l.Insert(p, k)
+			}
+			l.Delete(p, 32)
+			q.Enqueue(p, 1)
+			q.Dequeue(p)
+			s.Push(p, 1)
+			s.Pop(p)
+
+			check := func(name string, f func()) {
+				t.Helper()
+				if n := testing.AllocsPerRun(100, f); n != 0 {
+					t.Errorf("%s: %.1f Go allocations per run, want 0", name, n)
+				}
+			}
+			k := uint64(0)
+			check("list insert/find/delete", func() {
+				k++
+				key := 100 + k%64
+				l.Insert(p, key)
+				l.Find(p, key)
+				l.Delete(p, key)
+			})
+			check("queue enq/deq", func() {
+				q.Enqueue(p, k)
+				q.Dequeue(p)
+			})
+			check("stack push/pop", func() {
+				s.Push(p, k)
+				s.Pop(p)
+			})
+		})
+	}
+}
+
+// TestHashMapOpZeroAllocs extends the pin to the sharded hash map (shard
+// routing, register write-back and all).
+func TestHashMapOpZeroAllocs(t *testing.T) {
+	for _, e := range engines() {
+		t.Run(e.name, func(t *testing.T) {
+			rt := New(Config{Procs: 1, HeapWords: 1 << 22, Engine: e.kind})
+			p := rt.Proc(0)
+			m := rt.NewHashMap(8)
+			for k := uint64(1); k <= 64; k++ {
+				m.Insert(p, k)
+			}
+			k := uint64(0)
+			if n := testing.AllocsPerRun(100, func() {
+				k++
+				key := 100 + k%64
+				m.Insert(p, key)
+				m.Find(p, key)
+				m.Delete(p, key)
+			}); n != 0 {
+				t.Errorf("hashmap insert/find/delete: %.1f Go allocations per run, want 0", n)
+			}
+		})
+	}
+}

@@ -103,6 +103,7 @@ func BenchmarkQueueMS(b *testing.B)       { benchQueueAlgo(b, harness.QueueMS) }
 // ---------------------------------------------------------------------------
 
 func BenchmarkListInsertDelete(b *testing.B) {
+	b.ReportAllocs()
 	rt := New(Config{Procs: 1, HeapWords: 1 << 24})
 	l := rt.NewList()
 	p := rt.Proc(0)
@@ -120,6 +121,7 @@ func BenchmarkListInsertDelete(b *testing.B) {
 }
 
 func BenchmarkListFind(b *testing.B) {
+	b.ReportAllocs()
 	rt := New(Config{Procs: 1, HeapWords: 1 << 24})
 	l := rt.NewList()
 	p := rt.Proc(0)
@@ -141,6 +143,7 @@ func BenchmarkListFind(b *testing.B) {
 }
 
 func BenchmarkBSTInsertDelete(b *testing.B) {
+	b.ReportAllocs()
 	rt := New(Config{Procs: 1, HeapWords: 1 << 24})
 	t := rt.NewBST()
 	p := rt.Proc(0)
@@ -158,6 +161,7 @@ func BenchmarkBSTInsertDelete(b *testing.B) {
 }
 
 func BenchmarkQueueEnqDeq(b *testing.B) {
+	b.ReportAllocs()
 	rt := New(Config{Procs: 1, HeapWords: 1 << 24})
 	q := rt.NewQueue()
 	p := rt.Proc(0)
@@ -174,6 +178,7 @@ func BenchmarkQueueEnqDeq(b *testing.B) {
 }
 
 func BenchmarkStackPushPop(b *testing.B) {
+	b.ReportAllocs()
 	rt := New(Config{Procs: 1, HeapWords: 1 << 24})
 	s := rt.NewStack(0)
 	p := rt.Proc(0)

@@ -1,0 +1,110 @@
+// Command bench runs the canonical performance-scenario matrix and writes
+// a machine-comparable BENCH_<label>.json report: throughput and
+// persistence-instruction metrics for every (engine, procs, shards, mix)
+// hash-map cell, plus the timed every-crash-point conformance sweep. CI
+// archives one report per commit; diff two reports to see what a change
+// did to the simulator's hot paths.
+//
+// Usage:
+//
+//	go run ./cmd/bench                         # BENCH_local.json, full matrix
+//	go run ./cmd/bench -label abc123 -out BENCH_abc123.json
+//	go run ./cmd/bench -quick                  # small matrix (CI smoke)
+//	go run ./cmd/bench -check BENCH_x.json     # validate an existing report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func main() {
+	label := flag.String("label", "local", "report label (e.g. short commit sha)")
+	out := flag.String("out", "", "output path (default BENCH_<label>.json)")
+	procs := flag.String("procs", "", "comma-separated proc counts (default 1,2,4,8)")
+	shards := flag.String("shards", "", "comma-separated shard counts (default 1,16)")
+	ops := flag.Int("ops", 0, "operations per proc per cell (default 2000)")
+	quick := flag.Bool("quick", false, "small matrix for smoke runs")
+	check := flag.String("check", "", "validate an existing report file and exit")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	if *check != "" {
+		data, err := os.ReadFile(*check)
+		if err != nil {
+			fail(err)
+		}
+		if err := bench.Validate(data); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: valid bench report\n", *check)
+		return
+	}
+
+	// -quick supplies smaller defaults; explicit flags always win.
+	p := bench.Params{Label: *label}
+	if *quick {
+		p = bench.QuickParams()
+		p.Label = *label
+	}
+	if *ops != 0 {
+		p.OpsPerProc = *ops
+	}
+	if flagProcs, err := parseInts(*procs); err != nil {
+		fail(err)
+	} else if flagProcs != nil {
+		p.Procs = flagProcs
+	}
+	if flagShards, err := parseInts(*shards); err != nil {
+		fail(err)
+	} else if flagShards != nil {
+		p.Shards = flagShards
+	}
+
+	rep, err := bench.Run(p)
+	if err != nil {
+		fail(err)
+	}
+	data, err := bench.Marshal(rep)
+	if err != nil {
+		fail(err)
+	}
+	// The gate CI relies on: a report that fails validation is never
+	// written with exit status 0.
+	if err := bench.Validate(data); err != nil {
+		fail(err)
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *label + ".json"
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s: %d scenario cells, %d sweep scenarios, sweep %.2fs\n",
+		path, len(rep.Scenarios), len(rep.Sweeps), rep.SweepSeconds)
+}

@@ -15,6 +15,7 @@ package main
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro"
 )
@@ -137,6 +138,14 @@ func main() {
 					seenMu.Lock()
 					seen[task]++
 					seenMu.Unlock()
+				} else {
+					// Empty queue: yield before polling again. Every poll
+					// allocates an Info record in the never-reused arena
+					// (the paper assumes GC), so an unthrottled busy-wait
+					// drain would burn heap proportional to wall-clock
+					// time — noticeable now that crash resets are O(dirty
+					// lines) and the whole run is much faster.
+					time.Sleep(50 * time.Microsecond)
 				}
 			}
 		}(w)

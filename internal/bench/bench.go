@@ -1,0 +1,349 @@
+// Package bench runs the canonical performance-scenario matrix and emits a
+// machine-comparable BENCH_*.json report: the persistence-cost metrics the
+// paper's evaluation argues from (pbarriers, flushes, syncs and combined
+// persist events per operation), throughput for each (engine, procs,
+// shards, workload mix) cell, and the wall clock of the every-crash-point
+// conformance sweep. CI archives one report per commit, so the simulator's
+// hot-path speed — crash reset, barrier dedup — stays pinned across PRs.
+//
+// Regenerate locally with `go run ./cmd/bench`; compare two reports by
+// diffing their scenario rows (names are stable).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/crash"
+	"repro/internal/pmem"
+)
+
+// SchemaVersion identifies the report layout; bump on incompatible change.
+const SchemaVersion = 1
+
+// Mix is a named operation mix: percentages of finds, with the remainder
+// split evenly between inserts and deletes.
+type Mix struct {
+	Name    string
+	FindPct int
+}
+
+// Mixes is the canonical workload-mix axis.
+func Mixes() []Mix {
+	return []Mix{
+		{Name: "read-heavy", FindPct: 90},
+		{Name: "mixed", FindPct: 50},
+		{Name: "write-heavy", FindPct: 10},
+	}
+}
+
+// Params tunes one pipeline run.
+type Params struct {
+	Label      string
+	Procs      []int // default 1,2,4,8
+	Shards     []int // default 1,16
+	OpsPerProc int   // default 2000
+	KeyRange   int   // default 256
+	Seed       int64 // default 1
+}
+
+func (p Params) withDefaults() Params {
+	if p.Label == "" {
+		p.Label = "local"
+	}
+	if len(p.Procs) == 0 {
+		p.Procs = []int{1, 2, 4, 8}
+	}
+	if len(p.Shards) == 0 {
+		p.Shards = []int{1, 16}
+	}
+	if p.OpsPerProc <= 0 {
+		p.OpsPerProc = 2000
+	}
+	if p.KeyRange <= 0 {
+		p.KeyRange = 256
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// QuickParams shrinks the matrix for tests and CI smoke use.
+func QuickParams() Params {
+	return Params{Label: "quick", Procs: []int{1, 2}, Shards: []int{1, 4}, OpsPerProc: 300}
+}
+
+// Point is one measured scenario cell.
+type Point struct {
+	Name           string  `json:"name"`
+	Engine         string  `json:"engine"`
+	Procs          int     `json:"procs"`
+	Shards         int     `json:"shards"`
+	Mix            string  `json:"mix"`
+	Ops            int     `json:"ops"`
+	Seconds        float64 `json:"seconds"`
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	PBarriersPerOp float64 `json:"pbarriers_per_op"`
+	FlushesPerOp   float64 `json:"flushes_per_op"`
+	SyncsPerOp     float64 `json:"syncs_per_op"`
+	// PersistsPerOp counts persistence-barrier events: pbarriers plus
+	// stand-alone pwbs — the quantity the paper's throughput argument
+	// rides on.
+	PersistsPerOp float64 `json:"persists_per_op"`
+}
+
+// SweepPoint is the timed every-crash-point conformance sweep of one
+// (structure, engine-variant) scenario.
+type SweepPoint struct {
+	Name        string  `json:"name"`
+	Cases       int     `json:"cases"`
+	CrashPoints int     `json:"crash_points"`
+	Seconds     float64 `json:"seconds"`
+}
+
+// Report is the BENCH_*.json payload.
+type Report struct {
+	Schema     int     `json:"schema_version"`
+	Label      string  `json:"label"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Scenarios  []Point `json:"scenarios"`
+	// Sweeps times the identical conformance matrix the crash tests run
+	// (crash.Scenarios over all engine variants, eviction included);
+	// SweepSeconds is their sum — the number the CI timeout is sized from.
+	Sweeps       []SweepPoint `json:"sweeps"`
+	SweepSeconds float64      `json:"sweep_seconds"`
+}
+
+// engineKinds maps the public engine axis.
+func engineKinds() []struct {
+	name string
+	kind repro.EngineKind
+} {
+	return []struct {
+		name string
+		kind repro.EngineKind
+	}{
+		{"isb", repro.EngineIsb},
+		{"isb-opt", repro.EngineIsbOpt},
+	}
+}
+
+// heapWords sizes the untracked workload arena (every op may allocate an
+// Info record per attempt; nothing is reclaimed).
+func heapWords(procs, ops, keyRange int) int {
+	w := (procs*ops + keyRange + 1024) * 128
+	if w < 1<<21 {
+		w = 1 << 21
+	}
+	return w
+}
+
+// runPoint measures one scenario cell: a prefilled Runtime hash map under
+// the mixed workload, with simulated pwb/psync latencies so throughput
+// reflects persistence cost. Announcements are active (the map is built
+// through the Runtime), so the persistence counters include the full
+// operation protocol, exactly as a recoverable deployment would pay it.
+func runPoint(p Params, engine string, kind repro.EngineKind, procs, shards int, mix Mix) Point {
+	rt := repro.New(repro.Config{
+		Procs:      procs,
+		HeapWords:  heapWords(procs, p.OpsPerProc, p.KeyRange),
+		Engine:     kind,
+		PWBLatency: pmem.DefaultPWBLatency, PSyncLatency: pmem.DefaultPSyncLatency,
+	})
+	m := rt.NewHashMap(shards)
+	pre := rt.Proc(0)
+	rng := rand.New(rand.NewSource(p.Seed + 7))
+	for i := 0; i < p.KeyRange/2; i++ {
+		m.Insert(pre, uint64(rng.Intn(p.KeyRange))+1)
+	}
+	rt.Heap().ResetAllStats()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pr := rt.Proc(w)
+			rng := rand.New(rand.NewSource(p.Seed*131 + int64(w)))
+			ud := 0
+			for i := 0; i < p.OpsPerProc; i++ {
+				k := uint64(rng.Intn(p.KeyRange)) + 1
+				if rng.Intn(100) < mix.FindPct {
+					m.Find(pr, k)
+				} else if ud++; ud%2 == 0 {
+					m.Insert(pr, k)
+				} else {
+					m.Delete(pr, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := rt.Heap().TotalStats()
+	ops := procs * p.OpsPerProc
+	pt := Point{
+		Name:    fmt.Sprintf("hashmap/engine=%s/procs=%d/shards=%d/mix=%s", engine, procs, shards, mix.Name),
+		Engine:  engine,
+		Procs:   procs,
+		Shards:  shards,
+		Mix:     mix.Name,
+		Ops:     ops,
+		Seconds: elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		pt.OpsPerSec = float64(ops) / elapsed.Seconds()
+	}
+	pt.PBarriersPerOp = float64(st.Barriers) / float64(ops)
+	pt.FlushesPerOp = float64(st.Flushes) / float64(ops)
+	pt.SyncsPerOp = float64(st.Syncs) / float64(ops)
+	pt.PersistsPerOp = float64(st.Barriers+st.Flushes) / float64(ops)
+	return pt
+}
+
+// runSweeps times the conformance matrix (identical to the one the crash
+// tests enforce) and returns its per-scenario wall clock.
+func runSweeps() ([]SweepPoint, float64, error) {
+	var out []SweepPoint
+	total := 0.0
+	for _, sc := range crash.Scenarios(crash.SweepEngineVariants()) {
+		start := time.Now()
+		points := 0
+		for _, c := range sc.Cases {
+			n, err := crash.RunCase(sc.Build, c)
+			if err != nil {
+				return nil, 0, fmt.Errorf("sweep %s: %w", sc.Name(), err)
+			}
+			points += n
+		}
+		secs := time.Since(start).Seconds()
+		total += secs
+		out = append(out, SweepPoint{
+			Name:        "conformance/" + sc.Name(),
+			Cases:       len(sc.Cases),
+			CrashPoints: points,
+			Seconds:     secs,
+		})
+	}
+	return out, total, nil
+}
+
+// Run executes the full pipeline: the throughput/persistence matrix
+// (engines × procs × shards × mixes) followed by the timed crash-point
+// conformance sweep.
+func Run(p Params) (Report, error) {
+	p = p.withDefaults()
+	rep := Report{
+		Schema:     SchemaVersion,
+		Label:      p.Label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, eng := range engineKinds() {
+		for _, procs := range p.Procs {
+			for _, shards := range p.Shards {
+				for _, mix := range Mixes() {
+					rep.Scenarios = append(rep.Scenarios,
+						runPoint(p, eng.name, eng.kind, procs, shards, mix))
+				}
+			}
+		}
+	}
+	sweeps, total, err := runSweeps()
+	if err != nil {
+		return rep, err
+	}
+	rep.Sweeps = sweeps
+	rep.SweepSeconds = total
+	return rep, nil
+}
+
+// Marshal renders a report as indented, diff-friendly JSON.
+func Marshal(rep Report) ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// finite rejects NaN/Inf metric values (they would serialize as invalid
+// JSON or break cross-PR comparison).
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks that data is a well-formed, machine-comparable report:
+// current schema, a non-empty scenario matrix covering every canonical mix,
+// finite non-negative metrics, and a non-empty timed sweep section. CI runs
+// it on the freshly written artifact and fails the job on malformed output.
+func Validate(data []byte) error {
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("bench: report is not valid JSON: %w", err)
+	}
+	if rep.Schema != SchemaVersion {
+		return fmt.Errorf("bench: schema_version %d, want %d", rep.Schema, SchemaVersion)
+	}
+	if rep.Label == "" {
+		return fmt.Errorf("bench: empty label")
+	}
+	if len(rep.Scenarios) == 0 {
+		return fmt.Errorf("bench: no scenarios")
+	}
+	mixes := map[string]bool{}
+	for i, pt := range rep.Scenarios {
+		if pt.Name == "" || pt.Engine == "" || pt.Mix == "" {
+			return fmt.Errorf("bench: scenario %d is missing name/engine/mix", i)
+		}
+		if pt.Procs <= 0 || pt.Shards <= 0 || pt.Ops <= 0 {
+			return fmt.Errorf("bench: scenario %s has non-positive procs/shards/ops", pt.Name)
+		}
+		if !finite(pt.Seconds, pt.OpsPerSec, pt.PBarriersPerOp, pt.FlushesPerOp, pt.SyncsPerOp, pt.PersistsPerOp) {
+			return fmt.Errorf("bench: scenario %s has non-finite metrics", pt.Name)
+		}
+		if pt.Seconds < 0 || pt.OpsPerSec < 0 || pt.PBarriersPerOp < 0 ||
+			pt.FlushesPerOp < 0 || pt.SyncsPerOp < 0 || pt.PersistsPerOp < 0 {
+			return fmt.Errorf("bench: scenario %s has negative metrics", pt.Name)
+		}
+		mixes[pt.Mix] = true
+	}
+	for _, m := range Mixes() {
+		if !mixes[m.Name] {
+			return fmt.Errorf("bench: scenario matrix is missing mix %q", m.Name)
+		}
+	}
+	if len(rep.Sweeps) == 0 {
+		return fmt.Errorf("bench: no conformance sweeps")
+	}
+	for _, sw := range rep.Sweeps {
+		if sw.Name == "" {
+			return fmt.Errorf("bench: sweep with empty name")
+		}
+		if sw.Cases <= 0 || sw.CrashPoints <= 0 {
+			return fmt.Errorf("bench: sweep %s covered no crash points", sw.Name)
+		}
+		if !finite(sw.Seconds) || sw.Seconds < 0 {
+			return fmt.Errorf("bench: sweep %s has bad seconds", sw.Name)
+		}
+	}
+	if !finite(rep.SweepSeconds) || rep.SweepSeconds < 0 {
+		return fmt.Errorf("bench: bad sweep_seconds")
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestReportSchema runs the quick matrix end to end and pins the JSON
+// contract: Validate accepts the fresh report, and the serialized form
+// carries the exact field names other tooling (CI artifact diffing) keys
+// on. A rename or dropped field fails here, not in a downstream consumer.
+func TestReportSchema(t *testing.T) {
+	rep, err := Run(QuickParams())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	data, err := Marshal(rep)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("fresh report failed validation: %v", err)
+	}
+
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	for _, key := range []string{"schema_version", "label", "go_version", "scenarios", "sweeps", "sweep_seconds"} {
+		if _, ok := raw[key]; !ok {
+			t.Fatalf("report JSON is missing top-level key %q", key)
+		}
+	}
+	scen := raw["scenarios"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "engine", "procs", "shards", "mix", "ops",
+		"seconds", "ops_per_sec", "pbarriers_per_op", "flushes_per_op", "syncs_per_op", "persists_per_op"} {
+		if _, ok := scen[key]; !ok {
+			t.Fatalf("scenario JSON is missing key %q", key)
+		}
+	}
+	sweep := raw["sweeps"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "cases", "crash_points", "seconds"} {
+		if _, ok := sweep[key]; !ok {
+			t.Fatalf("sweep JSON is missing key %q", key)
+		}
+	}
+
+	// The matrix must cover both engines, every canonical mix, and the
+	// eviction-widened conformance scenarios.
+	engines, mixes := map[string]bool{}, map[string]bool{}
+	for _, pt := range rep.Scenarios {
+		engines[pt.Engine] = true
+		mixes[pt.Mix] = true
+	}
+	if !engines["isb"] || !engines["isb-opt"] {
+		t.Fatalf("scenario engines = %v, want isb and isb-opt", engines)
+	}
+	if len(mixes) != len(Mixes()) {
+		t.Fatalf("scenario mixes = %v, want all of %v", mixes, Mixes())
+	}
+	evict := false
+	for _, sw := range rep.Sweeps {
+		if strings.Contains(sw.Name, "-evict") {
+			evict = true
+		}
+	}
+	if !evict {
+		t.Fatal("sweep section has no eviction-enabled scenario")
+	}
+	if rep.SweepSeconds <= 0 {
+		t.Fatalf("sweep_seconds = %v, want > 0", rep.SweepSeconds)
+	}
+}
+
+// TestValidateRejectsMalformed pins the failure modes the CI gate relies
+// on: truncated output, wrong schema, and an empty matrix must all error.
+func TestValidateRejectsMalformed(t *testing.T) {
+	for name, data := range map[string]string{
+		"truncated":    `{"schema_version": 1, "label": "x"`,
+		"wrong-schema": `{"schema_version": 99, "label": "x", "scenarios": [], "sweeps": []}`,
+		"no-scenarios": `{"schema_version": 1, "label": "x", "scenarios": [], "sweeps": []}`,
+		"nan-metric": `{"schema_version": 1, "label": "x", "scenarios": [
+			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","ops":1,
+			 "seconds":1,"ops_per_sec":"NaN"}], "sweeps": []}`,
+	} {
+		if err := Validate([]byte(data)); err == nil {
+			t.Errorf("%s: Validate accepted malformed report", name)
+		}
+	}
+}

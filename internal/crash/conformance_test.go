@@ -1,279 +1,17 @@
 package crash
 
-import (
-	"fmt"
-	"testing"
-
-	"repro/internal/bst"
-	"repro/internal/hashmap"
-	"repro/internal/isb"
-	"repro/internal/list"
-	"repro/internal/pmem"
-	"repro/internal/queue"
-	"repro/internal/stack"
-)
+import "testing"
 
 // Crash-point conformance: SweepAllPoints drives representative operations
-// of every structure through a crash at every shared-memory access, under
-// both engine variants. The set-like structures (list, BST, hash map) share
-// one case table; the queue and stack get FIFO/LIFO-shaped ones.
-
-// setPrefill seeds every set-like structure before a sweep.
-var setPrefill = []uint64{3, 9, 14, 27, 31}
-
-// setSweepCases builds the shared set case table from a structure's op
-// codes (list and hashmap share the list's; the BST has its own constants
-// with identical values).
-func setSweepCases(opIns, opDel, opFind uint64) []SweepCase {
-	return []SweepCase{
-		{"insert-fresh", Op{Kind: opIns, Arg: 8}, respBool(true)},
-		{"insert-dup", Op{Kind: opIns, Arg: 9}, respBool(false)},
-		{"delete-present", Op{Kind: opDel, Arg: 14}, respBool(true)},
-		{"delete-absent", Op{Kind: opDel, Arg: 15}, respBool(false)},
-		{"find-present", Op{Kind: opFind, Arg: 27}, respBool(true)},
-		{"find-absent", Op{Kind: opFind, Arg: 28}, respBool(false)},
-	}
-}
-
-// setExpect is the sequential model: prefill, then the case's op applied.
-func setExpect(opIns, opDel uint64, op Op) map[uint64]bool {
-	w := map[uint64]bool{}
-	for _, k := range setPrefill {
-		w[k] = true
-	}
-	switch op.Kind {
-	case opIns:
-		w[op.Arg] = true
-	case opDel:
-		delete(w, op.Arg)
-	}
-	return w
-}
-
-// setVerify compares a snapshot against the sequential model and then runs
-// the structure's own invariant check.
-func setVerify(opIns, opDel uint64, keys func() []uint64, invariants func() string) func(SweepCase) string {
-	return func(c SweepCase) string {
-		want := setExpect(opIns, opDel, c.Op)
-		got := keys()
-		if len(got) != len(want) {
-			return fmt.Sprintf("key set %v, want %v", got, keysOf(want))
-		}
-		for _, k := range got {
-			if !want[k] {
-				return fmt.Sprintf("unexpected key %d (set %v)", k, got)
-			}
-		}
-		return invariants()
-	}
-}
-
-func keysOf(m map[uint64]bool) []uint64 {
-	out := make([]uint64, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	return out
-}
-
-func TestListCrashConformance(t *testing.T) {
-	forEachEngine(t, func(t *testing.T, eng engineVariant) {
-		build := func() SweepInstance {
-			h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1, Tracked: true, Seed: 42})
-			l := list.NewWithEngine(h, eng.mk(h))
-			p := h.Proc(0)
-			for _, k := range setPrefill {
-				l.Insert(p, k)
-			}
-			return SweepInstance{
-				Heap:   h,
-				Target: Adapt(l),
-				Verify: setVerify(list.OpInsert, list.OpDelete, l.Keys, l.CheckInvariants),
-			}
-		}
-		SweepAllPoints(t, build, setSweepCases(list.OpInsert, list.OpDelete, list.OpFind))
-	})
-}
-
-func TestBSTCrashConformance(t *testing.T) {
-	forEachEngine(t, func(t *testing.T, eng engineVariant) {
-		build := func() SweepInstance {
-			h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1, Tracked: true, Seed: 42})
-			b := bst.NewWithEngine(h, eng.mk(h))
-			p := h.Proc(0)
-			for _, k := range setPrefill {
-				b.Insert(p, k)
-			}
-			return SweepInstance{
-				Heap:   h,
-				Target: Adapt(b),
-				Verify: setVerify(bst.OpInsert, bst.OpDelete, b.Keys, b.CheckInvariants),
-			}
-		}
-		SweepAllPoints(t, build, setSweepCases(bst.OpInsert, bst.OpDelete, bst.OpFind))
-	})
-}
-
-func TestHashMapCrashConformance(t *testing.T) {
-	forEachEngine(t, func(t *testing.T, eng engineVariant) {
-		build := func() SweepInstance {
-			h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1, Tracked: true, Seed: 42})
-			m := hashmap.NewWithEngine(h, eng.mk(h), 4)
-			p := h.Proc(0)
-			for _, k := range setPrefill {
-				m.Insert(p, k)
-			}
-			return SweepInstance{
-				Heap:   h,
-				Target: Adapt(m),
-				Verify: setVerify(hashmap.OpInsert, hashmap.OpDelete, m.Keys, m.CheckInvariants),
-			}
-		}
-		SweepAllPoints(t, build, setSweepCases(hashmap.OpInsert, hashmap.OpDelete, hashmap.OpFind))
-	})
-}
-
-// queueVerify checks the queue's remaining values front-to-back.
-func queueVerify(q *queue.Queue, want func(c SweepCase) []uint64) func(SweepCase) string {
-	return func(c SweepCase) string {
-		w := want(c)
-		got := q.Values()
-		if len(got) != len(w) {
-			return fmt.Sprintf("queue %v, want %v", got, w)
-		}
-		for i := range w {
-			if got[i] != w[i] {
-				return fmt.Sprintf("queue %v, want %v", got, w)
-			}
-		}
-		return q.CheckInvariants()
-	}
-}
-
-func TestQueueCrashConformance(t *testing.T) {
-	forEachEngine(t, func(t *testing.T, eng engineVariant) {
-		prefilled := func() SweepInstance {
-			h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1, Tracked: true, Seed: 42})
-			q := queue.NewWithEngine(h, eng.mk(h))
-			p := h.Proc(0)
-			q.Enqueue(p, 5)
-			q.Enqueue(p, 6)
-			return SweepInstance{
-				Heap:   h,
-				Target: Adapt(q),
-				Verify: queueVerify(q, func(c SweepCase) []uint64 {
-					if c.Op.Kind == queue.OpEnq {
-						return []uint64{5, 6, c.Op.Arg}
-					}
-					return []uint64{6}
-				}),
-			}
-		}
-		SweepAllPoints(t, prefilled, []SweepCase{
-			{"enqueue", Op{Kind: queue.OpEnq, Arg: 7}, isb.RespTrue},
-			{"dequeue", Op{Kind: queue.OpDeq}, isb.EncodeValue(5)},
+// of every structure through a crash at every shared-memory access. The
+// matrix itself — structures, engine variants (including eviction-enabled
+// heaps), cases and oracles — lives in scenarios.go so cmd/bench can time
+// the identical sweep it is run under here.
+func TestCrashConformanceScenarios(t *testing.T) {
+	for _, sc := range Scenarios(SweepEngineVariants()) {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			SweepAllPoints(t, sc.Build, sc.Cases)
 		})
-
-		empty := func() SweepInstance {
-			h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1, Tracked: true, Seed: 42})
-			q := queue.NewWithEngine(h, eng.mk(h))
-			return SweepInstance{
-				Heap:   h,
-				Target: Adapt(q),
-				Verify: queueVerify(q, func(SweepCase) []uint64 { return nil }),
-			}
-		}
-		SweepAllPoints(t, empty, []SweepCase{
-			{"dequeue-empty", Op{Kind: queue.OpDeq}, isb.RespEmpty},
-		})
-
-		// Regression: a dequeued value of 0 must stay distinguishable from
-		// "empty" at every crash point (the response encoding keeps payloads
-		// disjoint from RespEmpty; decoding must not conflate them).
-		zero := func() SweepInstance {
-			h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1, Tracked: true, Seed: 42})
-			q := queue.NewWithEngine(h, eng.mk(h))
-			q.Enqueue(h.Proc(0), 0)
-			return SweepInstance{
-				Heap:   h,
-				Target: Adapt(q),
-				Verify: queueVerify(q, func(SweepCase) []uint64 { return nil }),
-			}
-		}
-		SweepAllPoints(t, zero, []SweepCase{
-			{"dequeue-zero", Op{Kind: queue.OpDeq}, isb.EncodeValue(0)},
-		})
-	})
-}
-
-// stackVerify checks the stack's remaining values top-to-bottom.
-func stackVerify(s *stack.Stack, want func(c SweepCase) []uint64) func(SweepCase) string {
-	return func(c SweepCase) string {
-		w := want(c)
-		got := s.Values()
-		if len(got) != len(w) {
-			return fmt.Sprintf("stack %v, want %v", got, w)
-		}
-		for i := range w {
-			if got[i] != w[i] {
-				return fmt.Sprintf("stack %v, want %v", got, w)
-			}
-		}
-		return s.CheckInvariants()
 	}
-}
-
-func TestStackCrashConformance(t *testing.T) {
-	forEachEngine(t, func(t *testing.T, eng engineVariant) {
-		prefilled := func() SweepInstance {
-			h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1, Tracked: true, Seed: 42})
-			s := stack.NewWithEngine(h, eng.mk(h), 0)
-			p := h.Proc(0)
-			s.Push(p, 5)
-			s.Push(p, 6)
-			return SweepInstance{
-				Heap:   h,
-				Target: Adapt(s),
-				Verify: stackVerify(s, func(c SweepCase) []uint64 {
-					if c.Op.Kind == stack.OpPush {
-						return []uint64{c.Op.Arg, 6, 5}
-					}
-					return []uint64{5}
-				}),
-			}
-		}
-		SweepAllPoints(t, prefilled, []SweepCase{
-			{"push", Op{Kind: stack.OpPush, Arg: 7}, isb.RespTrue},
-			{"pop", Op{Kind: stack.OpPop}, isb.EncodeValue(6)},
-		})
-
-		empty := func() SweepInstance {
-			h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1, Tracked: true, Seed: 42})
-			s := stack.NewWithEngine(h, eng.mk(h), 0)
-			return SweepInstance{
-				Heap:   h,
-				Target: Adapt(s),
-				Verify: stackVerify(s, func(SweepCase) []uint64 { return nil }),
-			}
-		}
-		SweepAllPoints(t, empty, []SweepCase{
-			{"pop-empty", Op{Kind: stack.OpPop}, isb.RespEmpty},
-		})
-
-		// Regression: a popped value of 0 must stay distinguishable from
-		// "empty" at every crash point.
-		zero := func() SweepInstance {
-			h := pmem.NewHeap(pmem.Config{Words: 1 << 21, Procs: 1, Tracked: true, Seed: 42})
-			s := stack.NewWithEngine(h, eng.mk(h), 0)
-			s.Push(h.Proc(0), 0)
-			return SweepInstance{
-				Heap:   h,
-				Target: Adapt(s),
-				Verify: stackVerify(s, func(SweepCase) []uint64 { return nil }),
-			}
-		}
-		SweepAllPoints(t, zero, []SweepCase{
-			{"pop-zero", Op{Kind: stack.OpPop}, isb.EncodeValue(0)},
-		})
-	})
 }

@@ -9,13 +9,6 @@ import (
 	"repro/internal/pmem"
 )
 
-func respBool(b bool) uint64 {
-	if b {
-		return linearize.RespTrue
-	}
-	return linearize.RespFalse
-}
-
 // listKindMap translates list op codes to linearize kinds (they coincide).
 func listGen(keys uint64) func(id, i int, rng *rand.Rand) Op {
 	return func(id, i int, rng *rand.Rand) Op {

@@ -7,19 +7,21 @@ import (
 	"repro/internal/pmem"
 )
 
-// engineVariant names one persistence placement and builds its engine. The
-// whole crash suite — storms and the crash-point conformance sweep — runs
-// once per variant, holding Isb and Isb-Opt to the same detectability bar.
+// engineVariant is the storm tests' view of an EngineVariant (scenarios.go):
+// one persistence placement and its engine factory. The whole crash suite —
+// storms and the crash-point conformance sweep — runs once per variant,
+// holding Isb and Isb-Opt to the same detectability bar.
 type engineVariant struct {
 	name string
 	mk   func(h *pmem.Heap) *isb.Engine
 }
 
 func engineVariants() []engineVariant {
-	return []engineVariant{
-		{"isb", isb.NewEngine},
-		{"isb-opt", isb.NewEngineOpt},
+	var out []engineVariant
+	for _, v := range EngineVariants() {
+		out = append(out, engineVariant{name: v.Name, mk: v.New})
 	}
+	return out
 }
 
 // forEachEngine runs f as a subtest per engine variant.

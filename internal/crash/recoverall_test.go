@@ -88,9 +88,12 @@ func TestRecoverAllCrashConformance(t *testing.T) {
 	for _, eng := range reproEngines() {
 		eng := eng
 		t.Run(eng.name, func(t *testing.T) {
+			// Sweep-sized heap: the sweep rebuilds the Runtime once per
+			// crash offset, so a benchmark-sized arena would make heap
+			// zeroing dominate the job's wall clock (see sweepHeapWords).
 			newRT := func() *repro.Runtime {
 				return repro.New(repro.Config{
-					Procs: 1, CrashSim: true, HeapWords: 1 << 21,
+					Procs: 1, CrashSim: true, HeapWords: sweepHeapWords,
 					Seed: 42, Engine: eng.kind,
 				})
 			}

@@ -1,6 +1,7 @@
 package crash
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/pmem"
@@ -35,15 +36,74 @@ type SweepInstance struct {
 	RecoverAll func(p *pmem.Proc, op Op) uint64
 }
 
+// RunCase is the sweep core, usable outside `go test` (cmd/bench times it):
+// it measures the case's tracked access count on an uninterrupted run, then
+// replays the operation once per access offset with a system-wide crash
+// armed exactly there, checking response and post-state each time. It
+// returns how many offsets actually interrupted the operation, or the first
+// conformance violation.
+func RunCase(build func() SweepInstance, c SweepCase) (crashPoints int, err error) {
+	// Measure the operation's access count on an identical run (tracked
+	// heaps count accesses unconditionally). Count Invoke's accesses only:
+	// the replays below run Begin before arming, so offsets past Invoke's
+	// span could never interrupt the operation and would be wasted rebuilds.
+	in := build()
+	p := in.Heap.Proc(0)
+	in.Target.Begin(p)
+	before := in.Heap.AccessCount()
+	if got := in.Target.Invoke(p, c.Op); got != c.WantResp {
+		return 0, fmt.Errorf("uninterrupted %s: response %d, want %d", c.Name, got, c.WantResp)
+	}
+	total := in.Heap.AccessCount() - before
+	if total == 0 {
+		return 0, fmt.Errorf("%s: operation made no tracked accesses", c.Name)
+	}
+	if msg := in.Verify(c); msg != "" {
+		return 0, fmt.Errorf("uninterrupted %s: %s", c.Name, msg)
+	}
+
+	for off := uint64(1); off <= total; off++ {
+		in := build()
+		p := in.Heap.Proc(0)
+		// System-side invocation step: a crash inside Begin leaves no
+		// recovery obligation; the system simply retries it.
+		for !pmem.RunOp(func() { in.Target.Begin(p) }) {
+			in.Heap.ResetAfterCrash()
+		}
+		in.Heap.ScheduleCrashAt(in.Heap.AccessCount() + off)
+		var resp uint64
+		if pmem.RunOp(func() { resp = in.Target.Invoke(p, c.Op) }) {
+			in.Heap.DisarmCrash() // the crash would land after completion
+		} else {
+			crashPoints++
+			in.Heap.ResetAfterCrash()
+			rec := in.Target.Recover
+			if in.RecoverAll != nil {
+				rec = in.RecoverAll
+			}
+			if !pmem.RunOp(func() { resp = rec(p, c.Op) }) {
+				return crashPoints, fmt.Errorf("%s off=%d: recovery crashed with no crash armed", c.Name, off)
+			}
+		}
+		if resp != c.WantResp {
+			return crashPoints, fmt.Errorf("%s off=%d: response %d, want %d", c.Name, off, resp, c.WantResp)
+		}
+		if msg := in.Verify(c); msg != "" {
+			return crashPoints, fmt.Errorf("%s off=%d: %s", c.Name, off, msg)
+		}
+	}
+	if crashPoints == 0 {
+		return 0, fmt.Errorf("%s: no crash point actually interrupted the operation", c.Name)
+	}
+	return crashPoints, nil
+}
+
 // SweepAllPoints is the structure-agnostic crash-point conformance sweep:
-// for every case it first measures the operation's tracked access count on
-// an uninterrupted run, then replays the operation once per access offset
-// with a system-wide crash armed exactly there. Each crashed replay must
-// recover to the sequential model's response and post-state — this is the
-// paper's detectability bar, checked exhaustively rather than sampled, and
-// it holds every engine variant to the same standard (a batched phase must
-// be recoverable whether the crash left it fully persisted or fully
-// absent).
+// RunCase per case, as subtests. Each crashed replay must recover to the
+// sequential model's response and post-state — this is the paper's
+// detectability bar, checked exhaustively rather than sampled, and it holds
+// every engine variant to the same standard (a batched phase must be
+// recoverable whether the crash left it fully persisted or fully absent).
 //
 // build must return a fresh, identically prefilled instance on every call
 // (the sweep rebuilds once per crash offset). Cases run on Proc 0.
@@ -51,62 +111,8 @@ func SweepAllPoints(t *testing.T, build func() SweepInstance, cases []SweepCase)
 	t.Helper()
 	for _, c := range cases {
 		t.Run(c.Name, func(t *testing.T) {
-			// Measure the operation's access count on an identical run. The
-			// access counter only advances while a crash is armed, so arm
-			// one far beyond the run.
-			in := build()
-			p := in.Heap.Proc(0)
-			in.Heap.ScheduleCrashAt(1 << 62)
-			in.Target.Begin(p)
-			// Count Invoke's accesses only: the replays below run Begin
-			// unarmed, so offsets past Invoke's span could never interrupt
-			// the operation and would be wasted rebuilds.
-			before := in.Heap.AccessCount()
-			if got := in.Target.Invoke(p, c.Op); got != c.WantResp {
-				t.Fatalf("uninterrupted %s: response %d, want %d", c.Name, got, c.WantResp)
-			}
-			total := in.Heap.AccessCount() - before
-			in.Heap.DisarmCrash()
-			if total == 0 {
-				t.Fatal("operation made no tracked accesses")
-			}
-			if msg := in.Verify(c); msg != "" {
-				t.Fatalf("uninterrupted %s: %s", c.Name, msg)
-			}
-
-			covered := 0
-			for off := uint64(1); off <= total; off++ {
-				in := build()
-				p := in.Heap.Proc(0)
-				// System-side invocation step: a crash inside Begin leaves
-				// no recovery obligation; the system retries it.
-				for !pmem.RunOp(func() { in.Target.Begin(p) }) {
-					in.Heap.ResetAfterCrash()
-				}
-				in.Heap.ScheduleCrashAt(in.Heap.AccessCount() + off)
-				var resp uint64
-				if pmem.RunOp(func() { resp = in.Target.Invoke(p, c.Op) }) {
-					in.Heap.DisarmCrash() // the crash would land after completion
-				} else {
-					covered++
-					in.Heap.ResetAfterCrash()
-					rec := in.Target.Recover
-					if in.RecoverAll != nil {
-						rec = in.RecoverAll
-					}
-					if !pmem.RunOp(func() { resp = rec(p, c.Op) }) {
-						t.Fatalf("off=%d: recovery crashed with no crash armed", off)
-					}
-				}
-				if resp != c.WantResp {
-					t.Fatalf("off=%d: response %d, want %d", off, resp, c.WantResp)
-				}
-				if msg := in.Verify(c); msg != "" {
-					t.Fatalf("off=%d: %s", off, msg)
-				}
-			}
-			if covered == 0 {
-				t.Fatal("no crash point actually interrupted the operation")
+			if _, err := RunCase(build, c); err != nil {
+				t.Fatal(err)
 			}
 		})
 	}

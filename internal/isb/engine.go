@@ -119,14 +119,14 @@ func (e *Engine) runAttempts(p *pmem.Proc, opType, argKey uint64, gather Gather)
 	p.PSync()
 
 	per := e.per(p)
-	var spec Spec
+	spec := &e.specs[p.ID()] // reused per-process scratch, see Engine.specs
 	for {
 		info := e.allocInfo(p)
 		spec.Reset()
 		spec.OpType, spec.ArgKey = opType, argKey
 
 		// Gather phase.
-		if gather(p, info, &spec) == Restart {
+		if gather(p, info, spec) == Restart {
 			continue
 		}
 
@@ -148,7 +148,7 @@ func (e *Engine) runAttempts(p *pmem.Proc, opType, argKey uint64, gather Gather)
 		// batched persister covers the record and the whole NewSet in one
 		// barrier; the eager one issues a pbarrier per range.
 		per.Reset()
-		e.install(p, info, &spec)
+		e.install(p, info, spec)
 		per.WroteRange(info, InfoWords)
 		for i := 0; i < spec.NPersist; i++ {
 			per.WroteRange(spec.Persist[i].Addr, spec.Persist[i].Words)

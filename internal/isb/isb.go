@@ -195,6 +195,12 @@ type Engine struct {
 	h    *pmem.Heap
 	base pmem.Addr // proc q's line: base + q*WordsPerLine; word0 = RD, word1 = CP
 	pers []Persister
+	// specs are per-process attempt-spec scratch records. A Spec passed to
+	// a Gather callback by address escapes analysis, so a stack-local one
+	// would cost one heap allocation per operation; each process instead
+	// reuses its slot (a Proc is single-goroutine, and runAttempts never
+	// nests on one process).
+	specs []Spec
 	// noROpt disables the Algorithm 2 read-only fast path, forcing every
 	// operation through Help — i.e. plain Algorithm 1. Used by the ROpt
 	// ablation benchmarks.
@@ -232,7 +238,7 @@ func NewEngineWith(h *pmem.Heap, mk func(p *pmem.Proc) Persister) *Engine {
 	n := uint64(h.NumProcs())
 	raw := p0.Alloc(n*pmem.WordsPerLine + pmem.WordsPerLine)
 	base := (raw + pmem.WordsPerLine - 1) &^ (pmem.WordsPerLine - 1)
-	e := &Engine{h: h, base: base, pers: make([]Persister, h.NumProcs())}
+	e := &Engine{h: h, base: base, pers: make([]Persister, h.NumProcs()), specs: make([]Spec, h.NumProcs())}
 	for i := range e.pers {
 		e.pers[i] = mk(h.Proc(i))
 	}

@@ -51,10 +51,14 @@ func (e *eagerPersister) Flush()                               {}
 func (e *eagerPersister) EndPhase()                            { e.p.PSync() }
 func (e *eagerPersister) Batched() bool                        { return false }
 
-// batchPersister is the hand-tuned placement (Isb-Opt): dirty words
+// batchPersister is the hand-tuned placement (Isb-Opt): dirty lines
 // accumulate across a phase and one barrier per phase writes them all back,
-// flushing each distinct cache line once. The capacity of the dirty slice
-// is retained across phases, so steady-state operation does not allocate.
+// flushing each distinct cache line exactly once (PBarrierAddrs dedupes
+// exactly, for any phase size). Accumulation is line-granular with an
+// adjacent-duplicate check, so a run of stores to one line — the common
+// phase shape — costs one slot, keeping large phases' scratch small. The
+// capacity of the dirty slice is retained across phases, so steady-state
+// operation does not allocate.
 type batchPersister struct {
 	p     *pmem.Proc
 	dirty []pmem.Addr
@@ -62,7 +66,17 @@ type batchPersister struct {
 
 func (b *batchPersister) Reset() { b.dirty = b.dirty[:0] }
 
-func (b *batchPersister) WroteWord(a pmem.Addr) { b.dirty = append(b.dirty, a) }
+// note records line l as dirty unless it was the line recorded last.
+func (b *batchPersister) note(l pmem.Addr) {
+	if n := len(b.dirty); n > 0 && b.dirty[n-1] == l {
+		return
+	}
+	b.dirty = append(b.dirty, l)
+}
+
+func (b *batchPersister) WroteWord(a pmem.Addr) {
+	b.note(a &^ (pmem.WordsPerLine - 1))
+}
 
 func (b *batchPersister) WroteRange(a pmem.Addr, words uint64) {
 	// Stride from the containing line boundary, not from a: the arena only
@@ -70,7 +84,7 @@ func (b *batchPersister) WroteRange(a pmem.Addr, words uint64) {
 	// line than words/WordsPerLine and the tail line must not be dropped.
 	end := a + pmem.Addr(words)
 	for l := a &^ (pmem.WordsPerLine - 1); l < end; l += pmem.WordsPerLine {
-		b.dirty = append(b.dirty, l)
+		b.note(l)
 	}
 }
 

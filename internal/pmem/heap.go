@@ -27,10 +27,25 @@
 // simulated latencies are attached to PWB/PSync in the shared cache model so
 // that throughput comparisons are driven by the same quantity the paper
 // measures: the number of persistence instructions per operation.
+//
+// # Performance model
+//
+// The simulator keeps its own costs off the measured hot paths. A tracked
+// heap maintains a per-cache-line dirty bitmap recording which lines'
+// volatile image may diverge from the persisted image: line write-backs
+// skip clean lines, and ResetAfterCrash restores only dirty lines —
+// O(dirty), not O(used arena) — which is what makes every-crash-point
+// conformance sweeps cheap enough to run densely. Barrier dedup
+// (PBarrier/PBarrierAddrs) is exact for any phase size via a per-proc
+// reusable line set, so each distinct line is flushed once and the hot
+// path performs zero steady-state Go allocations. Tracked-mode accesses
+// are counted unconditionally (AccessCount); untracked heaps skip the
+// shared counter entirely.
 package pmem
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 	"time"
 )
@@ -97,6 +112,18 @@ type Heap struct {
 	vol []atomic.Uint64 // volatile image: what primitives act on
 	per []atomic.Uint64 // persisted image (tracked mode only)
 
+	// dirty is a per-cache-line bitmap (tracked mode only): bit l%64 of
+	// word l/64 is set iff line l's volatile image may diverge from its
+	// persisted image. Writers set a line's bit immediately after the
+	// volatile store; persistLine clears it immediately before copying the
+	// line back. That ordering keeps the invariant "volatile != persisted
+	// implies dirty" under concurrency (a racing store re-dirties the line
+	// after the clear, and the copy then already sees its value), at worst
+	// leaving a spuriously dirty line — never a silently clean one. The
+	// bitmap is what makes ResetAfterCrash O(dirty lines) instead of
+	// O(used arena) and lets persistLine skip write-backs of clean lines.
+	dirty []atomic.Uint64
+
 	annBase Addr // per-proc announcement lines (see proc.go: Announce)
 
 	next    atomic.Uint64 // bump pointer (word index)
@@ -112,7 +139,7 @@ type Heap struct {
 
 	crashing  atomic.Bool // when set, every Proc panics at its next access
 	epoch     atomic.Uint64
-	accessCtr atomic.Uint64 // total pmem accesses (tracked mode)
+	accessCtr atomic.Uint64 // total pmem accesses (tracked mode, unconditional)
 	crashAt   atomic.Uint64 // armed access-count threshold; 0 = disarmed
 }
 
@@ -152,6 +179,8 @@ func NewHeap(cfg Config) *Heap {
 	}
 	if cfg.Tracked {
 		h.per = make([]atomic.Uint64, cfg.Words)
+		lines := (cfg.Words + WordsPerLine - 1) / WordsPerLine
+		h.dirty = make([]atomic.Uint64, (lines+63)/64)
 	}
 	h.annBase = reservedWords
 	h.next.Store(reservedWords + uint64(cfg.Procs)*WordsPerLine)
@@ -241,18 +270,49 @@ func (h *Heap) ReadPersisted(a Addr) uint64 {
 // lineOf returns the first word of the cache line containing a.
 func lineOf(a Addr) Addr { return a &^ (WordsPerLine - 1) }
 
+// dirtyBit locates line l's bit in the dirty bitmap.
+func dirtyBit(line Addr) (word int, mask uint64) {
+	l := uint64(line) / WordsPerLine
+	return int(l / 64), 1 << (l % 64)
+}
+
+// markDirty records that the line containing a may diverge from its
+// persisted image. Must be called after the volatile store it covers (see
+// the dirty field's invariant). The load-before-or keeps the common case —
+// re-writing an already-dirty line — free of contended atomic RMWs.
+func (h *Heap) markDirty(a Addr) {
+	w, m := dirtyBit(lineOf(a))
+	if d := &h.dirty[w]; d.Load()&m == 0 {
+		d.Or(m)
+	}
+}
+
 // persistLine copies one cache line from the volatile to the persisted
-// image. The per-word copy is not atomic across the line, mirroring real
-// hardware where a line write-back races with subsequent cache updates; each
-// persisted word is always *some* value the volatile word held at or after
-// the write-back was issued.
+// image. Clean lines (volatile and persisted images already agree) are
+// skipped outright. The per-word copy is not atomic across the line,
+// mirroring real hardware where a line write-back races with subsequent
+// cache updates; each persisted word is always *some* value the volatile
+// word held at or after the write-back was issued. The dirty bit is cleared
+// before the copy so a concurrent store either lands in the copy or
+// re-dirties the line.
 func (h *Heap) persistLine(line Addr) {
+	w, m := dirtyBit(line)
+	d := &h.dirty[w]
+	if d.Load()&m == 0 {
+		return
+	}
+	d.And(^m)
+	h.copyLine(h.per, h.vol, line)
+}
+
+// copyLine copies one cache line from src to dst, clamped to the arena.
+func (h *Heap) copyLine(dst, src []atomic.Uint64, line Addr) {
 	end := line + WordsPerLine
 	if end > Addr(h.cap) {
 		end = Addr(h.cap)
 	}
 	for w := line; w < end; w++ {
-		h.per[w].Store(h.vol[w].Load())
+		dst[w].Store(src[w].Load())
 	}
 }
 
@@ -270,8 +330,11 @@ func (h *Heap) Crash() {
 // Crashing reports whether a crash is in progress.
 func (h *Heap) Crashing() bool { return h.crashing.Load() }
 
-// AccessCount returns the total number of pmem accesses performed so far
-// (tracked mode; used to schedule crashes at access granularity).
+// AccessCount returns the total number of pmem accesses performed so far in
+// tracked mode, whether or not a crash is armed (used to schedule crashes at
+// access granularity and to measure an operation's access span). Untracked
+// heaps do not count: the counter is a shared atomic, and untracked heaps
+// exist precisely so benchmarks skip that hot-path cost.
 func (h *Heap) AccessCount() uint64 { return h.accessCtr.Load() }
 
 // ScheduleCrashAt arms a crash that fires when the global access counter
@@ -294,7 +357,35 @@ func (h *Heap) DisarmCrash() { h.crashAt.Store(0) }
 // ResetAfterCrash discards the volatile image: every allocated word reverts
 // to its persisted value and the crash flag is cleared. Callers must
 // guarantee no Proc is running.
+//
+// Only dirty lines — those whose volatile image diverged from the persisted
+// image since their last write-back — are restored, so the cost is
+// O(dirty lines), not O(used arena). TestResetAfterCrashDifferential pins
+// the equivalence against a brute-force full-arena restore.
 func (h *Heap) ResetAfterCrash() {
+	if !h.tracked {
+		panic("pmem: ResetAfterCrash on untracked heap")
+	}
+	for wi := range h.dirty {
+		bitsw := h.dirty[wi].Load()
+		if bitsw == 0 {
+			continue
+		}
+		h.dirty[wi].Store(0)
+		base := Addr(wi) * 64 * WordsPerLine
+		for bitsw != 0 {
+			line := base + Addr(bits.TrailingZeros64(bitsw))*WordsPerLine
+			h.copyLine(h.vol, h.per, line)
+			bitsw &= bitsw - 1
+		}
+	}
+	h.finishReset()
+}
+
+// resetAfterCrashFull is the brute-force restore ResetAfterCrash replaced:
+// every used word reverts to its persisted value regardless of dirty state.
+// Kept as the differential-testing oracle.
+func (h *Heap) resetAfterCrashFull() {
 	if !h.tracked {
 		panic("pmem: ResetAfterCrash on untracked heap")
 	}
@@ -302,11 +393,30 @@ func (h *Heap) ResetAfterCrash() {
 	for w := uint64(0); w < n; w++ {
 		h.vol[w].Store(h.per[w].Load())
 	}
+	for wi := range h.dirty {
+		h.dirty[wi].Store(0)
+	}
+	h.finishReset()
+}
+
+// finishReset clears crash state once the volatile image is restored.
+func (h *Heap) finishReset() {
 	for _, p := range h.procs {
 		p.crashed = false
 	}
 	h.epoch.Add(1)
 	h.crashing.Store(false)
+}
+
+// DirtyLineCount reports how many cache lines currently diverge (or may
+// diverge — spurious dirty bits are possible under races) from the persisted
+// image. Tracked mode only; useful for tests and simulator metrics.
+func (h *Heap) DirtyLineCount() int {
+	n := 0
+	for wi := range h.dirty {
+		n += bits.OnesCount64(h.dirty[wi].Load())
+	}
+	return n
 }
 
 // Epoch counts completed crashes; useful for tests that must observe that a

@@ -1,5 +1,7 @@
 package pmem
 
+import "slices"
+
 // Proc is a process descriptor: the unit of crash-recovery in the paper's
 // model. All primitive operations on the heap go through a Proc, which lets
 // the simulator (a) inject crashes at any shared-memory access, (b) track
@@ -24,6 +26,10 @@ type Proc struct {
 	chunk     Addr
 	chunkLeft uint64
 
+	// lineScratch is the reusable line-set backing barrier dedup (see
+	// flushLines); its capacity is retained across barriers.
+	lineScratch []Addr
+
 	spinSink uint64 // defeats dead-code elimination of latency spins
 }
 
@@ -39,9 +45,10 @@ type Crash struct{ ProcID int }
 
 func (c Crash) Error() string { return "pmem: simulated crash" }
 
-// checkCrash panics with Crash if a system-wide crash is in progress, and
-// fires a scheduled (system-wide or individual) crash when this access
-// crosses the armed threshold.
+// checkCrash counts this access (tracked mode counts unconditionally; see
+// Heap.AccessCount), panics with Crash if a system-wide crash is in
+// progress, and fires a scheduled (system-wide or individual) crash when
+// this access crosses the armed threshold.
 func (p *Proc) checkCrash() {
 	if !p.h.tracked {
 		return
@@ -60,12 +67,11 @@ func (p *Proc) checkCrash() {
 		}
 		return
 	}
-	if at := p.h.crashAt.Load(); at != 0 {
-		if p.h.accessCtr.Add(1) >= at && p.h.crashAt.CompareAndSwap(at, 0) {
-			p.h.crashing.Store(true)
-			p.crashed = true
-			panic(Crash{ProcID: p.id})
-		}
+	n := p.h.accessCtr.Add(1)
+	if at := p.h.crashAt.Load(); at != 0 && n >= at && p.h.crashAt.CompareAndSwap(at, 0) {
+		p.h.crashing.Store(true)
+		p.crashed = true
+		panic(Crash{ProcID: p.id})
 	}
 }
 
@@ -85,6 +91,9 @@ func (p *Proc) Store(a Addr, v uint64) {
 	}
 	p.stats.Stores++
 	p.h.vol[a].Store(v)
+	if p.h.tracked {
+		p.h.markDirty(a)
+	}
 	p.afterWrite(a)
 }
 
@@ -103,6 +112,9 @@ func (p *Proc) CAS(a Addr, old, new uint64) uint64 {
 			return cur
 		}
 		if p.h.vol[a].CompareAndSwap(old, new) {
+			if p.h.tracked {
+				p.h.markDirty(a)
+			}
 			p.afterWrite(a)
 			return old
 		}
@@ -184,61 +196,46 @@ func (p *Proc) PSync() {
 	}
 }
 
+// flushLines write-backs each distinct cache line covering addrs exactly
+// once, in ascending line order. Dedup is exact for any phase size — no
+// fixed window beyond which duplicates would be re-flushed — and reuses the
+// per-proc scratch buffer, so steady-state barriers perform zero Go
+// allocations (pinned by TestBarrierZeroAllocs).
+func (p *Proc) flushLines(addrs []Addr) {
+	ls := p.lineScratch[:0]
+	for _, a := range addrs {
+		ls = append(ls, lineOf(a))
+	}
+	slices.Sort(ls)
+	ls = slices.Compact(ls)
+	p.lineScratch = ls
+	for _, line := range ls {
+		p.stats.LineFlushes++
+		p.pwb(line)
+	}
+}
+
 // PBarrier issues PWBs for the cache lines covering the given addresses
 // followed by a PFence (the paper's pbarrier). It is counted once as a
-// barrier, not as stand-alone flushes; duplicate lines are flushed once.
+// barrier, not as stand-alone flushes; each distinct line is flushed
+// exactly once.
 func (p *Proc) PBarrier(addrs ...Addr) {
-	p.checkCrash()
-	if p.h.model == PrivateCache {
-		return
-	}
-	p.stats.Barriers++
-	var done [8]Addr // dedupe small address sets without allocating
-	n := 0
-outer:
-	for _, a := range addrs {
-		line := lineOf(a)
-		for i := 0; i < n; i++ {
-			if done[i] == line {
-				continue outer
-			}
-		}
-		if n < len(done) {
-			done[n] = line
-			n++
-		}
-		p.pwb(a)
-	}
-	p.stats.Fences++
+	p.PBarrierAddrs(addrs)
 }
 
 // PBarrierAddrs issues one barrier (single pfence, counted once) covering
-// the cache lines of all given addresses, flushing each distinct line once.
-// This is the hand-tuned batching the paper describes: "all pwb
-// instructions can be issued at the end of the phase, before the psync; a
-// single pwb flushes all fields fitting in a cache line."
+// the cache lines of all given addresses, flushing each distinct line
+// exactly once however many there are. This is the hand-tuned batching the
+// paper describes: "all pwb instructions can be issued at the end of the
+// phase, before the psync; a single pwb flushes all fields fitting in a
+// cache line."
 func (p *Proc) PBarrierAddrs(addrs []Addr) {
 	p.checkCrash()
 	if p.h.model == PrivateCache {
 		return
 	}
 	p.stats.Barriers++
-	var done [16]Addr
-	n := 0
-outer:
-	for _, a := range addrs {
-		line := lineOf(a)
-		for i := 0; i < n; i++ {
-			if done[i] == line {
-				continue outer
-			}
-		}
-		if n < len(done) {
-			done[n] = line
-			n++
-		}
-		p.pwb(a)
-	}
+	p.flushLines(addrs)
 	p.stats.Fences++
 }
 
@@ -251,6 +248,7 @@ func (p *Proc) PBarrierRange(a Addr, words uint64) {
 	p.stats.Barriers++
 	end := a + Addr(words)
 	for line := lineOf(a); line < end; line += WordsPerLine {
+		p.stats.LineFlushes++
 		p.pwb(line)
 	}
 	p.stats.Fences++

@@ -9,10 +9,11 @@ type Stats struct {
 	Stores uint64
 	CASes  uint64
 
-	Flushes  uint64 // stand-alone PWB instructions
-	Barriers uint64 // PBarrier invocations (pwb+pfence pairs)
-	Fences   uint64 // PFence instructions (incl. those inside barriers)
-	Syncs    uint64 // PSync instructions
+	Flushes     uint64 // stand-alone PWB instructions
+	Barriers    uint64 // PBarrier invocations (pwb+pfence pairs)
+	LineFlushes uint64 // pwbs issued inside barriers (one per distinct line)
+	Fences      uint64 // PFence instructions (incl. those inside barriers)
+	Syncs       uint64 // PSync instructions
 
 	Evictions  uint64 // simulated arbitrary cache-line evictions
 	AllocWords uint64
@@ -25,6 +26,7 @@ func (s *Stats) Add(o Stats) {
 	s.CASes += o.CASes
 	s.Flushes += o.Flushes
 	s.Barriers += o.Barriers
+	s.LineFlushes += o.LineFlushes
 	s.Fences += o.Fences
 	s.Syncs += o.Syncs
 	s.Evictions += o.Evictions
@@ -34,15 +36,16 @@ func (s *Stats) Add(o Stats) {
 // Sub returns s - o field-wise (for interval measurements).
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Loads:      s.Loads - o.Loads,
-		Stores:     s.Stores - o.Stores,
-		CASes:      s.CASes - o.CASes,
-		Flushes:    s.Flushes - o.Flushes,
-		Barriers:   s.Barriers - o.Barriers,
-		Fences:     s.Fences - o.Fences,
-		Syncs:      s.Syncs - o.Syncs,
-		Evictions:  s.Evictions - o.Evictions,
-		AllocWords: s.AllocWords - o.AllocWords,
+		Loads:       s.Loads - o.Loads,
+		Stores:      s.Stores - o.Stores,
+		CASes:       s.CASes - o.CASes,
+		Flushes:     s.Flushes - o.Flushes,
+		Barriers:    s.Barriers - o.Barriers,
+		LineFlushes: s.LineFlushes - o.LineFlushes,
+		Fences:      s.Fences - o.Fences,
+		Syncs:       s.Syncs - o.Syncs,
+		Evictions:   s.Evictions - o.Evictions,
+		AllocWords:  s.AllocWords - o.AllocWords,
 	}
 }
 
