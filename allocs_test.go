@@ -1,6 +1,9 @@
 package repro
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // TestOpHotPathZeroAllocs pins zero steady-state Go allocations on the
 // operation hot path, through the public Runtime so the announcement path
@@ -11,72 +14,101 @@ import "testing"
 // simulated pmem arena does not count — its words come from pre-allocated
 // slices — which is exactly the point: simulator overhead must not scale
 // with operations.
+//
+// The reclaim=true variants extend the pin over the whole reclamation hot
+// path: free-list pops in Alloc, retired-ring writes in Retire, epoch
+// pin enter/exit, and the periodic epoch advance + free sweep (the churn
+// below crosses the ring's free threshold many times per AllocsPerRun
+// window) — none of it may allocate Go memory either. Only the cold paths
+// (carving a new slab, the post-crash scan) are allowed to.
 func TestOpHotPathZeroAllocs(t *testing.T) {
 	for _, e := range engines() {
-		t.Run(e.name, func(t *testing.T) {
-			rt := New(Config{Procs: 1, HeapWords: 1 << 22, Engine: e.kind})
-			p := rt.Proc(0)
+		for _, reclaim := range []bool{false, true} {
+			e, reclaim := e, reclaim
+			t.Run(fmt.Sprintf("%s/reclaim=%v", e.name, reclaim), func(t *testing.T) {
+				rt := New(Config{Procs: 1, HeapWords: 1 << 22, Engine: e.kind, Reclaim: reclaim})
+				p := rt.Proc(0)
 
-			l := rt.NewList()
-			q := rt.NewQueue()
-			s := rt.NewStack(0)
-			// Warm-up: grow scratch buffers and touch every code path once.
-			for k := uint64(1); k <= 64; k++ {
-				l.Insert(p, k)
-			}
-			l.Delete(p, 32)
-			q.Enqueue(p, 1)
-			q.Dequeue(p)
-			s.Push(p, 1)
-			s.Pop(p)
-
-			check := func(name string, f func()) {
-				t.Helper()
-				if n := testing.AllocsPerRun(100, f); n != 0 {
-					t.Errorf("%s: %.1f Go allocations per run, want 0", name, n)
+				l := rt.NewList()
+				q := rt.NewQueue()
+				s := rt.NewStack(0)
+				// Warm-up: grow scratch buffers and touch every code path once.
+				for k := uint64(1); k <= 64; k++ {
+					l.Insert(p, k)
 				}
-			}
-			k := uint64(0)
-			check("list insert/find/delete", func() {
-				k++
-				key := 100 + k%64
-				l.Insert(p, key)
-				l.Find(p, key)
-				l.Delete(p, key)
-			})
-			check("queue enq/deq", func() {
-				q.Enqueue(p, k)
+				l.Delete(p, 32)
+				q.Enqueue(p, 1)
 				q.Dequeue(p)
-			})
-			check("stack push/pop", func() {
-				s.Push(p, k)
+				s.Push(p, 1)
 				s.Pop(p)
+				// Warm the reclaimer past slab carving: churn one lap so the
+				// pinned window reuses freed blocks instead of growing slabs.
+				for k := uint64(100); k < 164; k++ {
+					l.Insert(p, k)
+					l.Delete(p, k)
+					q.Enqueue(p, k)
+					q.Dequeue(p)
+					s.Push(p, k)
+					s.Pop(p)
+				}
+
+				check := func(name string, f func()) {
+					t.Helper()
+					if n := testing.AllocsPerRun(100, f); n != 0 {
+						t.Errorf("%s: %.1f Go allocations per run, want 0", name, n)
+					}
+				}
+				k := uint64(0)
+				check("list insert/find/delete", func() {
+					k++
+					key := 100 + k%64
+					l.Insert(p, key)
+					l.Find(p, key)
+					l.Delete(p, key)
+				})
+				check("queue enq/deq", func() {
+					q.Enqueue(p, k)
+					q.Dequeue(p)
+				})
+				check("stack push/pop", func() {
+					s.Push(p, k)
+					s.Pop(p)
+				})
 			})
-		})
+		}
 	}
 }
 
 // TestHashMapOpZeroAllocs extends the pin to the sharded hash map (shard
-// routing, register write-back and all).
+// routing, register write-back and all), with and without reclamation.
 func TestHashMapOpZeroAllocs(t *testing.T) {
 	for _, e := range engines() {
-		t.Run(e.name, func(t *testing.T) {
-			rt := New(Config{Procs: 1, HeapWords: 1 << 22, Engine: e.kind})
-			p := rt.Proc(0)
-			m := rt.NewHashMap(8)
-			for k := uint64(1); k <= 64; k++ {
-				m.Insert(p, k)
-			}
-			k := uint64(0)
-			if n := testing.AllocsPerRun(100, func() {
-				k++
-				key := 100 + k%64
-				m.Insert(p, key)
-				m.Find(p, key)
-				m.Delete(p, key)
-			}); n != 0 {
-				t.Errorf("hashmap insert/find/delete: %.1f Go allocations per run, want 0", n)
-			}
-		})
+		for _, reclaim := range []bool{false, true} {
+			e, reclaim := e, reclaim
+			t.Run(fmt.Sprintf("%s/reclaim=%v", e.name, reclaim), func(t *testing.T) {
+				rt := New(Config{Procs: 1, HeapWords: 1 << 22, Engine: e.kind, Reclaim: reclaim})
+				p := rt.Proc(0)
+				m := rt.NewHashMap(8)
+				for k := uint64(1); k <= 64; k++ {
+					m.Insert(p, k)
+				}
+				// Warm the reclaimer past slab carving: one full churn lap
+				// so steady state serves from free lists.
+				for k := uint64(100); k < 164; k++ {
+					m.Insert(p, k)
+					m.Delete(p, k)
+				}
+				k := uint64(0)
+				if n := testing.AllocsPerRun(100, func() {
+					k++
+					key := 100 + k%64
+					m.Insert(p, key)
+					m.Find(p, key)
+					m.Delete(p, key)
+				}); n != 0 {
+					t.Errorf("hashmap insert/find/delete: %.1f Go allocations per run, want 0", n)
+				}
+			})
+		}
 	}
 }

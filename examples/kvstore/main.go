@@ -32,7 +32,19 @@ const (
 )
 
 func main() {
-	rt := repro.New(repro.Config{Procs: workers, CrashSim: true, HeapWords: 1 << 23})
+	// Heap sizing. With the leak-forever arena (Reclaim: false, the
+	// default) the heap must hold every allocation the run will ever make:
+	// each operation attempt burns a 32-word tracking record plus any
+	// fresh nodes, so workers×opsPerW ops need on the order of
+	// workers*opsPerW*128 words — 1<<23 was the safe arena size for this
+	// workload, and doubling the ops means doubling the heap. With the
+	// epoch reclaimer the heap only needs the *working set*: live keys +
+	// two epochs of not-yet-recycled blocks + the per-process retired
+	// rings — a few hundred blocks here — so 1<<18 words (2 MiB) runs the
+	// same crash-riddled workload at any op count.
+	rt := repro.New(repro.Config{
+		Procs: workers, CrashSim: true, HeapWords: 1 << 18, Reclaim: true,
+	})
 	store := rt.NewHashMap(shards)
 
 	var mu sync.Mutex

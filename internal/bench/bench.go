@@ -25,7 +25,9 @@ import (
 )
 
 // SchemaVersion identifies the report layout; bump on incompatible change.
-const SchemaVersion = 1
+// v2 added the reclaim section (steady-state heap pins under the epoch
+// reclaimer vs the leak-forever arena).
+const SchemaVersion = 2
 
 // Mix is a named operation mix: percentages of finds, with the remainder
 // split evenly between inserts and deletes.
@@ -99,6 +101,26 @@ type Point struct {
 	PersistsPerOp float64 `json:"persists_per_op"`
 }
 
+// ReclaimPoint is one steady-state heap cell: the same deterministic churn
+// workload (insert/delete pairs over a small key range, so every pair
+// allocates and retires nodes and tracking records) run in two equal
+// windows. HeapWordsMid samples arena usage after the first window and
+// HeapWords after the second: with the epoch reclaimer the second window
+// must be served entirely from recycled blocks (no growth — the gate
+// Validate enforces), while the leak-forever arena grows linearly (the
+// unbounded baseline the reclaimer exists to fix).
+type ReclaimPoint struct {
+	Name         string `json:"name"`
+	Engine       string `json:"engine"`
+	Reclaim      bool   `json:"reclaim"`
+	ChurnOps     int    `json:"churn_ops"`
+	HeapWordsMid uint64 `json:"heap_words_mid"`
+	HeapWords    uint64 `json:"heap_words"`
+	LiveNodes    uint64 `json:"live_nodes"`
+	FreedBlocks  uint64 `json:"freed_blocks"`
+	ReusedBlocks uint64 `json:"reused_blocks"`
+}
+
 // SweepPoint is the timed every-crash-point conformance sweep of one
 // (structure, engine-variant) scenario.
 type SweepPoint struct {
@@ -120,6 +142,10 @@ type Report struct {
 	// SweepSeconds is their sum — the number the CI timeout is sized from.
 	Sweeps       []SweepPoint `json:"sweeps"`
 	SweepSeconds float64      `json:"sweep_seconds"`
+	// Reclaim pins steady-state heap usage under churn for both
+	// allocators; Validate fails a report whose reclaimer-on cells grew
+	// across the churn window.
+	Reclaim []ReclaimPoint `json:"reclaim"`
 }
 
 // engineKinds maps the public engine axis.
@@ -211,6 +237,44 @@ func runPoint(p Params, engine string, kind repro.EngineKind, procs, shards int,
 	return pt
 }
 
+// runReclaim measures one steady-state heap cell: churnOps insert/delete
+// pairs on a hash map (key range 32, so pairs recycle a small working set)
+// per window, two windows, heap usage sampled between and after.
+func runReclaim(engine string, kind repro.EngineKind, churnOps int, reclaim bool) ReclaimPoint {
+	rt := repro.New(repro.Config{
+		Procs:     1,
+		HeapWords: heapWords(1, 4*churnOps, 32),
+		Engine:    kind,
+		Reclaim:   reclaim,
+	})
+	m := rt.NewHashMap(4)
+	p := rt.Proc(0)
+	window := func() {
+		for i := 0; i < churnOps/2; i++ {
+			k := uint64(i%32) + 1
+			m.Insert(p, k)
+			m.Delete(p, k)
+		}
+	}
+	window()
+	mid := rt.Heap().Used()
+	window()
+	pt := ReclaimPoint{
+		Name:         fmt.Sprintf("reclaim-churn/engine=%s/reclaim=%v", engine, reclaim),
+		Engine:       engine,
+		Reclaim:      reclaim,
+		ChurnOps:     2 * (churnOps / 2) * 2,
+		HeapWordsMid: mid,
+		HeapWords:    rt.Heap().Used(),
+		LiveNodes:    rt.LiveNodes(),
+	}
+	if st, ok := rt.ReclaimStats(); ok {
+		pt.FreedBlocks = st.Freed
+		pt.ReusedBlocks = st.Reused
+	}
+	return pt
+}
+
 // runSweeps times the conformance matrix (identical to the one the crash
 // tests enforce) and returns its per-scenario wall clock.
 func runSweeps() ([]SweepPoint, float64, error) {
@@ -265,6 +329,12 @@ func Run(p Params) (Report, error) {
 	}
 	rep.Sweeps = sweeps
 	rep.SweepSeconds = total
+	for _, eng := range engineKinds() {
+		for _, rec := range []bool{false, true} {
+			rep.Reclaim = append(rep.Reclaim,
+				runReclaim(eng.name, eng.kind, p.OpsPerProc, rec))
+		}
+	}
 	return rep, nil
 }
 
@@ -344,6 +414,31 @@ func Validate(data []byte) error {
 	}
 	if !finite(rep.SweepSeconds) || rep.SweepSeconds < 0 {
 		return fmt.Errorf("bench: bad sweep_seconds")
+	}
+	if len(rep.Reclaim) == 0 {
+		return fmt.Errorf("bench: no reclaim cells")
+	}
+	for _, pt := range rep.Reclaim {
+		if pt.Name == "" || pt.Engine == "" {
+			return fmt.Errorf("bench: reclaim cell with empty name/engine")
+		}
+		if pt.ChurnOps <= 0 || pt.HeapWordsMid == 0 || pt.HeapWords == 0 {
+			return fmt.Errorf("bench: reclaim cell %s ran no churn", pt.Name)
+		}
+		// The steady-state gate: with the reclaimer on, the second churn
+		// window must be served entirely from recycled blocks. Any growth
+		// means reclamation regressed to leaking.
+		if pt.Reclaim && pt.HeapWords > pt.HeapWordsMid {
+			return fmt.Errorf("bench: reclaim cell %s heap grew across the churn window (%d -> %d words)",
+				pt.Name, pt.HeapWordsMid, pt.HeapWords)
+		}
+		// The baseline must document the leak the reclaimer fixes: the
+		// arena allocates at least a tracking record per operation and
+		// never frees, so its heap strictly grows.
+		if !pt.Reclaim && pt.HeapWords <= pt.HeapWordsMid {
+			return fmt.Errorf("bench: arena cell %s did not grow (%d -> %d words); churn workload is not allocating",
+				pt.Name, pt.HeapWordsMid, pt.HeapWords)
+		}
 	}
 	return nil
 }

@@ -2,8 +2,11 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
+
+	"repro"
 )
 
 // TestReportSchema runs the quick matrix end to end and pins the JSON
@@ -45,6 +48,13 @@ func TestReportSchema(t *testing.T) {
 			t.Fatalf("sweep JSON is missing key %q", key)
 		}
 	}
+	rec := raw["reclaim"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "engine", "reclaim", "churn_ops",
+		"heap_words_mid", "heap_words", "live_nodes", "freed_blocks", "reused_blocks"} {
+		if _, ok := rec[key]; !ok {
+			t.Fatalf("reclaim JSON is missing key %q", key)
+		}
+	}
 
 	// The matrix must cover both engines, every canonical mix, and the
 	// eviction-widened conformance scenarios.
@@ -71,21 +81,91 @@ func TestReportSchema(t *testing.T) {
 	if rep.SweepSeconds <= 0 {
 		t.Fatalf("sweep_seconds = %v, want > 0", rep.SweepSeconds)
 	}
+
+	// The reclaim section must cover both allocators on both engines, and
+	// the cells must show the contrast the section exists to pin: bounded
+	// steady-state heap with the reclaimer, unbounded growth without.
+	modes := map[string]bool{}
+	for _, pt := range rep.Reclaim {
+		modes[fmt.Sprintf("%s/%v", pt.Engine, pt.Reclaim)] = true
+		if pt.Reclaim && pt.ReusedBlocks == 0 {
+			t.Fatalf("reclaim cell %s never reused a block; churn is not exercising reclamation", pt.Name)
+		}
+	}
+	for _, want := range []string{"isb/true", "isb/false", "isb-opt/true", "isb-opt/false"} {
+		if !modes[want] {
+			t.Fatalf("reclaim cells %v missing %s", modes, want)
+		}
+	}
 }
 
 // TestValidateRejectsMalformed pins the failure modes the CI gate relies
 // on: truncated output, wrong schema, and an empty matrix must all error.
 func TestValidateRejectsMalformed(t *testing.T) {
 	for name, data := range map[string]string{
-		"truncated":    `{"schema_version": 1, "label": "x"`,
+		"truncated":    `{"schema_version": 2, "label": "x"`,
 		"wrong-schema": `{"schema_version": 99, "label": "x", "scenarios": [], "sweeps": []}`,
-		"no-scenarios": `{"schema_version": 1, "label": "x", "scenarios": [], "sweeps": []}`,
-		"nan-metric": `{"schema_version": 1, "label": "x", "scenarios": [
+		"no-scenarios": `{"schema_version": 2, "label": "x", "scenarios": [], "sweeps": []}`,
+		"nan-metric": `{"schema_version": 2, "label": "x", "scenarios": [
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","ops":1,
 			 "seconds":1,"ops_per_sec":"NaN"}], "sweeps": []}`,
+		"reclaim-heap-grew": `{"schema_version": 2, "label": "x", "scenarios": [
+			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"read-heavy","ops":1,"seconds":1},
+			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","ops":1,"seconds":1},
+			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"write-heavy","ops":1,"seconds":1}],
+			"sweeps": [{"name":"c","cases":1,"crash_points":1,"seconds":1}],
+			"reclaim": [{"name":"r","engine":"isb","reclaim":true,"churn_ops":10,
+			 "heap_words_mid":100,"heap_words":200}]}`,
 	} {
 		if err := Validate([]byte(data)); err == nil {
 			t.Errorf("%s: Validate accepted malformed report", name)
 		}
+	}
+}
+
+// TestReclaimBoundedHeap is the headline reclamation pin: a churn workload
+// whose cumulative allocation demand exceeds 100x the heap's capacity must
+// complete with the epoch reclaimer on — every allocation past the first
+// few windows is served from recycled blocks — and leave heap usage far
+// below capacity. The same demand under the leak-forever arena is
+// unsatisfiable by construction (the arena never frees, so it would
+// exhaust the heap after ~1% of the workload and panic); the arithmetic
+// below documents that baseline instead of running it to the panic.
+func TestReclaimBoundedHeap(t *testing.T) {
+	const heapCap = 1 << 15
+	for _, eng := range engineKinds() {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			rt := repro.New(repro.Config{
+				Procs: 1, HeapWords: heapCap, Engine: eng.kind, Reclaim: true,
+			})
+			q := rt.NewQueue()
+			p := rt.Proc(0)
+			// Demand per enqueue/dequeue pair: two 32-word tracking records
+			// plus one 4-word node = 68 words minimum (copies and failed
+			// attempts only add to it).
+			const wordsPerPair = 68
+			pairs := 100*heapCap/wordsPerPair + 1
+			if demand := pairs * wordsPerPair; demand < 100*heapCap {
+				t.Fatalf("demand %d words < 100x capacity %d", demand, 100*heapCap)
+			}
+			for i := 0; i < pairs; i++ {
+				q.Enqueue(p, uint64(i))
+				if v, ok := q.Dequeue(p); !ok || v != uint64(i) {
+					t.Fatalf("pair %d: dequeue got (%d, %v)", i, v, ok)
+				}
+			}
+			used := rt.Heap().Used()
+			if used > heapCap/2 {
+				t.Fatalf("heap usage %d words after %d pairs; want bounded well below capacity %d",
+					used, pairs, heapCap)
+			}
+			st, _ := rt.ReclaimStats()
+			if st.Reused == 0 || st.Freed == 0 {
+				t.Fatalf("no recycling happened: stats %+v", st)
+			}
+			t.Logf("%d pairs (demand %dx capacity): used %d/%d words, live %d blocks, stats %+v",
+				pairs, pairs*wordsPerPair/heapCap, used, heapCap, rt.LiveNodes(), st)
+		})
 	}
 }

@@ -70,9 +70,9 @@ func New(h *pmem.Heap) *BST {
 func NewWithEngine(h *pmem.Heap, e *isb.Engine) *BST {
 	t := &BST{h: h, e: e}
 	p := h.Proc(0)
-	l1 := newNode(p, inf1, pmem.Null, pmem.Null, 0)
-	l2 := newNode(p, inf2, pmem.Null, pmem.Null, 0)
-	t.root = newNode(p, inf2, l1, l2, 0)
+	l1 := newNode(e, p, inf1, pmem.Null, pmem.Null, 0)
+	l2 := newNode(e, p, inf2, pmem.Null, pmem.Null, 0)
+	t.root = newNode(e, p, inf2, l1, l2, 0)
 	p.PBarrierRange(l1, nodeWords)
 	p.PBarrierRange(l2, nodeWords)
 	p.PBarrierRange(t.root, nodeWords)
@@ -84,8 +84,10 @@ func NewWithEngine(h *pmem.Heap, e *isb.Engine) *BST {
 	return t
 }
 
-func newNode(p *pmem.Proc, key uint64, left, right pmem.Addr, info uint64) pmem.Addr {
-	nd := p.Alloc(nodeWords)
+// newNode draws a node from the engine's allocator (arena by default, the
+// epoch reclaimer when the runtime enables reclamation).
+func newNode(e *isb.Engine, p *pmem.Proc, key uint64, left, right pmem.Addr, info uint64) pmem.Addr {
+	nd := e.Alloc(p, nodeWords)
 	p.Store(nd+nKey, key)
 	p.Store(nd+nLeft, uint64(left))
 	p.Store(nd+nRight, uint64(right))
@@ -204,13 +206,13 @@ func (t *BST) gatherInsert(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.Gat
 		return isb.Proceed
 	}
 	tagged := isb.Tagged(info)
-	newLeaf := newNode(p, key, pmem.Null, pmem.Null, tagged)
-	leafCopy := newNode(p, leafKey, pmem.Null, pmem.Null, tagged)
+	newLeaf := newNode(t.e, p, key, pmem.Null, pmem.Null, tagged)
+	leafCopy := newNode(t.e, p, leafKey, pmem.Null, pmem.Null, tagged)
 	var internal pmem.Addr
 	if key < leafKey {
-		internal = newNode(p, leafKey, newLeaf, leafCopy, tagged)
+		internal = newNode(t.e, p, leafKey, newLeaf, leafCopy, tagged)
 	} else {
-		internal = newNode(p, key, leafCopy, newLeaf, tagged)
+		internal = newNode(t.e, p, key, leafCopy, newLeaf, tagged)
 	}
 	spec.AddAffect(r.par+nInfo, r.parInfo)
 	spec.AddAffect(r.leaf+nInfo, r.leafInfo) // retires on success
@@ -258,7 +260,7 @@ func (t *BST) gatherDelete(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.Gat
 		return isb.Restart
 	}
 	sibInfo := p.Load(sib + nInfo)
-	sibCopy := newNode(p, p.Load(sib+nKey), pmem.Addr(p.Load(sib+nLeft)),
+	sibCopy := newNode(t.e, p, p.Load(sib+nKey), pmem.Addr(p.Load(sib+nLeft)),
 		pmem.Addr(p.Load(sib+nRight)), isb.Tagged(info))
 
 	spec.AddAffect(r.gpar+nInfo, r.gparInfo)
@@ -311,6 +313,25 @@ func (t *BST) gatherFindFast(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.G
 	spec.ReadOnly = true
 	spec.Response = isb.BoolResp(p.Load(nd+nKey) == key)
 	return isb.Proceed
+}
+
+// MarkReachable reports every tree node reachable from the root to the
+// post-crash reclamation scan.
+func (t *BST) MarkReachable(p *pmem.Proc, mark func(pmem.Addr)) {
+	var walk func(nd pmem.Addr)
+	walk = func(nd pmem.Addr) {
+		if nd == pmem.Null {
+			return
+		}
+		mark(nd)
+		left := pmem.Addr(p.Load(nd + nLeft))
+		if left == pmem.Null {
+			return
+		}
+		walk(left)
+		walk(pmem.Addr(p.Load(nd + nRight)))
+	}
+	walk(t.root)
 }
 
 // Keys returns the user keys in order (test helper; quiescence required).

@@ -1,0 +1,205 @@
+package crash
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/linearize"
+	"repro/internal/pmem"
+)
+
+// Crash-point conformance for crash-consistent node reclamation: the
+// reclaim-churn matrix (scenarios.go) drives every structure through a
+// crash at every shared-memory access of an operation that runs against
+// recycled memory — so the crash offsets also land inside Retire calls,
+// ring writes, epoch advances and free-list pushes — and recovery is
+// routed through Runtime.RecoverAll, whose conservative scan must re-home
+// every block whose retirement did not persist before the announced
+// operation resolves. The reclaimer-off cells hold the leak-forever arena
+// to the identical bar on identical schedules.
+func TestReclaimCrashConformance(t *testing.T) {
+	for _, sc := range ReclaimScenarios() {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			SweepAllPoints(t, sc.Build, sc.Cases)
+		})
+	}
+}
+
+// TestReclaimScanCrashSweep crashes inside RecoverAll itself — during the
+// conservative scan (mark walks, ring audits, free-list rebuilds, the
+// epoch reset) and during the frozen recovery sweep that follows — at
+// every access offset, then restarts and re-runs RecoverAll. The scan is
+// restartable: a second pass must still resolve the announced operation
+// and leave the structure in the sequential model's state.
+func TestReclaimScanCrashSweep(t *testing.T) {
+	for _, eng := range reproEngines() {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			// Deterministic instance: churned list, one insert crashed
+			// mid-flight at a fixed offset deep enough to have tagged nodes
+			// and allocated records.
+			const crashOff = 60
+			build := func() (*repro.Runtime, *repro.List) {
+				rt := reclaimRT(eng.kind, true)
+				l := rt.NewList()
+				p := rt.Proc(0)
+				for _, k := range reclaimChurnKeys {
+					l.Insert(p, k)
+					l.Delete(p, k)
+				}
+				for _, k := range setPrefill {
+					l.Insert(p, k)
+				}
+				l.Begin(p)
+				rt.Heap().ScheduleCrashAt(rt.Heap().AccessCount() + crashOff)
+				if pmem.RunOp(func() { l.Insert(p, 8) }) {
+					t.Fatal("expected the armed crash to interrupt the insert")
+				}
+				rt.Restart()
+				return rt, l
+			}
+			verify := func(rt *repro.Runtime, l *repro.List, resolved uint64) {
+				t.Helper()
+				if resolved != linearize.RespTrue {
+					t.Fatalf("recovered insert resolved to %d, want true", resolved)
+				}
+				if msg := setVerify(repro.OpInsert, repro.OpDelete, l.Keys, l.CheckInvariants)(
+					SweepCase{Op: Op{Kind: repro.OpInsert, Arg: 8}}); msg != "" {
+					t.Fatal(msg)
+				}
+			}
+			resolve := func(rt *repro.Runtime, l *repro.List, p *pmem.Proc) uint64 {
+				reps := rt.RecoverAll()
+				if len(reps) == 0 {
+					return l.Apply(p, repro.Op{Kind: repro.OpInsert, Arg: 8}).Raw()
+				}
+				return reps[len(reps)-1].Resp.Raw()
+			}
+
+			// Measure RecoverAll's access span on an uninterrupted run.
+			rt, l := build()
+			before := rt.Heap().AccessCount()
+			resolved := resolve(rt, l, rt.Proc(0))
+			total := rt.Heap().AccessCount() - before
+			verify(rt, l, resolved)
+			if total == 0 {
+				t.Fatal("RecoverAll made no tracked accesses")
+			}
+
+			// Sweep every crash offset within RecoverAll's span.
+			swept, crashed := 0, 0
+			for off := uint64(1); off <= total; off++ {
+				swept++
+				rt, l := build()
+				p := rt.Proc(0)
+				rt.Heap().ScheduleCrashAt(rt.Heap().AccessCount() + off)
+				var resolved uint64
+				if pmem.RunOp(func() { resolved = resolve(rt, l, p) }) {
+					rt.Heap().DisarmCrash()
+				} else {
+					crashed++
+					rt.Restart()
+					if !pmem.RunOp(func() { resolved = resolve(rt, l, p) }) {
+						t.Fatalf("off=%d: second RecoverAll crashed with no crash armed", off)
+					}
+				}
+				verify(rt, l, resolved)
+			}
+			if crashed == 0 {
+				t.Fatalf("no offset of %d swept (%d) interrupted RecoverAll", total, swept)
+			}
+			t.Logf("RecoverAll span %d accesses; %d offsets swept, %d interrupted", total, swept, crashed)
+		})
+	}
+}
+
+// TestReclaimDifferential pins the reclaimer to the leak-forever arena's
+// semantics: the same single-process randomized operation-and-crash
+// schedule runs once on each allocator, and every per-operation response,
+// the final key set, and set-linearizability must coincide. Crash offsets
+// are drawn identically, but the two runs' access streams differ (the
+// reclaimer touches rings and epoch lines the arena does not), so crashes
+// land at different micro-points — which is the point: the sequential
+// model fixes every response regardless of where a crash lands, so any
+// divergence is an allocator-semantics bug, not schedule noise.
+func TestReclaimDifferential(t *testing.T) {
+	for _, eng := range reproEngines() {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			const ops = 600
+			run := func(reclaim bool) ([]uint64, []uint64, []linearize.Operation) {
+				recovered := 0
+				rt := reclaimRT(eng.kind, reclaim)
+				m := rt.NewHashMap(4)
+				p := rt.Proc(0)
+				rng := rand.New(rand.NewSource(99))
+				kinds := []uint64{repro.OpInsert, repro.OpDelete, repro.OpFind}
+				var resps []uint64
+				var hist []linearize.Operation
+				clock := uint64(0)
+				for i := 0; i < ops; i++ {
+					op := repro.Op{Kind: kinds[rng.Intn(3)], Arg: uint64(rng.Intn(24)) + 1}
+					armOff := uint64(0)
+					if i%5 == 0 {
+						armOff = uint64(rng.Intn(500)) + 1
+					}
+					for !rt.Run(func() { m.Begin(p) }) {
+						rt.Restart()
+						rt.RecoverAll() // resync the reclaimer; nothing announced
+					}
+					if armOff != 0 {
+						rt.ScheduleCrash(armOff)
+					}
+					var resp repro.Resp
+					ok := rt.Run(func() { resp = m.Apply(p, op) })
+					for !ok {
+						recovered++
+						rt.Restart()
+						reps := rt.RecoverAll()
+						if len(reps) == 1 {
+							resp = reps[0].Resp
+							ok = true
+						} else {
+							// Crash preceded the announcement: re-submit.
+							ok = rt.Run(func() { resp = m.Apply(p, op) })
+						}
+					}
+					rt.CancelCrash()
+					resps = append(resps, resp.Raw())
+					hist = append(hist, linearize.Operation{
+						Proc: 0, Kind: op.Kind, Arg: op.Arg, Resp: resp.Raw(),
+						Start: clock, End: clock + 1,
+					})
+					clock += 2
+				}
+				if recovered == 0 {
+					t.Fatal("no operation was ever interrupted: the schedule exercises nothing")
+				}
+				return resps, m.Keys(), hist
+			}
+			aResps, aKeys, aHist := run(false)
+			rResps, rKeys, rHist := run(true)
+			for i := range aResps {
+				if aResps[i] != rResps[i] {
+					t.Fatalf("op %d: arena resp %d, reclaimer resp %d", i, aResps[i], rResps[i])
+				}
+			}
+			if len(aKeys) != len(rKeys) {
+				t.Fatalf("final keys diverge: arena %v, reclaimer %v", aKeys, rKeys)
+			}
+			for i := range aKeys {
+				if aKeys[i] != rKeys[i] {
+					t.Fatalf("final keys diverge: arena %v, reclaimer %v", aKeys, rKeys)
+				}
+			}
+			if k, ok := linearize.CheckSetHistory(aHist); !ok {
+				t.Fatalf("arena history not linearizable at key %d", k)
+			}
+			if k, ok := linearize.CheckSetHistory(rHist); !ok {
+				t.Fatalf("reclaimer history not linearizable at key %d", k)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package crash
 import (
 	"fmt"
 
+	"repro"
 	"repro/internal/bst"
 	"repro/internal/hashmap"
 	"repro/internal/isb"
@@ -252,6 +253,188 @@ func Scenarios(variants []EngineVariant) []Scenario {
 		)
 	}
 	return out
+}
+
+// runtimeTarget drives a registered repro.Structure through its uniform
+// Apply surface (the runtime-level twin of applierTarget).
+type runtimeTarget struct{ s repro.Structure }
+
+func (t runtimeTarget) Begin(p *pmem.Proc) { t.s.Begin(p) }
+func (t runtimeTarget) Invoke(p *pmem.Proc, op Op) uint64 {
+	return t.s.Apply(p, repro.Op{Kind: op.Kind, Arg: op.Arg}).Raw()
+}
+func (t runtimeTarget) Recover(p *pmem.Proc, op Op) uint64 {
+	return t.s.RecoverOp(p, repro.Op{Kind: op.Kind, Arg: op.Arg}).Raw()
+}
+
+// resolveViaRecoverAll returns the SweepInstance.RecoverAll callback for a
+// single-process runtime sweep: route the crashed operation through
+// Runtime.RecoverAll (which, with reclamation on, first runs the
+// conservative scan); an empty report means the crash preceded the durable
+// announcement — the operation provably had no effect — so it is simply
+// re-submitted.
+func resolveViaRecoverAll(rt *repro.Runtime, tgt Target) func(p *pmem.Proc, op Op) uint64 {
+	return func(p *pmem.Proc, op Op) uint64 {
+		reps := rt.RecoverAll()
+		if len(reps) == 0 {
+			return tgt.Invoke(p, op)
+		}
+		return reps[len(reps)-1].Resp.Raw()
+	}
+}
+
+// ReclaimScenario is one cell of the reclaim-churn conformance matrix: a
+// runtime-level structure whose prefill churns enough allocate/retire
+// cycles that the swept operation runs against recycled memory — retired
+// rings populated, the epoch advanced, free-list reuse active — so every
+// crash offset of the operation also lands inside Retire calls, epoch
+// advances and frees. The same cells run with reclamation off as the
+// leak-forever control.
+type ReclaimScenario struct {
+	Structure string
+	Engine    string
+	Reclaim   bool
+	Build     func() SweepInstance
+	Cases     []SweepCase
+}
+
+// Name identifies the cell in test and benchmark output.
+func (s ReclaimScenario) Name() string {
+	mode := "arena"
+	if s.Reclaim {
+		mode = "reclaim"
+	}
+	return s.Structure + "/" + s.Engine + "/" + mode
+}
+
+// reclaimChurnKeys are churned (inserted then deleted) before a reclaim
+// sweep: disjoint from setPrefill and from every case argument, so the
+// sequential model is unchanged — only the allocator's state is hot.
+var reclaimChurnKeys = []uint64{40, 41, 42, 43, 44, 45, 46, 47, 48, 49, 50, 51, 52, 53, 54, 55}
+
+// reclaimRT builds the sweep runtime for one reclaim cell.
+func reclaimRT(kind repro.EngineKind, reclaim bool) *repro.Runtime {
+	return repro.New(repro.Config{
+		Procs: 1, CrashSim: true, HeapWords: sweepHeapWords,
+		Seed: 42, Engine: kind, Reclaim: reclaim,
+	})
+}
+
+// ReclaimScenarios returns the reclaim-churn conformance matrix: list,
+// hashmap (insert/delete churn) and queue (enqueue/dequeue ring) × both
+// public engine kinds × reclaimer on/off, recovery routed through
+// Runtime.RecoverAll so a crashed replay exercises the post-crash
+// conservative scan before the announced operation resolves.
+func ReclaimScenarios() []ReclaimScenario {
+	var out []ReclaimScenario
+	for _, eng := range []struct {
+		name string
+		kind repro.EngineKind
+	}{{"isb", repro.EngineIsb}, {"isb-opt", repro.EngineIsbOpt}} {
+		for _, rec := range []bool{false, true} {
+			eng, rec := eng, rec
+			out = append(out,
+				ReclaimScenario{
+					Structure: "list-churn", Engine: eng.name, Reclaim: rec,
+					Build: func() SweepInstance {
+						rt := reclaimRT(eng.kind, rec)
+						l := rt.NewList()
+						p := rt.Proc(0)
+						for _, k := range reclaimChurnKeys {
+							l.Insert(p, k)
+							l.Delete(p, k)
+						}
+						for _, k := range setPrefill {
+							l.Insert(p, k)
+						}
+						tgt := runtimeTarget{l}
+						return SweepInstance{
+							Heap:       rt.Heap(),
+							Target:     tgt,
+							Verify:     setVerify(list.OpInsert, list.OpDelete, l.Keys, l.CheckInvariants),
+							RecoverAll: resolveViaRecoverAll(rt, tgt),
+						}
+					},
+					Cases: setSweepCases(list.OpInsert, list.OpDelete, list.OpFind),
+				},
+				ReclaimScenario{
+					Structure: "hashmap-churn", Engine: eng.name, Reclaim: rec,
+					Build: func() SweepInstance {
+						rt := reclaimRT(eng.kind, rec)
+						m := rt.NewHashMap(4)
+						p := rt.Proc(0)
+						for _, k := range reclaimChurnKeys {
+							m.Insert(p, k)
+							m.Delete(p, k)
+						}
+						for _, k := range setPrefill {
+							m.Insert(p, k)
+						}
+						tgt := runtimeTarget{m}
+						return SweepInstance{
+							Heap:       rt.Heap(),
+							Target:     tgt,
+							Verify:     setVerify(hashmap.OpInsert, hashmap.OpDelete, m.Keys, m.CheckInvariants),
+							RecoverAll: resolveViaRecoverAll(rt, tgt),
+						}
+					},
+					Cases: setSweepCases(hashmap.OpInsert, hashmap.OpDelete, hashmap.OpFind),
+				},
+				ReclaimScenario{
+					Structure: "queue-ring", Engine: eng.name, Reclaim: rec,
+					Build: func() SweepInstance {
+						rt := reclaimRT(eng.kind, rec)
+						q := rt.NewQueue()
+						p := rt.Proc(0)
+						// Enqueue/dequeue ring: every dequeue retires the old
+						// dummy, so the ring cycles the same small working set
+						// through the retired rings and free lists.
+						for i := uint64(1); i <= 32; i++ {
+							q.Enqueue(p, i)
+							q.Dequeue(p)
+						}
+						q.Enqueue(p, 5)
+						q.Enqueue(p, 6)
+						tgt := runtimeTarget{q}
+						return SweepInstance{
+							Heap:   rt.Heap(),
+							Target: tgt,
+							Verify: queueVerify2(q.Values, q.CheckInvariants, func(c SweepCase) []uint64 {
+								if c.Op.Kind == queue.OpEnq {
+									return []uint64{5, 6, c.Op.Arg}
+								}
+								return []uint64{6}
+							}),
+							RecoverAll: resolveViaRecoverAll(rt, tgt),
+						}
+					},
+					Cases: []SweepCase{
+						{"enqueue", Op{Kind: queue.OpEnq, Arg: 7}, isb.RespTrue},
+						{"dequeue", Op{Kind: queue.OpDeq}, isb.EncodeValue(5)},
+					},
+				},
+			)
+		}
+	}
+	return out
+}
+
+// queueVerify2 checks a sequence snapshot against the sequential model (the
+// runtime-level twin of queueVerify, taking accessors instead of a *Queue).
+func queueVerify2(values func() []uint64, invariants func() string, want func(c SweepCase) []uint64) func(SweepCase) string {
+	return func(c SweepCase) string {
+		w := want(c)
+		got := values()
+		if len(got) != len(w) {
+			return fmt.Sprintf("queue %v, want %v", got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				return fmt.Sprintf("queue %v, want %v", got, w)
+			}
+		}
+		return invariants()
+	}
 }
 
 // respBool encodes a boolean operation response.

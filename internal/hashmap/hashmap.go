@@ -204,6 +204,14 @@ func (m *Map) Contains(key uint64) bool {
 	return m.shards[m.ShardOf(key)].Contains(key)
 }
 
+// MarkReachable reports every node of every shard to the post-crash
+// reclamation scan.
+func (m *Map) MarkReachable(p *pmem.Proc, mark func(pmem.Addr)) {
+	for _, s := range m.shards {
+		s.MarkReachable(p, mark)
+	}
+}
+
 // Engine exposes the shared ISB engine (for tests asserting RD/CP
 // behaviour).
 func (m *Map) Engine() *isb.Engine { return m.e }

@@ -18,7 +18,6 @@ func (e *Engine) Help(p *pmem.Proc, info pmem.Addr, invoker bool) {
 	per := e.per(p)
 	per.Reset()
 	tagged := Tagged(info)
-	untagged := Untagged(info)
 	n := int(p.Load(info + offAffectLen))
 	start := 0
 	if !invoker {
@@ -30,11 +29,22 @@ func (e *Engine) Help(p *pmem.Proc, info pmem.Addr, invoker bool) {
 	// skip straight to re-running the idempotent update and cleanup phases.
 	// Without this, recovering a crash that landed mid-cleanup would abort
 	// in the tagging phase — the completed operation's tags have been
-	// recycled to untagged info values that can never match the expected
+	// recycled to non-tagged info values that can never match the expected
 	// ones — and surviving nodes would stay tagged until some later
 	// operation happened to help them.
 	if p.Load(info+offResult) != RespNone {
-		e.finish(p, info, tagged, untagged)
+		// A durably done record is fully finished AND its retired-class
+		// operands may since have been recycled as unrelated live nodes,
+		// so its update CASes' expected values could recur — re-running
+		// finish here (post-crash recovery is the only path that can still
+		// reach such a record) would risk firing a stale CAS into live
+		// data. The done flag is written back before any operand is
+		// retired, so done = 0 guarantees the operands never left the
+		// structure's history and the re-run is the usual idempotent redo.
+		if p.Load(info+offDone) != 0 {
+			return
+		}
+		e.finish(p, info, tagged)
 		return
 	}
 
@@ -45,13 +55,14 @@ func (e *Engine) Help(p *pmem.Proc, info pmem.Addr, invoker bool) {
 		res := p.CAS(nd, exp, tagged)
 		per.WroteWord(nd)
 		if res != exp && res != tagged {
-			// Backtrack phase: untag earlier elements in reverse order.
-			// Safe even past the invoker's first element: a tag failure at
-			// a retired-class element (index ≥ 1) proves the operation can
-			// never complete, because expected info values never recur.
+			// Backtrack phase: untag earlier elements in reverse order,
+			// each to a fresh cookie (see Engine.cookie). Safe even past
+			// the invoker's first element: a tag failure at a retired-class
+			// element (index ≥ 1) proves the operation can never complete,
+			// because expected info values never recur.
 			for j := i - 1; j >= 0; j-- {
 				ndj := pmem.Addr(p.Load(info + offAffect + pmem.Addr(2*j)))
-				p.CAS(ndj, tagged, untagged)
+				p.CAS(ndj, tagged, e.cookie(p))
 				per.WroteWord(ndj)
 			}
 			per.EndPhase()
@@ -60,12 +71,12 @@ func (e *Engine) Help(p *pmem.Proc, info pmem.Addr, invoker bool) {
 	}
 	per.EndPhase()
 
-	e.finish(p, info, tagged, untagged)
+	e.finish(p, info, tagged)
 }
 
 // finish runs the update and cleanup phases of Help. Both are idempotent
 // and may be re-executed by recovery or by any number of helpers.
-func (e *Engine) finish(p *pmem.Proc, info pmem.Addr, tagged, untagged uint64) {
+func (e *Engine) finish(p *pmem.Proc, info pmem.Addr, tagged uint64) {
 	per := e.per(p)
 
 	// Update phase: apply the WriteSet CASes. Each change happens exactly
@@ -83,12 +94,14 @@ func (e *Engine) finish(p *pmem.Proc, info pmem.Addr, tagged, untagged uint64) {
 	per.WroteWord(info + offResult)
 	per.EndPhase()
 
-	// Cleanup phase: untag the surviving nodes. Retired nodes are absent
-	// from the CleanupSet and stay tagged forever.
+	// Cleanup phase: untag the surviving nodes, each to a fresh cookie
+	// (never the same non-tagged value twice — see Engine.cookie). Retired
+	// nodes are absent from the CleanupSet and stay tagged until the
+	// allocator recycles them.
 	cn := int(p.Load(info + offCleanupLen))
 	for i := 0; i < cn; i++ {
 		nd := pmem.Addr(p.Load(info + offCleanup + pmem.Addr(i)))
-		p.CAS(nd, tagged, untagged)
+		p.CAS(nd, tagged, e.cookie(p))
 		per.WroteWord(nd)
 	}
 	per.EndPhase()
@@ -121,12 +134,23 @@ func (e *Engine) runAttempts(p *pmem.Proc, opType, argKey uint64, gather Gather)
 	per := e.per(p)
 	spec := &e.specs[p.ID()] // reused per-process scratch, see Engine.specs
 	for {
+		// (Re-)pin the process in the current reclamation epoch: every
+		// address this attempt gathers stays allocated until the pin moves.
+		// No reference survives an attempt, so refreshing per attempt is
+		// safe and keeps the epoch advancing. The pin is released on every
+		// return below; a crash leaves it stuck, and the post-crash scan
+		// clears stuck pins. (No deferred release: a crashed process's
+		// stores are silently dropped, which would corrupt nothing here,
+		// but an explicit protocol keeps the crash surface inspectable.)
+		e.alloc.Enter(p)
+
 		info := e.allocInfo(p)
 		spec.Reset()
 		spec.OpType, spec.ArgKey = opType, argKey
 
 		// Gather phase.
 		if gather(p, info, spec) == Restart {
+			e.discardAttempt(p, info, spec)
 			continue
 		}
 
@@ -141,6 +165,7 @@ func (e *Engine) runAttempts(p *pmem.Proc, opType, argKey uint64, gather Gather)
 			}
 		}
 		if helped {
+			e.discardAttempt(p, info, spec)
 			continue
 		}
 
@@ -157,22 +182,88 @@ func (e *Engine) runAttempts(p *pmem.Proc, opType, argKey uint64, gather Gather)
 		p.Store(rd, uint64(info))
 		p.PWB(rd)
 		p.PSync()
+		// RD_q durably points at this attempt's record, so the previous
+		// attempt's (if any) can no longer be consulted: retire it.
+		e.retireLast(p)
+		e.lastInfo[p.ID()] = info
 
 		// ROpt fast path (Algorithm 2 lines 78–79): the response was
 		// stored into the record by install and persisted above.
 		if spec.ReadOnly && !e.noROpt {
+			e.alloc.Exit(p)
 			return spec.Response
 		}
 		if spec.ReadOnly && spec.NAffect == 0 {
 			// Help has nothing to tag or write for an empty AffectSet;
 			// the fast return is the only sensible execution even with
 			// the fast path disabled.
+			e.alloc.Exit(p)
 			return spec.Response
 		}
 
 		e.Help(p, info, true)
 		if r := p.Load(info + offResult); r != RespNone {
+			e.markDone(p, info)
+			e.retireAffected(p, spec)
+			e.alloc.Exit(p)
 			return r
+		}
+
+		// The attempt failed its tagging phase after install: its fresh
+		// nodes were published in the record but can never be linked (the
+		// invoker's own tag failure proves the operation cannot complete,
+		// and only the never-run update/cleanup phases dereference them).
+		// Retire — not Free — them: lagging helpers may still read the
+		// record, and the epoch grace outlives every such reader.
+		for i := 0; i < spec.NPersist; i++ {
+			e.alloc.Retire(p, spec.Persist[i].Addr)
+		}
+	}
+}
+
+// discardAttempt returns an attempt's never-published allocations — the
+// Info record and the fresh nodes the gather recorded in its Persist
+// ranges — straight to the free list. Before install, no shared location
+// mentions any of them, so immediate reuse is safe. (Gathers allocate
+// nodes and call AddPersist together, and their Restart paths run before
+// any allocation, so the Persist ranges are exactly the fresh nodes.)
+func (e *Engine) discardAttempt(p *pmem.Proc, info pmem.Addr, spec *Spec) {
+	for i := 0; i < spec.NPersist; i++ {
+		e.alloc.Free(p, spec.Persist[i].Addr)
+	}
+	e.alloc.Free(p, info)
+}
+
+// markDone durably flags a completed record (one pwb, no psync): Help's
+// result-set path refuses to re-run finish on a done record, because done
+// is written back strictly before any of the record's operands is retired
+// — the precondition for their addresses to ever recur. A torn (lost)
+// flag is safe: it implies the operands were never retired either.
+func (e *Engine) markDone(p *pmem.Proc, info pmem.Addr) {
+	p.Store(info+offDone, 1)
+	p.PWB(info + offDone)
+}
+
+// retireAffected retires the retired-class nodes of a completed operation:
+// the AffectSet entries absent from the CleanupSet, which the update phase
+// just unlinked (they stay tagged; traversals can no longer reach them).
+// Only the invoker calls this, exactly once per operation — result ≠ ⊥ on
+// the invoker's own current record proves this very attempt took effect.
+func (e *Engine) retireAffected(p *pmem.Proc, spec *Spec) {
+	if spec.ReadOnly {
+		return // nothing was unlinked
+	}
+	for i := 0; i < spec.NAffect; i++ {
+		nd := spec.Affect[i].Info
+		inCleanup := false
+		for j := 0; j < spec.NCleanup; j++ {
+			if spec.Cleanup[j] == nd {
+				inCleanup = true
+				break
+			}
+		}
+		if !inCleanup {
+			e.alloc.Retire(p, nd)
 		}
 	}
 }
@@ -195,10 +286,44 @@ func (e *Engine) Recover(p *pmem.Proc, opType, argKey uint64, gather Gather) uin
 	if p.Load(info+offOpType) != opType || p.Load(info+offArgKey) != argKey {
 		return e.runAttempts(p, opType, argKey, gather)
 	}
+	// Pin before dereferencing the record: the post-crash scan kept it and
+	// everything it names alive, and the pin keeps that true while Help
+	// re-runs. The completed operation's retired-class nodes are NOT
+	// retired here — pre-crash they may already have been retired, freed
+	// and reused as live nodes, which the scan then (correctly) marked; a
+	// recovery-path retire could therefore hit a live block. They leak
+	// instead, inside the scan's announced-operand budget.
+	e.alloc.Enter(p)
 	e.Help(p, info, true)
 	if r := p.Load(info + offResult); r != RespNone {
+		e.alloc.Exit(p)
 		return r
 	}
 	// The last attempt did not take effect: re-invoke.
 	return e.runAttempts(p, opType, argKey, gather)
+}
+
+// MarkReachable reports, via mark, every address the engine's recovery
+// data can still lead to: for each process with CP_q = 1 and a non-Null
+// RD_q, the installed Info record and (conservatively) every word of it
+// with the tag bit cleared — AffectSet field addresses, WriteSet
+// addresses and values, CleanupSet addresses. The post-crash scan's
+// transitive closure follows on from whatever those words name. Part of
+// the conservative-scan contract: an announced operation's operands
+// survive reclamation even if their retirement was recorded.
+func (e *Engine) MarkReachable(p *pmem.Proc, mark func(pmem.Addr)) {
+	for q := 0; q < e.h.NumProcs(); q++ {
+		line := e.base + pmem.Addr(q*pmem.WordsPerLine)
+		if p.Load(line+1) == 0 { // CP_q
+			continue
+		}
+		info := pmem.Addr(p.Load(line)) // RD_q
+		if info == pmem.Null {
+			continue
+		}
+		mark(info)
+		for w := pmem.Addr(0); w < InfoWords; w++ {
+			mark(pmem.Addr(p.Load(info+w) &^ 1))
+		}
+	}
 }

@@ -80,6 +80,7 @@ const (
 	offAffectLen  = 4
 	offWriteLen   = 5
 	offCleanupLen = 6
+	offDone       = 7  // set + written back after the invoker observed the result
 	offAffect     = 8  // MaxAffect pairs ⟨infoFieldAddr, expectedValue⟩
 	offWrites     = 16 // MaxWrites triples ⟨addr, old, new⟩
 	offCleanup    = 25 // MaxCleanup info-field addresses
@@ -213,6 +214,21 @@ type Engine struct {
 	// placement. Engines built outside a Runtime leave annID 0 and behave
 	// exactly as before.
 	annID uint64
+	// alloc serves Info records and (through Alloc) structure nodes. The
+	// default pmem.Arena reproduces the seed's leak-forever behaviour; a
+	// pmem.Reclaimer recycles retired blocks after an epoch grace period.
+	// Epoch pins and retirements are threaded through the operation entry
+	// points so reclamation adds no stand-alone psync (see BeginOp).
+	alloc pmem.Allocator
+	// lastInfo tracks, per process, the Info record currently installed in
+	// that process's RD_q: it is retired at the next operation's begin (once
+	// CP_q := 0 is durable the record can never be consulted again) or
+	// superseded by the next attempt's record. Go-side on purpose — after a
+	// crash it either matches the durable RD_q (which the post-crash scan
+	// keeps live) or was already retired and cleared.
+	lastInfo []pmem.Addr
+	// cookieCtr feeds cookie (see there), one counter per process.
+	cookieCtr []uint64
 }
 
 // NewEngine allocates RD/CP lines for every process of the heap, with the
@@ -238,11 +254,72 @@ func NewEngineWith(h *pmem.Heap, mk func(p *pmem.Proc) Persister) *Engine {
 	n := uint64(h.NumProcs())
 	raw := p0.Alloc(n*pmem.WordsPerLine + pmem.WordsPerLine)
 	base := (raw + pmem.WordsPerLine - 1) &^ (pmem.WordsPerLine - 1)
-	e := &Engine{h: h, base: base, pers: make([]Persister, h.NumProcs()), specs: make([]Spec, h.NumProcs())}
+	e := &Engine{
+		h:         h,
+		base:      base,
+		pers:      make([]Persister, h.NumProcs()),
+		specs:     make([]Spec, h.NumProcs()),
+		alloc:     pmem.Arena{},
+		lastInfo:  make([]pmem.Addr, h.NumProcs()),
+		cookieCtr: make([]uint64, h.NumProcs()),
+	}
 	for i := range e.pers {
 		e.pers[i] = mk(h.Proc(i))
 	}
 	return e
+}
+
+// SetAllocator replaces the engine's allocator (default: the leak-forever
+// pmem.Arena). Call before any operation runs; the structures built on the
+// engine draw their nodes from the same allocator via Alloc.
+func (e *Engine) SetAllocator(a pmem.Allocator) { e.alloc = a }
+
+// Allocator returns the engine's allocator.
+func (e *Engine) Allocator() pmem.Allocator { return e.alloc }
+
+// Alloc allocates a structure node block from the engine's allocator.
+func (e *Engine) Alloc(p *pmem.Proc, words uint64) pmem.Addr {
+	return e.alloc.Alloc(p, words)
+}
+
+// cookie returns a fresh even value unique across the whole run (counters
+// are Go-side and survive simulated crashes). Cookies are what the engine
+// writes when it untags an info field — instead of Untagged(info) — so
+// that an info field never holds the same non-tagged value twice even when
+// Info records are recycled: the tag-phase invariant "expected info values
+// never recur" survives memory reuse. Untagged info-field values are never
+// dereferenced (only compared), so the switch is invisible to gathers;
+// cookies are even, so IsTagged and the invariant checkers are unaffected.
+func (e *Engine) cookie(p *pmem.Proc) uint64 {
+	id := p.ID()
+	e.cookieCtr[id]++
+	return (e.cookieCtr[id]*uint64(len(e.cookieCtr)) + uint64(id)) << 1
+}
+
+// retireLast retires the calling process's previously installed Info
+// record. Callers must ensure the record can no longer be consulted by
+// recovery: either CP_q := 0 has been written back (begin path) or RD_q
+// already points at a newer record (attempt loop). In-flight helpers may
+// still hold the record; the allocator's epoch grace covers them.
+func (e *Engine) retireLast(p *pmem.Proc) {
+	id := p.ID()
+	if li := e.lastInfo[id]; li != 0 {
+		e.lastInfo[id] = 0
+		e.alloc.Retire(p, li)
+	}
+}
+
+// ForgetRetired drops every process's pending last-record retirement.
+// Runtime.RecoverAll calls it after a crash: a crash can land exactly
+// between CP_q := 0 becoming durable and the retirement being recorded, in
+// which case the tracked record may already have been swept (and reused)
+// by the post-crash scan — retiring it later would hit a live block. The
+// records the scan kept alive leak instead (at most one per process per
+// crash), which is the same conservative budget the scan itself accepts.
+func (e *Engine) ForgetRetired() {
+	for i := range e.lastInfo {
+		e.lastInfo[i] = 0
+	}
 }
 
 // NewEngineNoROpt disables the read-only fast path (plain Algorithm 1):
@@ -299,6 +376,12 @@ func (e *Engine) BeginOp(p *pmem.Proc) {
 	cp := e.cp(p)
 	p.Store(cp, 0)
 	p.PWB(cp)
+	// Retire the previous operation's Info record before the psync: its
+	// ring entry's write-back rides this sync, and ordering it before the
+	// durable CP_q := 0 means a crash between the two leaves the record
+	// RD_q-reachable (the scan keeps it live) rather than retired-but-
+	// still-needed.
+	e.retireLast(p)
 	p.PSync()
 }
 
@@ -344,16 +427,18 @@ func (e *Engine) BeginOpFor(p *pmem.Proc, opType, argKey uint64) {
 	if e.annID != 0 {
 		p.Announce(e.annID, opType, argKey)
 	}
+	e.retireLast(p) // see BeginOp: before the psync, after CP_q's pwb
 	p.PSync()
 }
 
 // allocInfo allocates a zeroed Info record for one attempt.
 func (e *Engine) allocInfo(p *pmem.Proc) pmem.Addr {
-	a := p.Alloc(InfoWords)
-	// The arena hands out zeroed memory within a run, but after a crash a
-	// chunk may straddle memory whose volatile image was reset to stale
-	// persisted bytes. Clear the header words we depend on.
+	a := e.alloc.Alloc(p, InfoWords)
+	// Both allocators hand out zeroed memory within a run, but after a
+	// crash a fresh carve may straddle memory whose volatile image was
+	// reset to stale persisted bytes. Clear the header words we depend on.
 	p.Store(a+offResult, RespNone)
+	p.Store(a+offDone, 0)
 	return a
 }
 

@@ -72,8 +72,8 @@ func NewNoROpt(h *pmem.Heap) *List {
 func build(h *pmem.Heap, e *isb.Engine) *List {
 	l := &List{h: h, e: e}
 	p := h.Proc(0)
-	l.tail = newNode(p, MaxKey, pmem.Null, 0)
-	l.head = newNode(p, MinKey, l.tail, 0)
+	l.tail = newNode(e, p, MaxKey, pmem.Null, 0)
+	l.head = newNode(e, p, MinKey, l.tail, 0)
 	p.PBarrierRange(l.tail, nodeWords)
 	p.PBarrierRange(l.head, nodeWords)
 	p.PSync()
@@ -83,8 +83,13 @@ func build(h *pmem.Heap, e *isb.Engine) *List {
 	return l
 }
 
-func newNode(p *pmem.Proc, key uint64, next pmem.Addr, info uint64) pmem.Addr {
-	nd := p.Alloc(nodeWords)
+// newNode draws a node from the engine's allocator: the arena by default
+// (the paper's GC assumption — retired nodes leak), or the epoch reclaimer
+// when the runtime enables reclamation (retired nodes are recycled after a
+// grace period; the copying rule's ABA guarantee then rests on the
+// engine's cookie scheme instead of address freshness).
+func newNode(e *isb.Engine, p *pmem.Proc, key uint64, next pmem.Addr, info uint64) pmem.Addr {
+	nd := e.Alloc(p, nodeWords)
 	p.Store(nd+nKey, key)
 	p.Store(nd+nNext, uint64(next))
 	p.Store(nd+nInfo, info)
@@ -164,8 +169,8 @@ func (l *List) gatherInsert(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.Ga
 		return isb.Proceed
 	}
 	// Copy curr so pred.next never sees the same address twice (ABA).
-	newcurr := newNode(p, p.Load(curr+nKey), pmem.Addr(p.Load(curr+nNext)), isb.Tagged(info))
-	newnd := newNode(p, key, newcurr, isb.Tagged(info))
+	newcurr := newNode(l.e, p, p.Load(curr+nKey), pmem.Addr(p.Load(curr+nNext)), isb.Tagged(info))
+	newnd := newNode(l.e, p, key, newcurr, isb.Tagged(info))
 	spec.AddAffect(pred+nInfo, predInfo)
 	spec.AddAffect(curr+nInfo, currInfo) // curr retires on success: not in cleanup
 	spec.AddWrite(pred+nNext, uint64(curr), uint64(newnd))
@@ -265,6 +270,21 @@ func (l *List) CheckInvariants() string {
 		if steps++; steps > 1<<24 {
 			return "cycle suspected"
 		}
+	}
+}
+
+// MarkReachable reports every node reachable from the list head to the
+// post-crash reclamation scan. The walk uses p.Load so a crash can be
+// injected mid-scan; the scan's transitive closure follows info-field
+// records and their copies from the marked nodes.
+func (l *List) MarkReachable(p *pmem.Proc, mark func(pmem.Addr)) {
+	curr := l.head
+	for {
+		mark(curr)
+		if p.Load(curr+nKey) == MaxKey {
+			return
+		}
+		curr = pmem.Addr(p.Load(curr + nNext))
 	}
 }
 

@@ -1,0 +1,242 @@
+package pmem
+
+import "testing"
+
+func reclaimHeap(t *testing.T, procs int) *Heap {
+	t.Helper()
+	return NewHeap(Config{Procs: procs, Words: 1 << 16, Tracked: true})
+}
+
+// TestReclaimerAllocFreeReuse pins the insta-reuse path: a never-published
+// block freed by its owner is handed out again by the very next Alloc of
+// the same class, zeroed.
+func TestReclaimerAllocFreeReuse(t *testing.T) {
+	h := reclaimHeap(t, 2)
+	r := NewReclaimer(h)
+	p := h.Proc(0)
+
+	a := r.Alloc(p, 4)
+	p.Store(a, 77)
+	p.Store(a+3, 99)
+	r.Free(p, a+2) // interior pointer must resolve to the block
+	b := r.Alloc(p, 4)
+	if b != a {
+		t.Fatalf("freed block not reused: got %#x want %#x", b, a)
+	}
+	for w := Addr(0); w < 4; w++ {
+		if v := p.Load(b + w); v != 0 {
+			t.Fatalf("reused block word %d not zeroed: %d", w, v)
+		}
+	}
+	st := r.Stats()
+	if st.Reused != 1 {
+		t.Fatalf("Reused = %d, want 1", st.Reused)
+	}
+}
+
+// TestReclaimerRetireGrace pins the epoch grace period: a retired block is
+// not reused while any process stays pinned in the retire epoch, and is
+// reused after every pin moves on.
+func TestReclaimerRetireGrace(t *testing.T) {
+	h := reclaimHeap(t, 2)
+	r := NewReclaimer(h)
+	p, q := h.Proc(0), h.Proc(1)
+
+	r.Enter(p)
+	r.Enter(q) // q's pin will go stale, blocking the epoch
+	a := r.Alloc(p, 4)
+	r.Retire(p, a)
+
+	// Force many advance attempts: q is pinned at the current epoch, so the
+	// epoch advances at most once and a's grace period never elapses.
+	for i := 0; i < 4*ringFreeThreshold; i++ {
+		n := r.Alloc(p, 4)
+		r.Retire(p, n)
+	}
+	if got := r.Stats().Freed; got != 0 {
+		t.Fatalf("freed %d blocks while a process was pinned in the retire epoch", got)
+	}
+
+	// Release q; two refreshed pins later the grace period has elapsed.
+	r.Exit(q)
+	for i := 0; i < 4*ringFreeThreshold; i++ {
+		r.Enter(p)
+		n := r.Alloc(p, 4)
+		r.Retire(p, n)
+	}
+	if got := r.Stats().Freed; got == 0 {
+		t.Fatal("no blocks freed after all pins released")
+	}
+	r.Exit(p)
+}
+
+// TestReclaimerBoundedHeap pins the tentpole property at the allocator
+// level: churn far beyond the heap capacity completes because blocks are
+// recycled, with bump-pointer usage bounded.
+func TestReclaimerBoundedHeap(t *testing.T) {
+	h := reclaimHeap(t, 1)
+	r := NewReclaimer(h)
+	p := h.Proc(0)
+
+	churn := 4 * h.Capacity() / 4 // 4× capacity worth of 4-word blocks
+	for i := uint64(0); i < churn; i++ {
+		r.Enter(p)
+		a := r.Alloc(p, 4)
+		p.Store(a, i)
+		r.Retire(p, a)
+	}
+	r.Exit(p)
+	if used := h.Used(); used > h.Capacity()/2 {
+		t.Fatalf("heap not bounded under churn: used %d of %d", used, h.Capacity())
+	}
+	st := r.Stats()
+	if st.Reused == 0 {
+		t.Fatal("no blocks reused under churn")
+	}
+}
+
+// TestReclaimerTwoClasses pins the class separation (4-word nodes and
+// 32-word Info records must not alias) and the class-table limit.
+func TestReclaimerTwoClasses(t *testing.T) {
+	h := reclaimHeap(t, 1)
+	r := NewReclaimer(h)
+	p := h.Proc(0)
+
+	a := r.Alloc(p, 4)
+	b := r.Alloc(p, 32)
+	if sa, wa, ok := r.BlockOf(a + 1); !ok || sa != a || wa != 4 {
+		t.Fatalf("BlockOf(node) = %#x,%d,%v", sa, wa, ok)
+	}
+	if sb, wb, ok := r.BlockOf(b + 31); !ok || sb != b || wb != 32 {
+		t.Fatalf("BlockOf(info) = %#x,%d,%v", sb, wb, ok)
+	}
+	if _, _, ok := r.BlockOf(1 << 40); ok {
+		t.Fatal("BlockOf accepted an address outside every slab")
+	}
+	r.Free(p, a)
+	if c := r.Alloc(p, 32); c == a {
+		t.Fatal("cross-class reuse: 32-word alloc returned a freed 4-word block")
+	}
+}
+
+// TestReclaimerDegradedAfterCrash pins the desync guard: after a crash and
+// before any scan, Alloc bypasses the free lists and Retire drops.
+func TestReclaimerDegradedAfterCrash(t *testing.T) {
+	h := reclaimHeap(t, 1)
+	r := NewReclaimer(h)
+	p := h.Proc(0)
+
+	a := r.Alloc(p, 4)
+	r.Free(p, a)
+
+	h.Crash()
+	h.ResetAfterCrash()
+
+	b := r.Alloc(p, 4)
+	if b == a {
+		t.Fatal("degraded Alloc reused a pre-crash free-list block")
+	}
+	pre := r.Stats().Dropped
+	r.Retire(p, b)
+	if r.Stats().Dropped != pre+1 {
+		t.Fatal("degraded Retire did not drop the retirement")
+	}
+
+	// A scan with an empty mark set resynchronizes and re-homes everything.
+	rep := r.Scan(p, func(mark func(Addr)) {})
+	if rep.Swept == 0 {
+		t.Fatalf("scan swept nothing: %+v", rep)
+	}
+	if !r.synced() {
+		t.Fatal("reclaimer still degraded after scan")
+	}
+}
+
+// TestReclaimerScanMarksSurvive pins the conservative sweep: marked blocks
+// stay live (content intact), unmarked blocks return zeroed to free lists,
+// and torn ring entries are detected by checksum.
+func TestReclaimerScanMarksSurvive(t *testing.T) {
+	h := reclaimHeap(t, 2)
+	r := NewReclaimer(h)
+	p := h.Proc(0)
+
+	keep := r.Alloc(p, 4)
+	p.Store(keep, 42)
+	p.PWB(keep)
+	lose := r.Alloc(p, 4)
+	p.Store(lose, 43)
+	r.Enter(p)
+	gone := r.Alloc(p, 4)
+	r.Retire(p, gone)
+	dropped := r.Alloc(p, 4)
+	r.Retire(p, dropped)
+	r.Exit(p)
+
+	// Tear the second retirement's ring entry: corrupt its checksum word
+	// and persist the damage, as a crash mid-entry-write would leave it.
+	slot := r.ringSlot(0, 1)
+	p.Store(slot+3, p.Load(slot+3)^1)
+	p.PWB(slot)
+	p.PSync()
+
+	h.Crash()
+	h.ResetAfterCrash()
+
+	rep := r.Scan(p, func(mark func(Addr)) {
+		mark(keep + 2) // interior pointer marks the block
+		mark(1 << 40)  // garbage addresses are ignored
+		mark(r.epochA) // non-slab pmem addresses are ignored
+	})
+	if rep.Marked != 1 {
+		t.Fatalf("Marked = %d, want 1 (%+v)", rep.Marked, rep)
+	}
+	if rep.Swept != 3 {
+		t.Fatalf("Swept = %d, want 3 (%+v)", rep.Swept, rep)
+	}
+	if rep.TornRetires != 1 {
+		t.Fatalf("TornRetires = %d, want 1 (%+v)", rep.TornRetires, rep)
+	}
+	if v := p.Load(keep); v != 42 {
+		t.Fatalf("marked block content lost: %d", v)
+	}
+	if got := r.LiveBlocks(); got != 1 {
+		t.Fatalf("LiveBlocks = %d, want 1", got)
+	}
+
+	// Swept blocks are reusable and zeroed.
+	x := r.Alloc(p, 4)
+	if x != lose && x != gone && x != dropped {
+		t.Fatalf("post-scan Alloc did not reuse a swept block: %#x", x)
+	}
+	if v := p.Load(x); v != 0 {
+		t.Fatalf("swept block not zeroed: %d", v)
+	}
+}
+
+// TestReclaimerScanIdempotent pins restartability: running the scan twice
+// (as a crash mid-scan would) yields the same live set.
+func TestReclaimerScanIdempotent(t *testing.T) {
+	h := reclaimHeap(t, 1)
+	r := NewReclaimer(h)
+	p := h.Proc(0)
+
+	keep := r.Alloc(p, 4)
+	r.Alloc(p, 4) // swept
+	h.Crash()
+	h.ResetAfterCrash()
+
+	markAll := func(mark func(Addr)) { mark(keep) }
+	rep1 := r.Scan(p, markAll)
+	rep2 := r.Scan(p, markAll)
+	if rep1.Marked != 1 || rep2.Marked != 1 {
+		t.Fatalf("Marked = %d then %d, want 1 both times", rep1.Marked, rep2.Marked)
+	}
+	// Free blocks are re-swept (the heads were reset, so every free block
+	// must be re-pushed), but the partition must not change.
+	if rep2.Swept != rep1.Swept {
+		t.Fatalf("scan not idempotent: swept %d then %d", rep1.Swept, rep2.Swept)
+	}
+	if got := r.LiveBlocks(); got != 1 {
+		t.Fatalf("LiveBlocks = %d, want 1", got)
+	}
+}

@@ -53,7 +53,7 @@ func NewWithEngine(h *pmem.Heap, e *isb.Engine) *Queue {
 	anchors := p.Alloc(2 * pmem.WordsPerLine)
 	q.head = anchors
 	q.tail = anchors + pmem.WordsPerLine
-	dummy := newNode(p, 0, 0)
+	dummy := newNode(e, p, 0, 0)
 	p.Store(q.head, uint64(dummy))
 	p.Store(q.tail, uint64(dummy))
 	p.PBarrierRange(dummy, nodeWords)
@@ -65,8 +65,10 @@ func NewWithEngine(h *pmem.Heap, e *isb.Engine) *Queue {
 	return q
 }
 
-func newNode(p *pmem.Proc, val, info uint64) pmem.Addr {
-	nd := p.Alloc(nodeWords)
+// newNode draws a node from the engine's allocator (arena by default, the
+// epoch reclaimer when the runtime enables reclamation).
+func newNode(e *isb.Engine, p *pmem.Proc, val, info uint64) pmem.Addr {
+	nd := e.Alloc(p, nodeWords)
 	p.Store(nd+nVal, val)
 	p.Store(nd+nNext, uint64(pmem.Null))
 	p.Store(nd+nInfo, info)
@@ -133,7 +135,7 @@ func (q *Queue) findLast(p *pmem.Proc) pmem.Addr {
 func (q *Queue) gatherEnq(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.GatherResult {
 	last := q.findLast(p)
 	lastInfo := p.Load(last + nInfo)
-	newnd := newNode(p, spec.ArgKey, isb.Tagged(info))
+	newnd := newNode(q.e, p, spec.ArgKey, isb.Tagged(info))
 	spec.AddAffect(last+nInfo, lastInfo)
 	spec.AddWrite(last+nNext, uint64(pmem.Null), uint64(newnd))
 	spec.AddCleanup(last + nInfo)
@@ -162,10 +164,36 @@ func (q *Queue) gatherDeq(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.Gath
 	if pmem.Addr(p.Load(q.head)) != dummy {
 		return isb.Restart
 	}
+	// Swing the Tail hint off the dummy before committing to retire it:
+	// Tail only ever moves forward along the chain (every CAS on it
+	// expects a specific older node), so once it has left the dummy it can
+	// never return — the reclaimer may then recycle the dummy without a
+	// stale Tail pointing into freed memory.
+	if pmem.Addr(p.Load(q.tail)) == dummy {
+		p.CAS(q.tail, uint64(dummy), uint64(first))
+	}
 	spec.AddAffect(dummy+nInfo, dummyInfo) // dummy retires: stays tagged
 	spec.AddWrite(q.head, uint64(dummy), uint64(first))
 	spec.SuccessResponse = isb.EncodeValue(p.Load(first + nVal))
 	return isb.Proceed
+}
+
+// MarkReachable reports every node on the Head chain to the post-crash
+// reclamation scan, and repairs the Tail hint: Tail is volatile-only, so
+// after a crash it can revert to an arbitrarily old persisted value whose
+// node may since have been recycled. Re-homing it to the last node from
+// Head (and persisting it, riding the scan's final psync) restores the
+// "Tail points into the chain" invariant before any operation runs.
+func (q *Queue) MarkReachable(p *pmem.Proc, mark func(pmem.Addr)) {
+	curr := pmem.Addr(p.Load(q.head))
+	last := curr
+	for curr != pmem.Null {
+		mark(curr)
+		last = curr
+		curr = pmem.Addr(p.Load(curr + nNext))
+	}
+	p.Store(q.tail, uint64(last))
+	p.PWB(q.tail)
 }
 
 // Len counts queued values on the volatile image (test helper; requires

@@ -73,8 +73,8 @@ func New(h *pmem.Heap, elimSpins int) *Stack {
 func NewWithEngine(h *pmem.Heap, e *isb.Engine, elimSpins int) *Stack {
 	s := &Stack{h: h, e: e, ex: exchanger.New(h), spins: elimSpins}
 	p := h.Proc(0)
-	bottom := newNode(p, bottomMark, pmem.Null, 0)
-	s.sentinel = newNode(p, 0, bottom, 0)
+	bottom := newNode(e, p, bottomMark, pmem.Null, 0)
+	s.sentinel = newNode(e, p, 0, bottom, 0)
 	p.PBarrierRange(bottom, nodeWords)
 	p.PBarrierRange(s.sentinel, nodeWords)
 	p.PSync()
@@ -83,8 +83,10 @@ func NewWithEngine(h *pmem.Heap, e *isb.Engine, elimSpins int) *Stack {
 	return s
 }
 
-func newNode(p *pmem.Proc, val uint64, next pmem.Addr, info uint64) pmem.Addr {
-	nd := p.Alloc(nodeWords)
+// newNode draws a node from the engine's allocator (arena by default, the
+// epoch reclaimer when the runtime enables reclamation).
+func newNode(e *isb.Engine, p *pmem.Proc, val uint64, next pmem.Addr, info uint64) pmem.Addr {
+	nd := e.Alloc(p, nodeWords)
 	p.Store(nd+nVal, val)
 	p.Store(nd+nNext, uint64(next))
 	p.Store(nd+nInfo, info)
@@ -179,8 +181,8 @@ func (s *Stack) gatherPush(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.Gat
 	top := pmem.Addr(p.Load(s.sentinel + nNext))
 	topInfo := p.Load(top + nInfo)
 	tagged := isb.Tagged(info)
-	topCopy := newNode(p, p.Load(top+nVal), pmem.Addr(p.Load(top+nNext)), tagged)
-	newnd := newNode(p, spec.ArgKey, topCopy, tagged)
+	topCopy := newNode(s.e, p, p.Load(top+nVal), pmem.Addr(p.Load(top+nNext)), tagged)
+	newnd := newNode(s.e, p, spec.ArgKey, topCopy, tagged)
 	spec.AddAffect(s.sentinel+nInfo, sentInfo)
 	spec.AddAffect(top+nInfo, topInfo) // retires on success
 	spec.AddWrite(s.sentinel+nNext, uint64(top), uint64(newnd))
@@ -212,6 +214,21 @@ func (s *Stack) gatherPop(p *pmem.Proc, info pmem.Addr, spec *isb.Spec) isb.Gath
 	spec.AddCleanup(s.sentinel + nInfo)
 	spec.SuccessResponse = isb.EncodeValue(p.Load(top + nVal))
 	return isb.Proceed
+}
+
+// MarkReachable reports every node on the chain from the sentinel to the
+// post-crash reclamation scan (the scan's transitive closure follows
+// tagged info fields and record-referenced copies from there).
+func (s *Stack) MarkReachable(p *pmem.Proc, mark func(pmem.Addr)) {
+	mark(s.sentinel)
+	curr := pmem.Addr(p.Load(s.sentinel + nNext))
+	for {
+		mark(curr)
+		if p.Load(curr+nVal) == bottomMark {
+			return
+		}
+		curr = pmem.Addr(p.Load(curr + nNext))
+	}
 }
 
 // Values snapshots the stack top-to-bottom (test helper; quiescence).

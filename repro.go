@@ -47,6 +47,18 @@
 // structures, per-process RD_q/CP_q registers, and the per-process
 // announcement record) that recovery can always tell whether the
 // interrupted operation took effect and what it returned.
+//
+// # Node reclamation
+//
+// By default nodes come from a leak-forever arena: correct, and the
+// conformance oracle, but the heap must be sized for the run's cumulative
+// allocation. Config{Reclaim: true} swaps in a crash-consistent epoch
+// reclaimer whose retired lists, epoch counters and free lists live in the
+// persistent heap, so churn-heavy workloads run in a heap sized for their
+// working set. RecoverAll then prefixes recovery with a conservative
+// reachability scan that re-homes any block whose retirement was lost in
+// the crash — a lost retirement degrades to a (bounded) leak, never to a
+// dangling pointer. See the package README for the full discipline.
 package repro
 
 import (
@@ -234,6 +246,14 @@ type Config struct {
 	// Engine selects the persistence placement (default EngineIsb) for
 	// every structure this runtime builds.
 	Engine EngineKind
+	// Reclaim enables crash-consistent node reclamation: every structure
+	// this runtime builds draws nodes from a shared epoch-based reclaimer
+	// (whose epoch counter, per-process retired rings and free lists live
+	// in the persistent heap) instead of the leak-forever arena, and
+	// RecoverAll prefixes recovery with a conservative reachability scan
+	// that re-homes nodes whose retirement did not persist. See
+	// ReclaimStats/LastScan for observability.
+	Reclaim bool
 }
 
 // regCapacity bounds the number of structures one Runtime can register.
@@ -242,10 +262,14 @@ const regCapacity = 256
 // Runtime owns a simulated persistent heap, its process descriptors, and
 // the persistent structure registry that RecoverAll routes through.
 type Runtime struct {
-	h       *pmem.Heap
-	engine  EngineKind
-	structs []Structure // index id-1
-	regBase pmem.Addr   // persisted registry: word0 = count, word id = kind
+	h         *pmem.Heap
+	engine    EngineKind
+	structs   []Structure // index id-1
+	regBase   pmem.Addr   // persisted registry: word0 = count, word id = kind
+	reclaimer *pmem.Reclaimer
+	engines   []*isb.Engine // every engine newEngine built (scan/recovery plumbing)
+	lastScan  pmem.ScanReport
+	scanned   bool
 }
 
 // New builds a runtime.
@@ -260,6 +284,9 @@ func New(cfg Config) *Runtime {
 		PWBLatency: cfg.PWBLatency, PSyncLatency: cfg.PSyncLatency,
 	}), engine: cfg.Engine}
 	r.regBase = r.h.Proc(0).Alloc(1 + regCapacity)
+	if cfg.Reclaim {
+		r.reclaimer = pmem.NewReclaimer(r.h)
+	}
 	return r
 }
 
@@ -301,12 +328,50 @@ func (r *Runtime) Engine() EngineKind { return r.engine }
 // Heap exposes the underlying simulated heap (internal test plumbing).
 func (r *Runtime) Heap() *pmem.Heap { return r.h }
 
-// newEngine builds one ISB engine of the configured kind.
+// newEngine builds one ISB engine of the configured kind. With Config.
+// Reclaim the engine's allocator is swapped for the shared reclaimer
+// before any structure constructor runs (constructors allocate their
+// sentinels through the engine, and those blocks must be reclaimer-owned
+// so BlockOf can classify them during the post-crash scan).
 func (r *Runtime) newEngine() *isb.Engine {
+	var e *isb.Engine
 	if r.engine == EngineIsbOpt {
-		return isb.NewEngineOpt(r.h)
+		e = isb.NewEngineOpt(r.h)
+	} else {
+		e = isb.NewEngine(r.h)
 	}
-	return isb.NewEngine(r.h)
+	if r.reclaimer != nil {
+		e.SetAllocator(r.reclaimer)
+	}
+	r.engines = append(r.engines, e)
+	return e
+}
+
+// Reclaimer exposes the shared epoch reclaimer, or nil when Config.Reclaim
+// is off (test and bench plumbing).
+func (r *Runtime) Reclaimer() *pmem.Reclaimer { return r.reclaimer }
+
+// ReclaimStats reports the reclaimer's cumulative counters; ok is false
+// when reclamation is disabled.
+func (r *Runtime) ReclaimStats() (pmem.ReclaimStats, bool) {
+	if r.reclaimer == nil {
+		return pmem.ReclaimStats{}, false
+	}
+	return r.reclaimer.Stats(), true
+}
+
+// LastScan reports the most recent RecoverAll conservative scan; ok is
+// false if no scan has run (reclamation disabled, or no recovery yet).
+func (r *Runtime) LastScan() (pmem.ScanReport, bool) { return r.lastScan, r.scanned }
+
+// LiveNodes counts reclaimer blocks currently live or awaiting grace
+// (0 when reclamation is disabled): the steady-state heap metric the
+// bench pins track.
+func (r *Runtime) LiveNodes() uint64 {
+	if r.reclaimer == nil {
+		return 0
+	}
+	return r.reclaimer.LiveBlocks()
 }
 
 // Proc returns process descriptor id (0-based).
@@ -376,7 +441,31 @@ type ProcReport struct {
 //   - RecoverAll may itself be interrupted by a further crash and re-run;
 //     announcements are only cleared by each process's next Begin (or the
 //     next operation's entry step).
+//
+// With Config.Reclaim, RecoverAll first runs the reclaimer's conservative
+// scan: every block reachable from a structure root or referenced by an
+// announced operation's tracking record survives (transitively), every
+// retired-ring entry whose checksum persisted intact is honoured, and all
+// other blocks — including those whose retirement was lost in the crash —
+// return to the free lists. The scan is conservative in one direction
+// only: a node may survive that would eventually have been freed (it is
+// simply retired again later), but a reachable node is never freed. The
+// reclaimer is frozen during the per-process recovery sweep so that an
+// early process's re-invoked operation cannot free a block a later
+// process's tracking record still names.
 func (r *Runtime) RecoverAll() []ProcReport {
+	if r.reclaimer != nil {
+		p0 := r.h.Proc(0)
+		r.lastScan = r.reclaimer.Scan(p0, func(mark func(pmem.Addr)) { r.markAll(p0, mark) })
+		r.scanned = true
+		for _, e := range r.engines {
+			// Pending last-op retirements name pre-crash blocks the scan
+			// just re-homed; retiring them now would free live memory.
+			e.ForgetRetired()
+		}
+		r.reclaimer.Freeze()
+		defer r.reclaimer.Thaw()
+	}
 	var out []ProcReport
 	for id := 0; id < r.h.NumProcs(); id++ {
 		p := r.h.Proc(id)
@@ -392,6 +481,57 @@ func (r *Runtime) RecoverAll() []ProcReport {
 		out = append(out, ProcReport{Proc: id, StructID: sid, Op: op, Resp: s.RecoverOp(p, op)})
 	}
 	return out
+}
+
+// reachMarker is the per-structure hook the conservative scan seeds from.
+type reachMarker interface {
+	MarkReachable(p *Proc, mark func(pmem.Addr))
+}
+
+// markAll feeds the reclaimer's scan the transitive closure of every block
+// that must survive the crash. Seeds: each structure's root walk (sentinels
+// and linked nodes) and each engine's announced tracking records. Closure:
+// every word of a surviving block is treated as a possible pointer (with
+// the ISB tag bit stripped) — if it lands in a reclaimer block, that block
+// survives too. This keeps record-referenced fresh copies (an enqueue's
+// new node, a push's top copy) live even though no root reaches them yet,
+// at the cost of over-retaining blocks whose payload words merely look
+// like addresses — safe, merely conservative.
+func (r *Runtime) markAll(p *Proc, mark func(pmem.Addr)) {
+	rec := r.reclaimer
+	visited := make(map[pmem.Addr]uint64) // block start -> words
+	var work []pmem.Addr
+	seed := func(a pmem.Addr) {
+		if a == pmem.Null {
+			return
+		}
+		start, words, ok := rec.BlockOf(a)
+		if !ok {
+			return // arena/registry memory: not reclaimer-owned
+		}
+		if _, seen := visited[start]; seen {
+			return
+		}
+		visited[start] = words
+		mark(start)
+		work = append(work, start)
+	}
+	for _, s := range r.structs {
+		if m, ok := s.(reachMarker); ok {
+			m.MarkReachable(p, seed)
+		}
+	}
+	for _, e := range r.engines {
+		e.MarkReachable(p, seed)
+	}
+	for len(work) > 0 {
+		start := work[len(work)-1]
+		work = work[:len(work)-1]
+		words := visited[start]
+		for i := uint64(0); i < words; i++ {
+			seed(pmem.Addr(p.Load(start+pmem.Addr(i)) &^ 1))
+		}
+	}
 }
 
 // List is a detectably recoverable sorted set of uint64 keys (paper
@@ -438,6 +578,10 @@ func (l *List) Recover(p *Proc, op, key uint64) bool { return l.l.Recover(p, op,
 
 // Begin is the system-side invocation step used by crash harnesses.
 func (l *List) Begin(p *Proc) { l.l.Begin(p) }
+
+// MarkReachable reports the list's reachable nodes to the post-crash
+// reclamation scan (see Runtime.RecoverAll).
+func (l *List) MarkReachable(p *Proc, mark func(pmem.Addr)) { l.l.MarkReachable(p, mark) }
 
 // Keys snapshots the current key set (requires quiescence).
 func (l *List) Keys() []uint64 { return l.l.Keys() }
@@ -494,6 +638,10 @@ func (q *Queue) RecoverDequeue(p *Proc) (uint64, bool) {
 // Begin is the system-side invocation step used by crash harnesses.
 func (q *Queue) Begin(p *Proc) { q.q.Begin(p) }
 
+// MarkReachable reports the queue's reachable nodes to the post-crash
+// reclamation scan and repairs the volatile Tail hint.
+func (q *Queue) MarkReachable(p *Proc, mark func(pmem.Addr)) { q.q.MarkReachable(p, mark) }
+
 // Values snapshots the queue front-to-back (requires quiescence).
 func (q *Queue) Values() []uint64 { return q.q.Values() }
 
@@ -543,6 +691,10 @@ func (b *BST) Recover(p *Proc, op, key uint64) bool { return b.b.Recover(p, op, 
 
 // Begin is the system-side invocation step used by crash harnesses.
 func (b *BST) Begin(p *Proc) { b.b.Begin(p) }
+
+// MarkReachable reports the tree's reachable nodes to the post-crash
+// reclamation scan.
+func (b *BST) MarkReachable(p *Proc, mark func(pmem.Addr)) { b.b.MarkReachable(p, mark) }
 
 // Keys returns the keys in order (requires quiescence).
 func (b *BST) Keys() []uint64 { return b.b.Keys() }
@@ -678,6 +830,10 @@ func (s *Stack) RecoverPop(p *Proc) (uint64, bool) {
 // Begin is the system-side invocation step used by crash harnesses.
 func (s *Stack) Begin(p *Proc) { s.s.Begin(p) }
 
+// MarkReachable reports the stack's reachable nodes to the post-crash
+// reclamation scan.
+func (s *Stack) MarkReachable(p *Proc, mark func(pmem.Addr)) { s.s.MarkReachable(p, mark) }
+
 // Values snapshots the stack top-to-bottom (requires quiescence).
 func (s *Stack) Values() []uint64 { return s.s.Values() }
 
@@ -740,6 +896,10 @@ func (m *HashMap) Begin(p *Proc) { m.m.Begin(p) }
 
 // NumShards reports the map's (power-of-two) shard count.
 func (m *HashMap) NumShards() int { return m.m.NumShards() }
+
+// MarkReachable reports every shard's reachable nodes to the post-crash
+// reclamation scan.
+func (m *HashMap) MarkReachable(p *Proc, mark func(pmem.Addr)) { m.m.MarkReachable(p, mark) }
 
 // Keys snapshots the current key set in ascending order (requires
 // quiescence).
