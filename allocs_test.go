@@ -112,3 +112,74 @@ func TestHashMapOpZeroAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestReadFastPathZeroPersist pins the read fast path's twin guarantees
+// through the public Runtime, on both engines with and without
+// reclamation: a stand-alone read-only operation (list/map/BST Find, queue
+// Peek, stack Top) performs zero Go allocations AND zero persistence
+// instructions — no pbarrier, no stand-alone pwb, no psync. The mutating
+// path pays an Info record, an announcement write-back and sync points per
+// operation; the read path must pay literally nothing, which is what makes
+// read-heavy workloads on the batched admission path approach volatile
+// speed.
+func TestReadFastPathZeroPersist(t *testing.T) {
+	for _, e := range engines() {
+		for _, reclaim := range []bool{false, true} {
+			e, reclaim := e, reclaim
+			t.Run(fmt.Sprintf("%s/reclaim=%v", e.name, reclaim), func(t *testing.T) {
+				rt := New(Config{Procs: 1, HeapWords: 1 << 22, Engine: e.kind, Reclaim: reclaim})
+				p := rt.Proc(0)
+				l := rt.NewList()
+				b := rt.NewBST()
+				m := rt.NewHashMap(8)
+				q := rt.NewQueue()
+				s := rt.NewStack(0)
+				for k := uint64(1); k <= 32; k++ {
+					l.Insert(p, k)
+					b.Insert(p, k)
+					m.Insert(p, k)
+				}
+				q.Enqueue(p, 7)
+				s.Push(p, 7)
+
+				check := func(name string, f func()) {
+					t.Helper()
+					if n := testing.AllocsPerRun(100, f); n != 0 {
+						t.Errorf("%s: %.1f Go allocations per run, want 0", name, n)
+					}
+					before := rt.Heap().TotalStats()
+					for i := 0; i < 100; i++ {
+						f()
+					}
+					after := rt.Heap().TotalStats()
+					if after.Barriers != before.Barriers || after.Flushes != before.Flushes ||
+						after.Syncs != before.Syncs {
+						t.Errorf("%s: persistence instructions on the read path: +%d pbarriers +%d pwbs +%d psyncs over 100 runs",
+							name, after.Barriers-before.Barriers, after.Flushes-before.Flushes,
+							after.Syncs-before.Syncs)
+					}
+				}
+				k := uint64(0)
+				check("list find", func() { k++; l.Find(p, 1+k%64) })
+				check("bst find", func() { k++; b.Find(p, 1+k%64) })
+				check("hashmap find", func() { k++; m.Find(p, 1+k%64) })
+				check("queue peek", func() {
+					if v, ok := q.Peek(p); !ok || v != 7 {
+						t.Fatalf("peek = (%d, %v), want (7, true)", v, ok)
+					}
+				})
+				check("stack top", func() {
+					if v, ok := s.Top(p); !ok || v != 7 {
+						t.Fatalf("top = (%d, %v), want (7, true)", v, ok)
+					}
+				})
+
+				// The counter the fast path increments instead: every read
+				// above must have been served by it.
+				if _, rf, ok := rt.EngineCounters(l); !ok || rf == 0 {
+					t.Errorf("list engine read-fast counter = %d (ok=%v), want > 0", rf, ok)
+				}
+			})
+		}
+	}
+}

@@ -11,6 +11,8 @@
 //	go run ./cmd/bench -label abc123 -out BENCH_abc123.json
 //	go run ./cmd/bench -quick                  # small matrix (CI smoke)
 //	go run ./cmd/bench -check BENCH_x.json     # validate an existing report
+//	go run ./cmd/bench -compare BENCH_baseline.json
+//	                                           # run, then gate against a baseline
 package main
 
 import (
@@ -46,6 +48,8 @@ func main() {
 	ops := flag.Int("ops", 0, "operations per proc per cell (default 2000)")
 	quick := flag.Bool("quick", false, "small matrix for smoke runs")
 	check := flag.String("check", "", "validate an existing report file and exit")
+	compare := flag.String("compare", "", "baseline report to gate the fresh run against (fails when a cell falls >15% behind the pair's median throughput ratio or grows persists/op)")
+	verbose := flag.Bool("v", false, "print each scenario cell's metric line")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -105,6 +109,23 @@ func main() {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fail(err)
 	}
+	if *verbose {
+		for _, pt := range rep.Scenarios {
+			// Point.Stats routes through isb.Stats — the same renderer the
+			// root benchmarks report with.
+			fmt.Printf("%s: %.0f ops/s %s\n", pt.Name, pt.OpsPerSec, pt.Stats())
+		}
+	}
 	fmt.Printf("wrote %s: %d scenario cells, %d sweep scenarios, sweep %.2fs\n",
 		path, len(rep.Scenarios), len(rep.Sweeps), rep.SweepSeconds)
+	if *compare != "" {
+		old, err := os.ReadFile(*compare)
+		if err != nil {
+			fail(err)
+		}
+		if err := bench.Compare(old, data); err != nil {
+			fail(err)
+		}
+		fmt.Printf("no regression vs %s\n", *compare)
+	}
 }

@@ -3,14 +3,18 @@
 // while the "machine" keeps crashing. Keys spread over the map's shards, so
 // the workers mostly run contention-free.
 //
-// Recovery is the new zero-bookkeeping workflow: after each crash the
-// coordinator (playing "the system") makes exactly one call —
-// Runtime.RecoverAll — which reads every process's persistent announcement
-// record, routes each in-flight operation to its structure through the
-// registry, and resolves it. Workers just look up their entry in the
-// report; a worker absent from the report re-submits (its operation
+// Workers admit their operations in ApplyBatch windows of 16: one durable
+// batch announcement per window instead of one per operation, deferred
+// psyncs, and finds served by the zero-persist read path. Recovery stays
+// zero-bookkeeping: after each crash the coordinator (playing "the
+// system") makes exactly one call — Runtime.RecoverAll — which resolves
+// every process's in-flight work. A worker whose report entry carries a
+// batch consumes the completed prefix's durable responses plus the
+// recovered in-flight operation, then re-submits the no-effect suffix; a
+// worker absent from the report re-submits its whole remainder (it
 // provably had no effect). The store's final contents are audited against
-// the responses the workers observed.
+// the responses the workers observed, and the run closes with a
+// side-by-side measurement of the psync/op drop batching buys.
 //
 //	go run ./examples/kvstore
 package main
@@ -26,10 +30,50 @@ import (
 const (
 	workers   = 4
 	shards    = 16
-	opsPerW   = 300
+	opsPerW   = 304 // divisible by batchSize: every window is full
+	batchSize = 16
 	crashEach = 2500 // memory accesses between scheduled crashes
 	keySpace  = 64
 )
+
+// randomOp draws the next workload operation: half finds (zero-persist
+// fast path), the rest split insert/delete.
+func randomOp(rng *rand.Rand) repro.Op {
+	k := uint64(rng.Intn(keySpace)) + 1
+	switch rng.Intn(4) {
+	case 0:
+		return repro.Op{Kind: repro.OpInsert, Arg: k}
+	case 1:
+		return repro.Op{Kind: repro.OpDelete, Arg: k}
+	default:
+		return repro.Op{Kind: repro.OpFind, Arg: k}
+	}
+}
+
+// measureSyncDrop replays the same seeded crash-free workload through
+// one-at-a-time admission and through batch=16 windows on fresh stores
+// (batched Isb-Opt engine) and returns the measured psyncs per operation
+// for each.
+func measureSyncDrop() (single, batched float64) {
+	run := func(batch int) float64 {
+		const ops = 2048
+		rt := repro.New(repro.Config{Procs: 1, HeapWords: 1 << 22, Engine: repro.EngineIsbOpt})
+		m := rt.NewHashMap(shards)
+		p := rt.Proc(0)
+		rng := rand.New(rand.NewSource(99))
+		rt.Heap().ResetAllStats()
+		win := make([]repro.Op, 0, batch)
+		for i := 0; i < ops; i++ {
+			win = append(win, randomOp(rng))
+			if len(win) == batch {
+				rt.ApplyBatch(p, m, win)
+				win = win[:0]
+			}
+		}
+		return float64(rt.Heap().TotalStats().Syncs) / ops
+	}
+	return run(1), run(batchSize)
+}
 
 func main() {
 	// Heap sizing. With the leak-forever arena (Reclaim: false, the
@@ -114,33 +158,59 @@ func main() {
 			defer leave()
 			p := rt.Proc(w)
 			rng := rand.New(rand.NewSource(int64(w) + 1))
-			for i := 0; i < opsPerW; i++ {
-				op := repro.Op{
-					Kind: uint64(rng.Intn(2)) + 1, // OpInsert or OpDelete
-					Arg:  uint64(rng.Intn(keySpace)) + 1,
+			tally := func(op repro.Op, resp repro.Resp) {
+				if op.Kind == repro.OpFind || !resp.Bool() {
+					return
 				}
-				for !rt.Run(func() { store.Begin(p) }) {
-					park()
+				if op.Kind == repro.OpInsert {
+					net[w][op.Arg]++
+				} else {
+					net[w][op.Arg]--
 				}
-				var resp repro.Resp
-				ok := rt.Run(func() { resp = store.Apply(p, op) })
-				for !ok {
+			}
+			for base := 0; base < opsPerW; base += batchSize {
+				pending := make([]repro.Op, 0, batchSize)
+				for j := 0; j < batchSize && base+j < opsPerW; j++ {
+					pending = append(pending, randomOp(rng))
+				}
+				for len(pending) > 0 {
+					batch := pending
+					var out []repro.Resp
+					if rt.Run(func() { out = rt.ApplyBatch(p, store, batch) }) {
+						for i, op := range batch {
+							tally(op, out[i])
+						}
+						pending = nil
+						break
+					}
+					// Crashed mid-window. After recovery, the report's batch
+					// entries hand back the completed prefix's durable
+					// responses and the recovered in-flight operation; the
+					// no-effect suffix loops around for re-submission.
 					park()
-					if rep, hit := report(w); hit && rep.Op == op {
-						// RecoverAll already resolved our operation.
-						resp, ok = rep.Resp, true
+					rep, hit := report(w)
+					if !hit {
+						continue // nothing durable: re-submit the remainder
+					}
+					if rep.Batch == nil {
+						// A one-op remainder announces like a plain operation.
+						if len(pending) > 0 && rep.Op == pending[0] {
+							tally(pending[0], rep.Resp)
+							pending = pending[1:]
+						}
 						continue
 					}
-					// Absent from the report: the crash preceded the durable
-					// announcement, so the operation had no effect — re-submit.
-					ok = rt.Run(func() { resp = store.Apply(p, op) })
-				}
-				if resp.Bool() {
-					if op.Kind == repro.OpInsert {
-						net[w][op.Arg]++
-					} else {
-						net[w][op.Arg]--
+					resolved := 0
+					for i, ent := range rep.Batch {
+						// A stale entry (an earlier, fully completed window)
+						// stops matching immediately and resolves nothing.
+						if ent.Status == repro.OpNoEffect || i >= len(pending) || ent.Op != pending[i] {
+							break
+						}
+						tally(ent.Op, ent.Resp)
+						resolved = i + 1
 					}
+					pending = pending[resolved:]
 				}
 			}
 		}(w)
@@ -169,10 +239,16 @@ func main() {
 			fmt.Printf("MISMATCH key %d: net=%d present=%v\n", k, total[k], present[k])
 		}
 	}
-	fmt.Printf("%d workers × %d ops over %d shards, %d crashes survived (one RecoverAll each), %d keys stored, %d mismatches\n",
-		workers, opsPerW, store.NumShards(), crashes, len(store.Keys()), bad)
+	fmt.Printf("%d workers × %d ops (batch=%d) over %d shards, %d crashes survived (one RecoverAll each), %d keys stored, %d mismatches\n",
+		workers, opsPerW, batchSize, store.NumShards(), crashes, len(store.Keys()), bad)
+	if bs, rf, ok := rt.EngineCounters(store); ok {
+		fmt.Printf("batching: %d psyncs deferred into window boundaries, %d reads on the zero-persist fast path\n", bs, rf)
+	}
 	if bad > 0 {
 		panic("audit failed")
 	}
 	fmt.Println("audit passed: every response is consistent with the recovered store")
+	s1, s16 := measureSyncDrop()
+	fmt.Printf("measured admission cost: %.2f psyncs/op one-at-a-time vs %.2f psyncs/op at batch=%d (%.0fx drop)\n",
+		s1, s16, batchSize, s1/s16)
 }

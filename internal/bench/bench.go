@@ -16,18 +16,23 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro"
 	"repro/internal/crash"
+	"repro/internal/isb"
 	"repro/internal/pmem"
 )
 
 // SchemaVersion identifies the report layout; bump on incompatible change.
 // v2 added the reclaim section (steady-state heap pins under the epoch
-// reclaimer vs the leak-forever arena).
-const SchemaVersion = 2
+// reclaimer vs the leak-forever arena). v3 added the batch axis (each
+// scenario cell now carries the admission batch size driven through
+// Runtime.ApplyBatch) plus the batch_syncs/read_fast_ops counters.
+const SchemaVersion = 3
 
 // Mix is a named operation mix: percentages of finds, with the remainder
 // split evenly between inserts and deletes.
@@ -50,6 +55,7 @@ type Params struct {
 	Label      string
 	Procs      []int // default 1,2,4,8
 	Shards     []int // default 1,16
+	Batches    []int // admission batch sizes, default 1,8,64
 	OpsPerProc int   // default 2000
 	KeyRange   int   // default 256
 	Seed       int64 // default 1
@@ -65,6 +71,9 @@ func (p Params) withDefaults() Params {
 	if len(p.Shards) == 0 {
 		p.Shards = []int{1, 16}
 	}
+	if len(p.Batches) == 0 {
+		p.Batches = []int{1, 8, 64}
+	}
 	if p.OpsPerProc <= 0 {
 		p.OpsPerProc = 2000
 	}
@@ -79,16 +88,19 @@ func (p Params) withDefaults() Params {
 
 // QuickParams shrinks the matrix for tests and CI smoke use.
 func QuickParams() Params {
-	return Params{Label: "quick", Procs: []int{1, 2}, Shards: []int{1, 4}, OpsPerProc: 300}
+	return Params{Label: "quick", Procs: []int{1, 2}, Shards: []int{1, 4}, Batches: []int{1, 8}, OpsPerProc: 320}
 }
 
 // Point is one measured scenario cell.
 type Point struct {
-	Name           string  `json:"name"`
-	Engine         string  `json:"engine"`
-	Procs          int     `json:"procs"`
-	Shards         int     `json:"shards"`
-	Mix            string  `json:"mix"`
+	Name   string `json:"name"`
+	Engine string `json:"engine"`
+	Procs  int    `json:"procs"`
+	Shards int    `json:"shards"`
+	Mix    string `json:"mix"`
+	// Batch is the admission batch size: 1 drives the plain single-op
+	// Apply path, larger sizes go through Runtime.ApplyBatch.
+	Batch          int     `json:"batch"`
 	Ops            int     `json:"ops"`
 	Seconds        float64 `json:"seconds"`
 	OpsPerSec      float64 `json:"ops_per_sec"`
@@ -99,6 +111,28 @@ type Point struct {
 	// stand-alone pwbs — the quantity the paper's throughput argument
 	// rides on.
 	PersistsPerOp float64 `json:"persists_per_op"`
+	// BatchSyncs counts psyncs the batch protocol deferred and merged;
+	// ReadFastOps counts operations served by the zero-persist read path.
+	BatchSyncs  uint64 `json:"batch_syncs"`
+	ReadFastOps uint64 `json:"read_fast_ops"`
+}
+
+// Stats reassembles the cell's counters into the canonical isb.Stats
+// renderer, so cmd/bench prints the same metric line the root benchmarks
+// report. The per-op floats were produced by exact integer division, so
+// rounding recovers the counts.
+func (pt Point) Stats() isb.Stats {
+	n := float64(pt.Ops)
+	return isb.Stats{
+		Ops: uint64(pt.Ops),
+		Mem: pmem.Stats{
+			Barriers: uint64(math.Round(pt.PBarriersPerOp * n)),
+			Flushes:  uint64(math.Round(pt.FlushesPerOp * n)),
+			Syncs:    uint64(math.Round(pt.SyncsPerOp * n)),
+		},
+		BatchSyncs:   pt.BatchSyncs,
+		ReadFastPath: pt.ReadFastOps,
+	}
 }
 
 // ReclaimPoint is one steady-state heap cell: the same deterministic churn
@@ -177,7 +211,10 @@ func heapWords(procs, ops, keyRange int) int {
 // reflects persistence cost. Announcements are active (the map is built
 // through the Runtime), so the persistence counters include the full
 // operation protocol, exactly as a recoverable deployment would pay it.
-func runPoint(p Params, engine string, kind repro.EngineKind, procs, shards int, mix Mix) Point {
+// batch=1 drives operations one at a time through the typed Apply surface;
+// larger sizes admit them in ApplyBatch windows, which is where the
+// deferred-psync and pwb-overlap savings show up.
+func runPoint(p Params, engine string, kind repro.EngineKind, procs, shards, batch int, mix Mix) Point {
 	rt := repro.New(repro.Config{
 		Procs:      procs,
 		HeapWords:  heapWords(procs, p.OpsPerProc, p.KeyRange),
@@ -191,49 +228,96 @@ func runPoint(p Params, engine string, kind repro.EngineKind, procs, shards int,
 		m.Insert(pre, uint64(rng.Intn(p.KeyRange))+1)
 	}
 	rt.Heap().ResetAllStats()
+	baseBS, baseRF, _ := rt.EngineCounters(m)
 
 	var wg sync.WaitGroup
 	start := time.Now()
-	for w := 0; w < procs; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			pr := rt.Proc(w)
-			rng := rand.New(rand.NewSource(p.Seed*131 + int64(w)))
-			ud := 0
-			for i := 0; i < p.OpsPerProc; i++ {
-				k := uint64(rng.Intn(p.KeyRange)) + 1
-				if rng.Intn(100) < mix.FindPct {
-					m.Find(pr, k)
-				} else if ud++; ud%2 == 0 {
-					m.Insert(pr, k)
-				} else {
-					m.Delete(pr, k)
+	runWorkload := func() {
+		for w := 0; w < procs; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				pr := rt.Proc(w)
+				rng := rand.New(rand.NewSource(p.Seed*131 + int64(w)))
+				ud := 0
+				nextOp := func() repro.Op {
+					k := uint64(rng.Intn(p.KeyRange)) + 1
+					if rng.Intn(100) < mix.FindPct {
+						return repro.Op{Kind: repro.OpFind, Arg: k}
+					}
+					if ud++; ud%2 == 0 {
+						return repro.Op{Kind: repro.OpInsert, Arg: k}
+					}
+					return repro.Op{Kind: repro.OpDelete, Arg: k}
 				}
-			}
-		}(w)
+				if batch <= 1 {
+					for i := 0; i < p.OpsPerProc; i++ {
+						op := nextOp()
+						switch op.Kind {
+						case repro.OpFind:
+							m.Find(pr, op.Arg)
+						case repro.OpInsert:
+							m.Insert(pr, op.Arg)
+						default:
+							m.Delete(pr, op.Arg)
+						}
+					}
+					return
+				}
+				win := make([]repro.Op, 0, batch)
+				for i := 0; i < p.OpsPerProc; i++ {
+					win = append(win, nextOp())
+					if len(win) == batch {
+						rt.ApplyBatch(pr, m, win)
+						win = win[:0]
+					}
+				}
+				if len(win) > 0 {
+					rt.ApplyBatch(pr, m, win)
+				}
+			}(w)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	runWorkload()
 	elapsed := time.Since(start)
+	// Timing is the noisy metric on shared machines (the persistence
+	// counters are workload-determined): rerun the identical workload and
+	// keep the fastest wall clock of three. The counters keep the first
+	// run's window so persists/op stays a single-workload quantity.
+	st0 := rt.Heap().TotalStats()
+	bs1, rf1, _ := rt.EngineCounters(m)
+	for rep := 0; rep < 2; rep++ {
+		again := time.Now()
+		runWorkload()
+		if d := time.Since(again); d < elapsed {
+			elapsed = d
+		}
+	}
 
-	st := rt.Heap().TotalStats()
 	ops := procs * p.OpsPerProc
+	st := isb.Stats{Ops: uint64(ops), Mem: st0}
+	st.BatchSyncs, st.ReadFastPath = bs1-baseBS, rf1-baseRF
 	pt := Point{
-		Name:    fmt.Sprintf("hashmap/engine=%s/procs=%d/shards=%d/mix=%s", engine, procs, shards, mix.Name),
-		Engine:  engine,
-		Procs:   procs,
-		Shards:  shards,
-		Mix:     mix.Name,
-		Ops:     ops,
-		Seconds: elapsed.Seconds(),
+		Name: fmt.Sprintf("hashmap/engine=%s/procs=%d/shards=%d/mix=%s/batch=%d",
+			engine, procs, shards, mix.Name, batch),
+		Engine:      engine,
+		Procs:       procs,
+		Shards:      shards,
+		Mix:         mix.Name,
+		Batch:       batch,
+		Ops:         ops,
+		Seconds:     elapsed.Seconds(),
+		BatchSyncs:  st.BatchSyncs,
+		ReadFastOps: st.ReadFastPath,
 	}
 	if elapsed > 0 {
 		pt.OpsPerSec = float64(ops) / elapsed.Seconds()
 	}
-	pt.PBarriersPerOp = float64(st.Barriers) / float64(ops)
-	pt.FlushesPerOp = float64(st.Flushes) / float64(ops)
-	pt.SyncsPerOp = float64(st.Syncs) / float64(ops)
-	pt.PersistsPerOp = float64(st.Barriers+st.Flushes) / float64(ops)
+	pt.PBarriersPerOp = st.PBarriersPerOp()
+	pt.FlushesPerOp = st.FlushesPerOp()
+	pt.SyncsPerOp = st.SyncsPerOp()
+	pt.PersistsPerOp = st.PersistsPerOp()
 	return pt
 }
 
@@ -317,8 +401,10 @@ func Run(p Params) (Report, error) {
 		for _, procs := range p.Procs {
 			for _, shards := range p.Shards {
 				for _, mix := range Mixes() {
-					rep.Scenarios = append(rep.Scenarios,
-						runPoint(p, eng.name, eng.kind, procs, shards, mix))
+					for _, batch := range p.Batches {
+						rep.Scenarios = append(rep.Scenarios,
+							runPoint(p, eng.name, eng.kind, procs, shards, batch, mix))
+					}
 				}
 			}
 		}
@@ -376,13 +462,16 @@ func Validate(data []byte) error {
 	if len(rep.Scenarios) == 0 {
 		return fmt.Errorf("bench: no scenarios")
 	}
-	mixes := map[string]bool{}
+	mixes, batches := map[string]bool{}, map[int]bool{}
 	for i, pt := range rep.Scenarios {
 		if pt.Name == "" || pt.Engine == "" || pt.Mix == "" {
 			return fmt.Errorf("bench: scenario %d is missing name/engine/mix", i)
 		}
 		if pt.Procs <= 0 || pt.Shards <= 0 || pt.Ops <= 0 {
 			return fmt.Errorf("bench: scenario %s has non-positive procs/shards/ops", pt.Name)
+		}
+		if pt.Batch < 1 {
+			return fmt.Errorf("bench: scenario %s has batch %d, want >= 1", pt.Name, pt.Batch)
 		}
 		if !finite(pt.Seconds, pt.OpsPerSec, pt.PBarriersPerOp, pt.FlushesPerOp, pt.SyncsPerOp, pt.PersistsPerOp) {
 			return fmt.Errorf("bench: scenario %s has non-finite metrics", pt.Name)
@@ -392,11 +481,18 @@ func Validate(data []byte) error {
 			return fmt.Errorf("bench: scenario %s has negative metrics", pt.Name)
 		}
 		mixes[pt.Mix] = true
+		batches[pt.Batch] = true
 	}
 	for _, m := range Mixes() {
 		if !mixes[m.Name] {
 			return fmt.Errorf("bench: scenario matrix is missing mix %q", m.Name)
 		}
+	}
+	// batch=1 anchors every comparison (it is the unbatched baseline the
+	// batched cells are judged against), so a report without it is not
+	// machine-comparable.
+	if !batches[1] {
+		return fmt.Errorf("bench: scenario matrix is missing the batch=1 anchor cells")
 	}
 	if len(rep.Sweeps) == 0 {
 		return fmt.Errorf("bench: no conformance sweeps")
@@ -439,6 +535,131 @@ func Validate(data []byte) error {
 			return fmt.Errorf("bench: arena cell %s did not grow (%d -> %d words); churn workload is not allocating",
 				pt.Name, pt.HeapWordsMid, pt.HeapWords)
 		}
+	}
+	return nil
+}
+
+// Comparison thresholds for Compare. Throughput carries scheduler and
+// machine noise — and the simulated latency spins are calibrated once per
+// process, so two reports' absolute ops/s can differ wholesale — which is
+// why the throughput gate is doubly hardened: cells aggregate into
+// (engine, mix, batch) groups across the procs/shards axes (individual
+// cells are milliseconds long and can swing 2x on a loaded shared
+// runner; a group sums ~8 of them), and each group's new/old throughput
+// ratio is judged against the report pair's median group ratio,
+// canceling machine and calibration skew while still catching an axis
+// that regressed relative to its peers. persists/op stays per-cell — it
+// is essentially a deterministic instruction count — with a small slack
+// for multi-proc contention-retry jitter; a real elision regression
+// moves the metric by whole syncs per op, orders of magnitude past it.
+// (A *uniform* hot-path slowdown normalizes away here; it stems from
+// extra persistence work — which the persists/op gate catches — or shows
+// up in the archived bench-smoke wall clocks.)
+const (
+	compareOpsFloor     = 0.85 // each group's ratio must reach 85% of the median ratio
+	comparePersistSlack = 0.02 // tolerated relative persists/op growth
+)
+
+// Compare gates a fresh report against a committed baseline. Throughput:
+// cells matched by name aggregate into (engine, mix, batch) groups, and
+// every group must keep its new/old throughput ratio within
+// compareOpsFloor of the pair's median group ratio. Persistence: every
+// matched cell must not grow persists/op beyond the contention slack.
+// Cells present in only one report are ignored (the matrix may grow),
+// but at least one cell must match, and the schemas must agree —
+// otherwise the baseline needs regenerating, which is an error, not a
+// pass.
+func Compare(oldData, newData []byte) error {
+	var oldRep, newRep Report
+	if err := json.Unmarshal(oldData, &oldRep); err != nil {
+		return fmt.Errorf("bench: baseline report: %w", err)
+	}
+	if err := json.Unmarshal(newData, &newRep); err != nil {
+		return fmt.Errorf("bench: new report: %w", err)
+	}
+	if oldRep.Schema != newRep.Schema {
+		return fmt.Errorf("bench: schema mismatch (baseline %d, new %d) — regenerate the baseline",
+			oldRep.Schema, newRep.Schema)
+	}
+	base := make(map[string]Point, len(oldRep.Scenarios))
+	for _, pt := range oldRep.Scenarios {
+		base[pt.Name] = pt
+	}
+	type groupKey struct {
+		engine, mix string
+		batch       int
+	}
+	type groupAgg struct {
+		oldOps, oldSecs, newOps, newSecs float64
+	}
+	groups := map[groupKey]*groupAgg{}
+	matched := 0
+	var fails []string
+	for _, pt := range newRep.Scenarios {
+		old, ok := base[pt.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		g := groupKey{engine: pt.Engine, mix: pt.Mix, batch: pt.Batch}
+		agg := groups[g]
+		if agg == nil {
+			agg = &groupAgg{}
+			groups[g] = agg
+		}
+		agg.oldOps += float64(old.Ops)
+		agg.oldSecs += old.Seconds
+		agg.newOps += float64(pt.Ops)
+		agg.newSecs += pt.Seconds
+		if pt.PersistsPerOp > old.PersistsPerOp*(1+comparePersistSlack)+1e-9 {
+			fails = append(fails, fmt.Sprintf(
+				"%s: persists/op rose %.3f -> %.3f",
+				pt.Name, old.PersistsPerOp, pt.PersistsPerOp))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("bench: no scenario names in common with the baseline — regenerate it")
+	}
+	type groupRatio struct {
+		key      groupKey
+		old, new float64 // aggregate ops/s
+		ratio    float64
+	}
+	var ratios []groupRatio
+	for key, agg := range groups {
+		if agg.oldSecs <= 0 || agg.newSecs <= 0 {
+			continue
+		}
+		gr := groupRatio{key: key, old: agg.oldOps / agg.oldSecs, new: agg.newOps / agg.newSecs}
+		if gr.old > 0 {
+			gr.ratio = gr.new / gr.old
+			ratios = append(ratios, gr)
+		}
+	}
+	med := 1.0
+	if n := len(ratios); n > 0 {
+		rs := make([]float64, n)
+		for i, gr := range ratios {
+			rs[i] = gr.ratio
+		}
+		sort.Float64s(rs)
+		med = rs[n/2]
+		if n%2 == 0 {
+			med = (rs[n/2-1] + rs[n/2]) / 2
+		}
+	}
+	for _, gr := range ratios {
+		if gr.ratio < compareOpsFloor*med {
+			fails = append(fails, fmt.Sprintf(
+				"engine=%s/mix=%s/batch=%d: aggregate ops/s %.0f -> %.0f (ratio %.2f vs pair median %.2f, floor %.0f%% of median)",
+				gr.key.engine, gr.key.mix, gr.key.batch,
+				gr.old, gr.new, gr.ratio, med, 100*compareOpsFloor))
+		}
+	}
+	if len(fails) > 0 {
+		sort.Strings(fails)
+		return fmt.Errorf("bench: regression vs baseline %q:\n  %s",
+			oldRep.Label, strings.Join(fails, "\n  "))
 	}
 	return nil
 }

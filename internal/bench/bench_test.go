@@ -36,8 +36,9 @@ func TestReportSchema(t *testing.T) {
 		}
 	}
 	scen := raw["scenarios"].([]any)[0].(map[string]any)
-	for _, key := range []string{"name", "engine", "procs", "shards", "mix", "ops",
-		"seconds", "ops_per_sec", "pbarriers_per_op", "flushes_per_op", "syncs_per_op", "persists_per_op"} {
+	for _, key := range []string{"name", "engine", "procs", "shards", "mix", "batch", "ops",
+		"seconds", "ops_per_sec", "pbarriers_per_op", "flushes_per_op", "syncs_per_op",
+		"persists_per_op", "batch_syncs", "read_fast_ops"} {
 		if _, ok := scen[key]; !ok {
 			t.Fatalf("scenario JSON is missing key %q", key)
 		}
@@ -56,18 +57,23 @@ func TestReportSchema(t *testing.T) {
 		}
 	}
 
-	// The matrix must cover both engines, every canonical mix, and the
-	// eviction-widened conformance scenarios.
-	engines, mixes := map[string]bool{}, map[string]bool{}
+	// The matrix must cover both engines, every canonical mix, the batch
+	// axis (with its batch=1 anchor), and the eviction-widened conformance
+	// scenarios.
+	engines, mixes, batches := map[string]bool{}, map[string]bool{}, map[int]bool{}
 	for _, pt := range rep.Scenarios {
 		engines[pt.Engine] = true
 		mixes[pt.Mix] = true
+		batches[pt.Batch] = true
 	}
 	if !engines["isb"] || !engines["isb-opt"] {
 		t.Fatalf("scenario engines = %v, want isb and isb-opt", engines)
 	}
 	if len(mixes) != len(Mixes()) {
 		t.Fatalf("scenario mixes = %v, want all of %v", mixes, Mixes())
+	}
+	if !batches[1] || len(batches) < 2 {
+		t.Fatalf("scenario batches = %v, want batch=1 plus at least one batched size", batches)
 	}
 	evict := false
 	for _, sw := range rep.Sweeps {
@@ -103,16 +109,23 @@ func TestReportSchema(t *testing.T) {
 // on: truncated output, wrong schema, and an empty matrix must all error.
 func TestValidateRejectsMalformed(t *testing.T) {
 	for name, data := range map[string]string{
-		"truncated":    `{"schema_version": 2, "label": "x"`,
+		"truncated":    `{"schema_version": 3, "label": "x"`,
 		"wrong-schema": `{"schema_version": 99, "label": "x", "scenarios": [], "sweeps": []}`,
-		"no-scenarios": `{"schema_version": 2, "label": "x", "scenarios": [], "sweeps": []}`,
-		"nan-metric": `{"schema_version": 2, "label": "x", "scenarios": [
-			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","ops":1,
+		"no-scenarios": `{"schema_version": 3, "label": "x", "scenarios": [], "sweeps": []}`,
+		"nan-metric": `{"schema_version": 3, "label": "x", "scenarios": [
+			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","batch":1,"ops":1,
 			 "seconds":1,"ops_per_sec":"NaN"}], "sweeps": []}`,
-		"reclaim-heap-grew": `{"schema_version": 2, "label": "x", "scenarios": [
-			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"read-heavy","ops":1,"seconds":1},
-			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","ops":1,"seconds":1},
-			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"write-heavy","ops":1,"seconds":1}],
+		"no-batch-anchor": `{"schema_version": 3, "label": "x", "scenarios": [
+			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"read-heavy","batch":8,"ops":1,"seconds":1},
+			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","batch":8,"ops":1,"seconds":1},
+			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"write-heavy","batch":8,"ops":1,"seconds":1}],
+			"sweeps": [{"name":"c","cases":1,"crash_points":1,"seconds":1}],
+			"reclaim": [{"name":"r","engine":"isb","reclaim":false,"churn_ops":10,
+			 "heap_words_mid":100,"heap_words":200}]}`,
+		"reclaim-heap-grew": `{"schema_version": 3, "label": "x", "scenarios": [
+			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"read-heavy","batch":1,"ops":1,"seconds":1},
+			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","batch":1,"ops":1,"seconds":1},
+			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"write-heavy","batch":1,"ops":1,"seconds":1}],
 			"sweeps": [{"name":"c","cases":1,"crash_points":1,"seconds":1}],
 			"reclaim": [{"name":"r","engine":"isb","reclaim":true,"churn_ops":10,
 			 "heap_words_mid":100,"heap_words":200}]}`,
@@ -167,5 +180,70 @@ func TestReclaimBoundedHeap(t *testing.T) {
 			t.Logf("%d pairs (demand %dx capacity): used %d/%d words, live %d blocks, stats %+v",
 				pairs, pairs*wordsPerPair/heapCap, used, heapCap, rt.LiveNodes(), st)
 		})
+	}
+}
+
+// TestCompare pins the regression gate cmd/bench -compare runs in CI:
+// identical reports pass, a throughput collapse (relative to the report
+// pair's median ratio, which cancels machine-wide skew) or a persists/op
+// rise fails with the offending cell named, and disjoint matrices and
+// schema mismatches are errors rather than silent passes.
+func TestCompare(t *testing.T) {
+	mk := func(edit func(*Report)) []byte {
+		rep := Report{Schema: SchemaVersion, Label: "base", Scenarios: []Point{
+			{Name: "a/batch=1", Engine: "isb", Mix: "mixed", Batch: 1,
+				Ops: 1000, Seconds: 1.0, OpsPerSec: 1000, PersistsPerOp: 4.0},
+			{Name: "a/batch=64", Engine: "isb", Mix: "mixed", Batch: 64,
+				Ops: 3000, Seconds: 1.0, OpsPerSec: 3000, PersistsPerOp: 1.2},
+		}}
+		if edit != nil {
+			edit(&rep)
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	base := mk(nil)
+
+	if err := Compare(base, mk(nil)); err != nil {
+		t.Fatalf("identical reports flagged: %v", err)
+	}
+	// Throughput noise inside the floor passes; a collapse fails, named by
+	// its (engine, mix, batch) group.
+	if err := Compare(base, mk(func(r *Report) { r.Scenarios[0].Seconds = 1.1 })); err != nil {
+		t.Fatalf("10%% throughput dip flagged: %v", err)
+	}
+	err := Compare(base, mk(func(r *Report) { r.Scenarios[1].Seconds = 2.0 }))
+	if err == nil || !strings.Contains(err.Error(), "batch=64") {
+		t.Fatalf("50%% throughput collapse not flagged by group: %v", err)
+	}
+	// A machine-wide slowdown (every group equally slower) normalizes away.
+	if err := Compare(base, mk(func(r *Report) {
+		for i := range r.Scenarios {
+			r.Scenarios[i].Seconds = 2.0
+		}
+	})); err != nil {
+		t.Fatalf("uniform 2x slowdown flagged despite median normalization: %v", err)
+	}
+	// A whole extra persist per op fails; slack-sized jitter passes.
+	err = Compare(base, mk(func(r *Report) { r.Scenarios[1].PersistsPerOp = 2.2 }))
+	if err == nil || !strings.Contains(err.Error(), "persists/op") {
+		t.Fatalf("persists/op regression not flagged: %v", err)
+	}
+	if err := Compare(base, mk(func(r *Report) { r.Scenarios[1].PersistsPerOp = 1.21 })); err != nil {
+		t.Fatalf("sub-slack persists/op jitter flagged: %v", err)
+	}
+	// Structural mismatches must error.
+	if err := Compare(base, mk(func(r *Report) { r.Schema = SchemaVersion + 1 })); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+	if err := Compare(base, mk(func(r *Report) {
+		for i := range r.Scenarios {
+			r.Scenarios[i].Name += "/renamed"
+		}
+	})); err == nil {
+		t.Fatal("disjoint scenario names accepted")
 	}
 }

@@ -1,0 +1,61 @@
+package bst
+
+import (
+	"repro/internal/isb"
+	"repro/internal/pmem"
+)
+
+// FindRO reports membership via the zero-persist read path: a volatile
+// descent to the routed leaf with no Info record, no announcement, and no
+// persistence instruction — one step beyond OpFindFast, which still
+// installs and persists its Info record to stay detectably recoverable.
+// Linearizes at the load of the last child pointer (the external-BST
+// argument: the leaf reached routes the key at that instant). Nothing
+// durable records the read; a crashed FindRO is simply re-submitted.
+func (t *BST) FindRO(p *pmem.Proc, key uint64) bool {
+	node := t.root
+	for {
+		left := pmem.Addr(p.Load(node + nLeft))
+		if left == pmem.Null {
+			t.e.NoteReadFast(p)
+			return p.Load(node+nKey) == key
+		}
+		if key < p.Load(node+nKey) {
+			node = left
+		} else {
+			node = pmem.Addr(p.Load(node + nRight))
+		}
+	}
+}
+
+// ReadOp serves a read-only operation kind on the zero-persist path (both
+// OpFind and OpFindFast answer membership, so both route here). Panics on
+// a mutating kind.
+func (t *BST) ReadOp(p *pmem.Proc, kind, arg uint64) uint64 {
+	if kind != OpFind && kind != OpFindFast {
+		panic("bst: ReadOp on a mutating kind")
+	}
+	return isb.BoolResp(t.FindRO(p, arg))
+}
+
+// ApplyBatchOp runs one operation at position seq inside an open batch
+// window. Read-only kinds take the zero-persist path.
+func (t *BST) ApplyBatchOp(p *pmem.Proc, seq int, kind, arg uint64) uint64 {
+	if kind == OpFind || kind == OpFindFast {
+		return t.ReadOp(p, kind, arg)
+	}
+	return t.e.RunBatchOp(p, seq, kind, arg, t.gather(kind))
+}
+
+// RecoverBatchOp completes the in-flight operation at batch position seq
+// after a crash (re-executing read-only kinds, which had no durable
+// effect).
+func (t *BST) RecoverBatchOp(p *pmem.Proc, seq int, kind, arg uint64) uint64 {
+	if kind == OpFind || kind == OpFindFast {
+		return t.ReadOp(p, kind, arg)
+	}
+	return t.e.RecoverSeq(p, kind, arg, uint64(seq), t.gather(kind))
+}
+
+// Engine exposes the tree's tracking engine (counter access, batching).
+func (t *BST) Engine() *isb.Engine { return t.e }

@@ -1,0 +1,25 @@
+package crash
+
+import "testing"
+
+// TestBatchPrefixDurable is the batched-admission conformance sweep: for
+// every cell of the batch matrix (five structures × both engine placements
+// × reclamation on/off) and every tracked access offset of an ApplyBatch
+// window — including mid-batch-announcement and mid-cursor-advance — a
+// system-wide crash is injected, recovery is driven through RecoverAll's
+// batch report (completed prefix from the durable result slots, the single
+// in-flight operation through per-op recovery, the no-effect suffix
+// re-submitted), and every response plus the final structure state must
+// match the sequential model.
+func TestBatchPrefixDurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive batch crash-point sweep")
+	}
+	for _, sc := range BatchScenarios() {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			t.Parallel()
+			SweepAllBatchPoints(t, sc.Build, sc.Cases)
+		})
+	}
+}

@@ -1,0 +1,405 @@
+package crash
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/isb"
+	"repro/internal/pmem"
+)
+
+// This file is the batched-admission twin of sweep.go/scenarios.go: an
+// exhaustive crash-point sweep over Runtime.ApplyBatch windows. Where the
+// single-op sweep re-supplies the crashed operation to Recover, the batch
+// sweep resolves the crash the way a real application would — through
+// Runtime.RecoverAll's batch report — and re-submits exactly the
+// operations the report proves had no effect. Every access offset of the
+// window is swept, so the mid-batch-announcement, mid-cursor-advance and
+// mid-operation crash states are all covered, on both engine placements,
+// with reclamation on and off.
+
+// BatchSweepCase is one deterministic single-process batch: the operations
+// submitted as one ApplyBatch window, and the encoded response the
+// sequential model requires from each.
+type BatchSweepCase struct {
+	Name string
+	Ops  []repro.Op
+	Want []uint64
+}
+
+// BatchSweepInstance is one freshly built runtime + structure under batch
+// sweep. Verify checks the structure's post-state once every operation of
+// the case has resolved (directly, through recovery, or by re-submission);
+// it returns a description of the first violation, or "".
+type BatchSweepInstance struct {
+	RT     *repro.Runtime
+	S      repro.Structure
+	Verify func(c BatchSweepCase) string
+}
+
+// resolveBatch turns a crashed ApplyBatch replay into the full response
+// vector, the way an application consumes the batch report: completed and
+// in-flight operations take their reported responses; the no-effect suffix
+// is re-submitted as a fresh batch. An empty report (or a report without a
+// batch entry — the previous single operation's idempotent
+// re-confirmation) proves the batch never announced, so every operation is
+// re-submitted. It also checks the report's shape: the statuses must form
+// a completed prefix, at most one in-flight operation, and a no-effect
+// suffix, in that order.
+func resolveBatch(in BatchSweepInstance, p *pmem.Proc, c BatchSweepCase) ([]uint64, error) {
+	reps := in.RT.RecoverAll()
+	got := make([]uint64, len(c.Ops))
+	resubmitFrom := 0
+	if len(reps) > 0 {
+		if len(reps) != 1 {
+			return nil, fmt.Errorf("single-proc sweep produced %d report entries", len(reps))
+		}
+		rep := reps[0]
+		if rep.Batch != nil {
+			if len(rep.Batch) != len(c.Ops) {
+				return nil, fmt.Errorf("batch report has %d entries, want %d", len(rep.Batch), len(c.Ops))
+			}
+			inFlight := -1
+			for i, ent := range rep.Batch {
+				if ent.Op != c.Ops[i] {
+					return nil, fmt.Errorf("batch entry %d reports op %+v, want %+v", i, ent.Op, c.Ops[i])
+				}
+				switch ent.Status {
+				case repro.OpCompleted:
+					if inFlight >= 0 {
+						return nil, fmt.Errorf("completed entry %d after in-flight entry %d", i, inFlight)
+					}
+					got[i] = ent.Resp.Raw()
+				case repro.OpInFlight:
+					if inFlight >= 0 {
+						return nil, fmt.Errorf("two in-flight entries (%d and %d)", inFlight, i)
+					}
+					inFlight = i
+					got[i] = ent.Resp.Raw()
+				case repro.OpNoEffect:
+					if inFlight < 0 {
+						return nil, fmt.Errorf("no-effect entry %d with no in-flight entry before it", i)
+					}
+					if i != inFlight+1 && rep.Batch[i-1].Status != repro.OpNoEffect {
+						return nil, fmt.Errorf("no-effect entry %d does not follow the in-flight entry", i)
+					}
+				}
+			}
+			if inFlight < 0 {
+				return nil, fmt.Errorf("batch report has no in-flight entry")
+			}
+			resubmitFrom = inFlight + 1
+		}
+		// rep.Batch == nil: the announcement that survived is the prefill's
+		// last single operation (the crash landed before the batch record
+		// became durable); its recovery re-confirmed it idempotently, and
+		// the whole batch provably had no effect — re-submit everything.
+	}
+	if resubmitFrom < len(c.Ops) {
+		resps := in.RT.ApplyBatch(p, in.S, c.Ops[resubmitFrom:])
+		for i, r := range resps {
+			got[resubmitFrom+i] = r.Raw()
+		}
+	}
+	return got, nil
+}
+
+// RunBatchCase is the batch sweep core: it measures the window's tracked
+// access span on an uninterrupted run, then replays the batch once per
+// access offset with a system-wide crash armed exactly there, resolving
+// each crash through RecoverAll's batch report plus suffix re-submission,
+// and checking every response and the post-state each time. It returns how
+// many offsets actually interrupted the window.
+func RunBatchCase(build func() BatchSweepInstance, c BatchSweepCase) (crashPoints int, err error) {
+	if len(c.Ops) != len(c.Want) {
+		return 0, fmt.Errorf("%s: %d ops but %d wanted responses", c.Name, len(c.Ops), len(c.Want))
+	}
+	check := func(got []uint64, off uint64) error {
+		for i := range c.Want {
+			if got[i] != c.Want[i] {
+				return fmt.Errorf("%s off=%d: op %d response %d, want %d", c.Name, off, i, got[i], c.Want[i])
+			}
+		}
+		return nil
+	}
+
+	in := build()
+	p := in.RT.Proc(0)
+	before := in.RT.Heap().AccessCount()
+	resps := in.RT.ApplyBatch(p, in.S, c.Ops)
+	total := in.RT.Heap().AccessCount() - before
+	got := make([]uint64, len(resps))
+	for i, r := range resps {
+		got[i] = r.Raw()
+	}
+	if err := check(got, 0); err != nil {
+		return 0, fmt.Errorf("uninterrupted %v", err)
+	}
+	if msg := in.Verify(c); msg != "" {
+		return 0, fmt.Errorf("uninterrupted %s: %s", c.Name, msg)
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("%s: batch made no tracked accesses", c.Name)
+	}
+
+	for off := uint64(1); off <= total; off++ {
+		in := build()
+		p := in.RT.Proc(0)
+		in.RT.ScheduleCrash(off)
+		var resps []repro.Resp
+		if in.RT.Run(func() { resps = in.RT.ApplyBatch(p, in.S, c.Ops) }) {
+			in.RT.CancelCrash()
+			got = got[:0]
+			for _, r := range resps {
+				got = append(got, r.Raw())
+			}
+		} else {
+			crashPoints++
+			in.RT.Restart()
+			var rerr error
+			got, rerr = resolveBatch(in, p, c)
+			if rerr != nil {
+				return crashPoints, fmt.Errorf("%s off=%d: %v", c.Name, off, rerr)
+			}
+		}
+		if err := check(got, off); err != nil {
+			return crashPoints, err
+		}
+		if msg := in.Verify(c); msg != "" {
+			return crashPoints, fmt.Errorf("%s off=%d: %s", c.Name, off, msg)
+		}
+	}
+	if crashPoints == 0 {
+		return 0, fmt.Errorf("%s: no crash point actually interrupted the batch", c.Name)
+	}
+	return crashPoints, nil
+}
+
+// BatchScenario is one (structure, engine kind, reclaim mode) cell of the
+// batch conformance matrix.
+type BatchScenario struct {
+	Structure string
+	Engine    string
+	Reclaim   bool
+	Build     func() BatchSweepInstance
+	Cases     []BatchSweepCase
+}
+
+// Name identifies the cell in test output.
+func (s BatchScenario) Name() string {
+	mode := "arena"
+	if s.Reclaim {
+		mode = "reclaim"
+	}
+	return s.Structure + "/" + s.Engine + "/" + mode
+}
+
+// batchRT builds the sweep runtime for one batch cell.
+func batchRT(kind repro.EngineKind, reclaim bool) *repro.Runtime {
+	return repro.New(repro.Config{
+		Procs: 1, CrashSim: true, HeapWords: sweepHeapWords,
+		Seed: 42, Engine: kind, Reclaim: reclaim,
+	})
+}
+
+// batchSetVerify checks a set-structure's final key set against want.
+func batchSetVerify(keys func() []uint64, invariants func() string, want []uint64) func(BatchSweepCase) string {
+	return func(BatchSweepCase) string {
+		got := keys()
+		if len(got) != len(want) {
+			return fmt.Sprintf("key set %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Sprintf("key set %v, want %v", got, want)
+			}
+		}
+		return invariants()
+	}
+}
+
+// batchSeqVerify checks a queue/stack value snapshot against want.
+func batchSeqVerify(values func() []uint64, invariants func() string, want []uint64) func(BatchSweepCase) string {
+	return func(BatchSweepCase) string {
+		got := values()
+		if len(got) != len(want) {
+			return fmt.Sprintf("values %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Sprintf("values %v, want %v", got, want)
+			}
+		}
+		return invariants()
+	}
+}
+
+// batchSetCases is the shared set-structure batch table: mutations
+// interleaved with reads (one mid-batch, one terminal), so the sweep hits
+// reads whose results must be durable before the next op's effect, and a
+// read as the batch's final — never result-slot-covered — operation.
+// Prefill {3, 9}; final set {3, 5, 9}.
+func batchSetCases() []BatchSweepCase {
+	t, f := isb.RespTrue, isb.RespFalse
+	return []BatchSweepCase{
+		{
+			Name: "mixed",
+			Ops: []repro.Op{
+				{Kind: repro.OpInsert, Arg: 5},
+				{Kind: repro.OpFind, Arg: 5},
+				{Kind: repro.OpDelete, Arg: 9},
+				{Kind: repro.OpInsert, Arg: 9},
+			},
+			Want: []uint64{t, t, t, t},
+		},
+		{
+			Name: "read-tail",
+			Ops: []repro.Op{
+				{Kind: repro.OpInsert, Arg: 5},
+				{Kind: repro.OpDelete, Arg: 7},
+				{Kind: repro.OpFind, Arg: 3},
+				{Kind: repro.OpFind, Arg: 7},
+			},
+			Want: []uint64{t, f, t, f},
+		},
+	}
+}
+
+// batchSetPrefill seeds the set-structure batch cells.
+var batchSetPrefill = []uint64{3, 9}
+
+// batchSetFinal is the sequential model's final key set for every case in
+// batchSetCases (both cases end with {3, 5, 9}).
+var batchSetFinal = []uint64{3, 5, 9}
+
+// BatchScenarios returns the batch conformance matrix: all five structures
+// × both public engine kinds × reclamation on/off. The stack cells disable
+// elimination (batched operations bypass it by design; see
+// stack.ApplyBatchOp).
+func BatchScenarios() []BatchScenario {
+	var out []BatchScenario
+	for _, eng := range []struct {
+		name string
+		kind repro.EngineKind
+	}{{"isb", repro.EngineIsb}, {"isb-opt", repro.EngineIsbOpt}} {
+		for _, rec := range []bool{false, true} {
+			eng, rec := eng, rec
+			out = append(out,
+				BatchScenario{
+					Structure: "list", Engine: eng.name, Reclaim: rec,
+					Build: func() BatchSweepInstance {
+						rt := batchRT(eng.kind, rec)
+						l := rt.NewList()
+						p := rt.Proc(0)
+						for _, k := range batchSetPrefill {
+							l.Insert(p, k)
+						}
+						return BatchSweepInstance{
+							RT: rt, S: l,
+							Verify: batchSetVerify(l.Keys, l.CheckInvariants, batchSetFinal),
+						}
+					},
+					Cases: batchSetCases(),
+				},
+				BatchScenario{
+					Structure: "bst", Engine: eng.name, Reclaim: rec,
+					Build: func() BatchSweepInstance {
+						rt := batchRT(eng.kind, rec)
+						b := rt.NewBST()
+						p := rt.Proc(0)
+						for _, k := range batchSetPrefill {
+							b.Insert(p, k)
+						}
+						return BatchSweepInstance{
+							RT: rt, S: b,
+							Verify: batchSetVerify(b.Keys, b.CheckInvariants, batchSetFinal),
+						}
+					},
+					Cases: batchSetCases(),
+				},
+				BatchScenario{
+					Structure: "hashmap", Engine: eng.name, Reclaim: rec,
+					Build: func() BatchSweepInstance {
+						rt := batchRT(eng.kind, rec)
+						m := rt.NewHashMap(4)
+						p := rt.Proc(0)
+						for _, k := range batchSetPrefill {
+							m.Insert(p, k)
+						}
+						return BatchSweepInstance{
+							RT: rt, S: m,
+							Verify: batchSetVerify(m.Keys, m.CheckInvariants, batchSetFinal),
+						}
+					},
+					Cases: batchSetCases(),
+				},
+				BatchScenario{
+					Structure: "queue", Engine: eng.name, Reclaim: rec,
+					Build: func() BatchSweepInstance {
+						rt := batchRT(eng.kind, rec)
+						q := rt.NewQueue()
+						q.Enqueue(rt.Proc(0), 7)
+						return BatchSweepInstance{
+							RT: rt, S: q,
+							Verify: batchSeqVerify(q.Values, q.CheckInvariants, nil),
+						}
+					},
+					Cases: []BatchSweepCase{{
+						Name: "enq-peek-deq",
+						Ops: []repro.Op{
+							{Kind: repro.OpEnq, Arg: 41},
+							{Kind: repro.OpPeek},
+							{Kind: repro.OpDeq},
+							{Kind: repro.OpDeq},
+						},
+						Want: []uint64{
+							isb.RespTrue, isb.EncodeValue(7),
+							isb.EncodeValue(7), isb.EncodeValue(41),
+						},
+					}},
+				},
+				BatchScenario{
+					Structure: "stack", Engine: eng.name, Reclaim: rec,
+					Build: func() BatchSweepInstance {
+						rt := batchRT(eng.kind, rec)
+						s := rt.NewStack(0)
+						s.Push(rt.Proc(0), 7)
+						return BatchSweepInstance{
+							RT: rt, S: s,
+							Verify: batchSeqVerify(s.Values, s.CheckInvariants, nil),
+						}
+					},
+					Cases: []BatchSweepCase{{
+						Name: "push-top-pop",
+						Ops: []repro.Op{
+							{Kind: repro.OpPush, Arg: 41},
+							{Kind: repro.OpTop},
+							{Kind: repro.OpPop},
+							{Kind: repro.OpPop},
+						},
+						Want: []uint64{
+							isb.RespTrue, isb.EncodeValue(41),
+							isb.EncodeValue(41), isb.EncodeValue(7),
+						},
+					}},
+				},
+			)
+		}
+	}
+	return out
+}
+
+// SweepAllBatchPoints is the batch twin of SweepAllPoints: RunBatchCase per
+// case, as subtests.
+func SweepAllBatchPoints(t *testing.T, build func() BatchSweepInstance, cases []BatchSweepCase) {
+	t.Helper()
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if _, err := RunBatchCase(build, c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

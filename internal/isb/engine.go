@@ -65,11 +65,11 @@ func (e *Engine) Help(p *pmem.Proc, info pmem.Addr, invoker bool) {
 				p.CAS(ndj, tagged, e.cookie(p))
 				per.WroteWord(ndj)
 			}
-			per.EndPhase()
+			e.endPhase(p, per)
 			return
 		}
 	}
-	per.EndPhase()
+	e.endPhase(p, per)
 
 	e.finish(p, info, tagged)
 }
@@ -92,7 +92,7 @@ func (e *Engine) finish(p *pmem.Proc, info pmem.Addr, tagged uint64) {
 	}
 	p.Store(info+offResult, p.Load(info+offSuccess))
 	per.WroteWord(info + offResult)
-	per.EndPhase()
+	e.endPhase(p, per)
 
 	// Cleanup phase: untag the surviving nodes, each to a fresh cookie
 	// (never the same non-tagged value twice — see Engine.cookie). Retired
@@ -104,7 +104,7 @@ func (e *Engine) finish(p *pmem.Proc, info pmem.Addr, tagged uint64) {
 		p.CAS(nd, tagged, e.cookie(p))
 		per.WroteWord(nd)
 	}
-	per.EndPhase()
+	e.endPhase(p, per)
 }
 
 // RunOp executes one recoverable operation via the Algorithm 2 (ROpt)
@@ -129,8 +129,16 @@ func (e *Engine) runAttempts(p *pmem.Proc, opType, argKey uint64, gather Gather)
 	p.PBarrier(rd)
 	p.Store(cp, 1)
 	p.PWB(cp)
-	p.PSync()
+	e.opSync(p)
+	return e.attemptLoop(p, opType, argKey, gather)
+}
 
+// attemptLoop is the gather → install → Help attempt cycle, entered with
+// RD_q/CP_q already initialized. Batch operations after the first enter here
+// directly: CP_q is already 1 and RD_q still names the previous op's record,
+// which recovery tells apart from this op's by the stamped sequence number.
+func (e *Engine) attemptLoop(p *pmem.Proc, opType, argKey uint64, gather Gather) uint64 {
+	rd := e.rd(p)
 	per := e.per(p)
 	spec := &e.specs[p.ID()] // reused per-process scratch, see Engine.specs
 	for {
@@ -181,7 +189,7 @@ func (e *Engine) runAttempts(p *pmem.Proc, opType, argKey uint64, gather Gather)
 		per.Flush()
 		p.Store(rd, uint64(info))
 		p.PWB(rd)
-		p.PSync()
+		e.opSync(p)
 		// RD_q durably points at this attempt's record, so the previous
 		// attempt's (if any) can no longer be consulted: retire it.
 		e.retireLast(p)
@@ -276,6 +284,21 @@ func (e *Engine) retireAffected(p *pmem.Proc, spec *Spec) {
 // attempt) and the result field decides. Recover may itself crash and be
 // re-invoked any number of times.
 func (e *Engine) Recover(p *pmem.Proc, opType, argKey uint64, gather Gather) uint64 {
+	return e.RecoverSeq(p, opType, argKey, 0, gather)
+}
+
+// RecoverSeq is Recover for an operation at batch sequence number seq (0 for
+// single operations): the installed record is only attributed to this
+// operation if its stamped sequence matches, so a crashed batch whose cursor
+// says "op seq is in flight" can never resolve op seq from a neighbouring
+// op's record, even when consecutive batch ops share (kind, arg). Recovery
+// always runs outside any batch window: the calling process's sync deferral
+// is torn down first, and a re-invoked attempt stamps seq so that a further
+// crash re-attributes it correctly.
+func (e *Engine) RecoverSeq(p *pmem.Proc, opType, argKey, seq uint64, gather Gather) uint64 {
+	id := p.ID()
+	e.batchMode[id] = syncEager
+	e.curSeq[id] = seq
 	rd, cp := e.rd(p), e.cp(p)
 	info := pmem.Addr(p.Load(rd))
 	if p.Load(cp) == 0 || info == pmem.Null {
@@ -283,7 +306,8 @@ func (e *Engine) Recover(p *pmem.Proc, opType, argKey uint64, gather Gather) uin
 	}
 	// Defense for the pre-CP_q=0 crash window (see DESIGN.md): if RD_q
 	// still describes a different operation, this one made no changes.
-	if p.Load(info+offOpType) != opType || p.Load(info+offArgKey) != argKey {
+	if p.Load(info+offOpType) != opType || p.Load(info+offArgKey) != argKey ||
+		p.Load(info+offSeq) != seq {
 		return e.runAttempts(p, opType, argKey, gather)
 	}
 	// Pin before dereferencing the record: the post-crash scan kept it and
@@ -326,4 +350,96 @@ func (e *Engine) MarkReachable(p *pmem.Proc, mark func(pmem.Addr)) {
 			mark(pmem.Addr(p.Load(info+w) &^ 1))
 		}
 	}
+}
+
+// BeginBatch opens a batched-admission window for n operations (reported by
+// opAt) on the calling process: the cross-operation generalization of
+// BeginOpFor. One durable batch announcement — header, op slots, checksum —
+// replaces n per-op announcements, and the whole begin sequence rides ONE
+// psync. Inside the window the engine's sync points defer (to each op
+// boundary under the eager Isb placement, to the batch-end psync under
+// Isb-Opt) and write-backs overlap clwb-style (pmem.Proc.SetPWBOverlap);
+// both are pure cost/accounting changes — every pwb still applies its line
+// write-back synchronously, so the reachable crash states are exactly those
+// of the unbatched execution.
+//
+// The write order generalizes BeginOpFor's and is equally load-bearing:
+// clear the old announcement, persist CP_q := 0, then publish the batch
+// record — durable before any op of the batch can take effect. A crash
+// anywhere inside BeginBatch leaves either the old announcement, nothing,
+// or a checksum-invalid torn record: in every case the batch provably
+// performed no tracked writes and is simply re-submitted.
+func (e *Engine) BeginBatch(p *pmem.Proc, n int, opAt func(i int) (kind, arg uint64)) {
+	if e.annID == 0 {
+		panic("isb: BeginBatch on a non-announcing engine")
+	}
+	id := p.ID()
+	p.SetPWBOverlap(true)
+	cp := e.cp(p)
+	p.ClearAnnounce()
+	p.Store(cp, 0)
+	p.PWB(cp)
+	p.AnnounceBatch(e.annID, n, opAt)
+	e.retireLast(p) // see BeginOp: before the psync, after CP_q's pwb
+	p.PSync()
+	if e.Batched() {
+		e.batchMode[id] = syncPerBatch
+	} else {
+		e.batchMode[id] = syncPerOp
+	}
+	e.curSeq[id] = 0
+}
+
+// BatchBoundary closes batch operation seq-1 and opens operation seq: the
+// previous op's response becomes durable in its result slot, then the
+// completed-prefix cursor advances to cover it. Both write-backs are
+// synchronous and ordered — once the cursor names seq, result seq-1 is
+// already durable — so recovery's completed-prefix reads never see ⊥ below
+// the cursor. Only after the cursor advance can the previous op's tracking
+// record no longer be consulted; its retirement happens here, not before.
+// Under the Isb placement the boundary issues the per-op psync the deferred
+// intra-op sync points merged into; under Isb-Opt it defers too.
+func (e *Engine) BatchBoundary(p *pmem.Proc, seq int, prevResp uint64) {
+	id := p.ID()
+	p.SetBatchResult(seq-1, prevResp)
+	p.AdvanceBatchCursor(seq)
+	if e.batchMode[id] == syncPerOp {
+		p.PSync()
+	} else {
+		e.batchSyncs[id]++
+	}
+	e.retireLast(p)
+	e.curSeq[id] = uint64(seq)
+}
+
+// RunBatchOp runs one operation inside an open batch window. The batch's
+// first engine-visible op initializes RD_q/CP_q exactly like a single
+// operation (minus the deferred psync); later ops skip the
+// re-initialization — CP_q is already 1, and the stale RD_q record is
+// fenced off by the sequence stamp, not by an RD_q := Null round-trip —
+// which is where the per-op begin cost goes. CP_q itself is the dispatch:
+// BeginBatch persisted CP_q := 0, and only runAttempts raises it, so
+// CP_q = 0 means no mutating op of this batch has initialized the
+// registers yet (read-only ops never enter the engine). Recovery relies on
+// the same invariant: a crash with CP_q = 0 proves the in-flight op
+// installed nothing, so re-invoking it is safe.
+func (e *Engine) RunBatchOp(p *pmem.Proc, seq int, opType, argKey uint64, gather Gather) uint64 {
+	e.curSeq[p.ID()] = uint64(seq)
+	if p.Load(e.cp(p)) == 0 {
+		return e.runAttempts(p, opType, argKey, gather)
+	}
+	return e.attemptLoop(p, opType, argKey, gather)
+}
+
+// EndBatch closes the batch window: one psync drains every deferred sync
+// point and overlapped write-back, and the engine reverts to single-op
+// admission. The batch announcement stays in place — like a single op's, it
+// is only cleared by the process's next Begin — so a crash after EndBatch
+// still resolves every op of the batch from the record.
+func (e *Engine) EndBatch(p *pmem.Proc) {
+	id := p.ID()
+	p.SetPWBOverlap(false)
+	e.batchMode[id] = syncEager
+	e.curSeq[id] = 0
+	p.PSync()
 }

@@ -84,6 +84,7 @@ const (
 	offAffect     = 8  // MaxAffect pairs ⟨infoFieldAddr, expectedValue⟩
 	offWrites     = 16 // MaxWrites triples ⟨addr, old, new⟩
 	offCleanup    = 25 // MaxCleanup info-field addresses
+	offSeq        = 31 // batch sequence number of the op this record belongs to
 
 	// MaxAffect etc. bound the per-operation sets.
 	MaxAffect  = 4
@@ -229,7 +230,26 @@ type Engine struct {
 	lastInfo []pmem.Addr
 	// cookieCtr feeds cookie (see there), one counter per process.
 	cookieCtr []uint64
+	// batchMode selects, per process, where engine sync points go: syncEager
+	// outside a batch window, syncPerOp (Isb: one psync per op boundary) or
+	// syncPerBatch (Isb-Opt: one psync per batch) inside one. Go-side on
+	// purpose: a crash tears the window down (RecoverAll resets the modes and
+	// every recovery entry point forces syncEager for the calling process).
+	batchMode []uint8
+	// curSeq is the batch sequence number install stamps into Info records
+	// (offSeq); 0 outside a batch window.
+	curSeq []uint64
+	// batchSyncs/readFast back Counters (see isb.Stats).
+	batchSyncs []uint64
+	readFast   []uint64
 }
+
+// batchMode values.
+const (
+	syncEager    uint8 = iota // no batch window: every sync point issues a psync
+	syncPerOp                 // Isb batch window: sync points defer to the op boundary
+	syncPerBatch              // Isb-Opt batch window: sync points defer to batch end
+)
 
 // NewEngine allocates RD/CP lines for every process of the heap, with the
 // paper's Algorithm 1/2 persistence placement (the "Isb" curve).
@@ -255,13 +275,17 @@ func NewEngineWith(h *pmem.Heap, mk func(p *pmem.Proc) Persister) *Engine {
 	raw := p0.Alloc(n*pmem.WordsPerLine + pmem.WordsPerLine)
 	base := (raw + pmem.WordsPerLine - 1) &^ (pmem.WordsPerLine - 1)
 	e := &Engine{
-		h:         h,
-		base:      base,
-		pers:      make([]Persister, h.NumProcs()),
-		specs:     make([]Spec, h.NumProcs()),
-		alloc:     pmem.Arena{},
-		lastInfo:  make([]pmem.Addr, h.NumProcs()),
-		cookieCtr: make([]uint64, h.NumProcs()),
+		h:          h,
+		base:       base,
+		pers:       make([]Persister, h.NumProcs()),
+		specs:      make([]Spec, h.NumProcs()),
+		alloc:      pmem.Arena{},
+		lastInfo:   make([]pmem.Addr, h.NumProcs()),
+		cookieCtr:  make([]uint64, h.NumProcs()),
+		batchMode:  make([]uint8, h.NumProcs()),
+		curSeq:     make([]uint64, h.NumProcs()),
+		batchSyncs: make([]uint64, h.NumProcs()),
+		readFast:   make([]uint64, h.NumProcs()),
 	}
 	for i := range e.pers {
 		e.pers[i] = mk(h.Proc(i))
@@ -353,6 +377,62 @@ func (e *Engine) rd(p *pmem.Proc) pmem.Addr {
 }
 func (e *Engine) cp(p *pmem.Proc) pmem.Addr { return e.rd(p) + 1 }
 
+// opSync is the engine-side psync point: outside a batch window it issues a
+// psync; inside one it is deferred — counted, and paid at the op boundary
+// (Isb) or the batch-end psync (Isb-Opt). Deferral never changes
+// crash-visible state: every pwb writes its line back synchronously, so a
+// psync's only simulated effects are ordering cost and accounting.
+func (e *Engine) opSync(p *pmem.Proc) {
+	id := p.ID()
+	if e.batchMode[id] == syncEager {
+		p.PSync()
+		return
+	}
+	e.batchSyncs[id]++
+}
+
+// endPhase closes a persistence phase: flush the persister's accumulated
+// write-backs (a no-op for the eager placement, which wrote back per store)
+// and hit the engine's sync point.
+func (e *Engine) endPhase(p *pmem.Proc, per Persister) {
+	if e.batchMode[p.ID()] == syncEager {
+		per.EndPhase()
+		return
+	}
+	// Inside a batch window the phase's psync defers to the op boundary
+	// (Isb) or batch end (Isb-Opt); only the write-backs happen now.
+	per.Flush()
+	e.batchSyncs[p.ID()]++
+}
+
+// NoteReadFast counts one operation served by the zero-persist read-only
+// fast path (structures call it from their volatile-traversal reads).
+func (e *Engine) NoteReadFast(p *pmem.Proc) { e.readFast[p.ID()]++ }
+
+// InBatch reports whether p is inside an open batch window (structures use
+// it to defer their own auxiliary psyncs to the window's boundaries).
+func (e *Engine) InBatch(p *pmem.Proc) bool { return e.batchMode[p.ID()] != syncEager }
+
+// Counters sums the engine's batching/fast-path counters across processes
+// (see isb.Stats for the per-op view).
+func (e *Engine) Counters() (batchSyncs, readFast uint64) {
+	for i := range e.batchSyncs {
+		batchSyncs += e.batchSyncs[i]
+		readFast += e.readFast[i]
+	}
+	return
+}
+
+// ResetBatchState tears down any batch window a crash interrupted: sync
+// deferral modes and sequence counters revert to the single-op defaults.
+// Runtime.RecoverAll calls it before the per-process recovery sweep.
+func (e *Engine) ResetBatchState() {
+	for i := range e.batchMode {
+		e.batchMode[i] = syncEager
+		e.curSeq[i] = 0
+	}
+}
+
 // SetAnnounceID registers the runtime structure ID this engine announces
 // operations under (see the annID field). Call once, at structure
 // registration, before any operation runs.
@@ -370,6 +450,8 @@ func (e *Engine) AnnounceID() uint64 { return e.annID }
 // could re-invoke (duplicate) the previous, completed operation — with the
 // single existing psync covering both lines.
 func (e *Engine) BeginOp(p *pmem.Proc) {
+	e.batchMode[p.ID()] = syncEager
+	e.curSeq[p.ID()] = 0
 	if e.annID != 0 {
 		p.ClearAnnounce()
 	}
@@ -418,6 +500,8 @@ func (e *Engine) AnnounceFor(p *pmem.Proc, opType, argKey uint64) {
 //     response instead of running this operation;
 //  3. announce — durable before the operation can take any effect.
 func (e *Engine) BeginOpFor(p *pmem.Proc, opType, argKey uint64) {
+	e.batchMode[p.ID()] = syncEager
+	e.curSeq[p.ID()] = 0
 	cp := e.cp(p)
 	if e.annID != 0 {
 		p.ClearAnnounce()
@@ -462,6 +546,12 @@ func (e *Engine) install(p *pmem.Proc, info pmem.Addr, s *Spec) {
 	}
 	p.Store(info+offOpType, s.OpType)
 	p.Store(info+offArgKey, s.ArgKey)
+	// The record's batch sequence number (0 outside a batch window): recovery
+	// only attributes a record to the announced batch's in-flight op when the
+	// stamped sequence matches the durable cursor, so a crash between the
+	// cursor advance and the next op's first install cannot misattribute the
+	// previous op's record to an identical (kind, arg) successor.
+	p.Store(info+offSeq, e.curSeq[p.ID()])
 	succ := s.SuccessResponse
 	if s.ReadOnly {
 		succ = s.Response

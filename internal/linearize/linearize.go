@@ -20,6 +20,14 @@ import (
 // Operation is one completed operation in a history. Start and End are
 // logical timestamps from a shared monotone counter: Op a precedes Op b in
 // real time iff a.End < b.Start.
+//
+// Operations admitted through one batch window (Runtime.ApplyBatch) share
+// the window's Start/End — the harness cannot observe where inside the
+// window each member executed — and carry their batch position in Seq.
+// Check treats members of the same batch (same Proc, Start and End) as
+// program-ordered by Seq: member i must linearize before member i+1, even
+// though their intervals coincide. Single operations leave Seq zero; their
+// per-proc program order is already implied by their disjoint timestamps.
 type Operation struct {
 	Proc  int
 	Kind  uint64
@@ -27,6 +35,7 @@ type Operation struct {
 	Resp  uint64
 	Start uint64
 	End   uint64
+	Seq   uint64
 }
 
 // Model is a sequential specification. Step applies an operation to a
@@ -52,7 +61,28 @@ func Check(m Model, hist []Operation) bool {
 	}
 	ops := make([]Operation, n)
 	copy(ops, hist)
-	sort.Slice(ops, func(i, j int) bool { return ops[i].Start < ops[j].Start })
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Start != ops[j].Start {
+			return ops[i].Start < ops[j].Start
+		}
+		return ops[i].Seq < ops[j].Seq
+	})
+
+	// prev[i] is the index of op i's program-order predecessor inside its
+	// batch (same proc and window, Seq one less), or -1: the WGL candidate
+	// rule below refuses to take an op whose predecessor is untaken.
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = -1
+		for j := 0; j < n; j++ {
+			if i != j && ops[j].Proc == ops[i].Proc &&
+				ops[j].Start == ops[i].Start && ops[j].End == ops[i].End &&
+				ops[j].Seq+1 == ops[i].Seq {
+				prev[i] = j
+				break
+			}
+		}
+	}
 
 	memo := map[string]bool{}
 	var search func(mask uint64, state interface{}) bool
@@ -79,6 +109,9 @@ func Check(m Model, hist []Operation) bool {
 			}
 			if ops[i].Start > minEnd {
 				continue
+			}
+			if j := prev[i]; j >= 0 && mask&(1<<uint(j)) == 0 {
+				continue // earlier member of the same batch still untaken
 			}
 			next, resp := m.Step(state, ops[i].Kind, ops[i].Arg)
 			if resp != ops[i].Resp {

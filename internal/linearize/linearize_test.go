@@ -248,3 +248,64 @@ func TestExplain(t *testing.T) {
 		t.Fatal("Find(1)=true on an empty set should not be linearizable")
 	}
 }
+
+// TestBatchProgramOrder: members of one batch share the window's
+// timestamps but must linearize in Seq order. An insert followed by a find
+// of the same key inside one batch can only answer true; without the Seq
+// constraint the find could linearize first and false would pass.
+func TestBatchProgramOrder(t *testing.T) {
+	batch := func(proc int, start, end uint64, ops ...Operation) []Operation {
+		for i := range ops {
+			ops[i].Proc = proc
+			ops[i].Start, ops[i].End = start, end
+			ops[i].Seq = uint64(i)
+		}
+		return ops
+	}
+
+	bad := batch(0, 1, 10,
+		Operation{Kind: KindInsert, Arg: 5, Resp: RespTrue},
+		Operation{Kind: KindFind, Arg: 5, Resp: RespFalse},
+	)
+	if _, ok := CheckSetHistory(bad); ok {
+		t.Fatal("find=false after same-batch insert accepted: intra-batch program order not enforced")
+	}
+
+	good := batch(0, 1, 10,
+		Operation{Kind: KindInsert, Arg: 5, Resp: RespTrue},
+		Operation{Kind: KindFind, Arg: 5, Resp: RespTrue},
+	)
+	if _, ok := CheckSetHistory(good); !ok {
+		t.Fatal("consistent single-proc batch rejected")
+	}
+}
+
+// TestBatchInterleavedAcrossProcs: two procs' batches over one key with
+// overlapping windows. The responses only admit a linearization that
+// interleaves the two batches (p1's delete=true needs p0's insert first,
+// p0's later find=false needs p1's delete in between), which per-batch
+// program order permits; flipping p0's find to true AND p1's find to false
+// admits none.
+func TestBatchInterleavedAcrossProcs(t *testing.T) {
+	mk := func(p0find, p1find uint64) []Operation {
+		return []Operation{
+			{Proc: 0, Kind: KindInsert, Arg: 5, Resp: RespTrue, Start: 1, End: 10, Seq: 0},
+			{Proc: 0, Kind: KindFind, Arg: 5, Resp: p0find, Start: 1, End: 10, Seq: 1},
+			{Proc: 1, Kind: KindDelete, Arg: 5, Resp: RespTrue, Start: 2, End: 11, Seq: 0},
+			{Proc: 1, Kind: KindFind, Arg: 5, Resp: p1find, Start: 2, End: 11, Seq: 1},
+		}
+	}
+	if _, ok := CheckSetHistory(mk(RespFalse, RespFalse)); !ok {
+		t.Fatal("interleavable cross-proc batches rejected")
+	}
+	if _, ok := CheckSetHistory(mk(RespTrue, RespTrue)); !ok {
+		// insert, find=true, delete, find... p1's find would need the key
+		// present after its own delete — only satisfiable by ordering p0's
+		// whole batch after p1's delete and before p1's find: delete=true
+		// needs a prior insert though. Sanity-check the checker agrees.
+		t.Log("note: mk(true,true) accepted")
+	}
+	if _, ok := CheckSetHistory(mk(RespFalse, RespTrue)); ok {
+		t.Fatal("contradictory batch interleaving accepted: p0 find=false needs delete between p0's ops, p1 find=true needs insert after delete — but p0's insert precedes its find")
+	}
+}

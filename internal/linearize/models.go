@@ -123,6 +123,14 @@ func OneKeySetModel() Model {
 
 // CheckSetHistory decomposes a set history per key and WGL-checks each
 // sub-history. It returns the first offending key, or (0, true).
+//
+// Batched histories (operations sharing one window, ordered by Seq — see
+// Operation) decompose soundly: same-key members keep their batch identity
+// and Seq, so each sub-history still enforces their program order, while
+// cross-key program order dissolves with the decomposition — which is the
+// usual commutation argument, since set operations on distinct keys
+// commute, a per-key-linearizable history can always be merged into one
+// total order that also respects cross-key program order.
 func CheckSetHistory(hist []Operation) (uint64, bool) {
 	byKey := map[uint64][]Operation{}
 	for _, op := range hist {
@@ -141,7 +149,9 @@ func CheckSetHistory(hist []Operation) (uint64, bool) {
 // hash map): operations are first routed per shard with shardOf — distinct
 // shards never interact, so the history is linearizable iff every per-shard
 // sub-history is — and each shard's sub-history is then checked as a set
-// history (which decomposes further per key). It returns the first
+// history (which decomposes further per key). Batched histories route each
+// batch member to its own shard; same-shard (and same-key) members retain
+// their intra-batch program order through Operation.Seq. It returns the first
 // offending shard and key, or (0, 0, true).
 func CheckShardedSetHistory(hist []Operation, shardOf func(key uint64) int) (int, uint64, bool) {
 	byShard := map[int][]Operation{}

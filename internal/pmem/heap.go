@@ -147,16 +147,36 @@ type Heap struct {
 // and the first line is never flushed by accident).
 const reservedWords = WordsPerLine
 
-// Announcement record layout: one cache line per process, reserved in the
-// heap layout right after the Null line, holding the per-process operation
+// Announcement record layout: one region per process, reserved in the heap
+// layout right after the Null line. The first line holds the single-operation
 // announcement (structure ID, operation kind, argument, checksum) that the
-// runtime's registry-routed recovery reads after a crash. See Proc.Announce.
+// runtime's registry-routed recovery reads after a crash (see Proc.Announce),
+// plus the batch-announcement header (count, completed-prefix cursor,
+// checksum). The following lines hold the batch's op slots (kind/arg pairs)
+// and per-op result slots. See Proc.AnnounceBatch.
 const (
 	annStruct = 0 // structure ID (0 = no announcement)
 	annKind   = 1 // operation kind
 	annArg    = 2 // operation argument
 	annSum    = 3 // checksum binding the three words (see annCheck)
+
+	abCount  = 4 // batch op count (0 = no batch announcement)
+	abCursor = 5 // completed-prefix cursor: ops [0, cursor) have durable results
+	abSum    = 6 // checksum binding structID, count and every op slot
+
+	// abSlots is the first op slot word: MaxBatch (kind, arg) pairs.
+	abSlots = WordsPerLine
+	// abResults is the first result slot word: MaxBatch response words.
+	// A result slot of 0 (the engine's ⊥) means "no durable result".
+	abResults = abSlots + 2*MaxBatch
+
+	// annStride is the per-process announcement region size in words
+	// (header line + op slots + result slots; a whole number of lines).
+	annStride = abResults + MaxBatch
 )
+
+// MaxBatch bounds the number of operations one batch announcement can hold.
+const MaxBatch = 64
 
 // NewHeap allocates a simulated persistent heap and its process descriptors.
 func NewHeap(cfg Config) *Heap {
@@ -166,8 +186,8 @@ func NewHeap(cfg Config) *Heap {
 	if cfg.Procs <= 0 {
 		cfg.Procs = 1
 	}
-	// Room for the Null line, the per-proc announcement lines, and an arena.
-	if min := reservedWords * (2 + cfg.Procs); cfg.Words < min {
+	// Room for the Null line, the per-proc announcement regions, and an arena.
+	if min := 2*reservedWords + annStride*cfg.Procs; cfg.Words < min {
 		cfg.Words = min
 	}
 	h := &Heap{
@@ -183,7 +203,7 @@ func NewHeap(cfg Config) *Heap {
 		h.dirty = make([]atomic.Uint64, (lines+63)/64)
 	}
 	h.annBase = reservedWords
-	h.next.Store(reservedWords + uint64(cfg.Procs)*WordsPerLine)
+	h.next.Store(reservedWords + uint64(cfg.Procs)*annStride)
 	h.pwbSpin = spinIters(cfg.PWBLatency)
 	h.psyncSpin = spinIters(cfg.PSyncLatency)
 	seed := cfg.Seed
@@ -206,8 +226,8 @@ func (h *Heap) Proc(id int) *Proc {
 	return h.procs[id]
 }
 
-// annAddr returns the first word of proc id's announcement line.
-func (h *Heap) annAddr(id int) Addr { return h.annBase + Addr(id)*WordsPerLine }
+// annAddr returns the first word of proc id's announcement region.
+func (h *Heap) annAddr(id int) Addr { return h.annBase + Addr(id)*annStride }
 
 // annCheck is the checksum word binding an announcement's three payload
 // words. An announcement is only valid if the persisted checksum matches the
@@ -224,6 +244,21 @@ func annCheck(structID, kind, arg uint64) uint64 {
 		x = 1
 	}
 	return x
+}
+
+// batchCheck chains annCheck over a batch announcement's immutable part:
+// the structure ID, the op count and every (kind, arg) slot, in order. The
+// cursor and result slots are deliberately excluded — they mutate as the
+// batch progresses and have their own torn-write defenses (a result slot is
+// durable strictly before the cursor that covers it). Like annCheck the
+// result is never zero, so a cleared header can never validate.
+func batchCheck(structID, count uint64, op func(i int) (kind, arg uint64)) uint64 {
+	sum := annCheck(structID, count, 0)
+	for i := 0; i < int(count); i++ {
+		k, a := op(i)
+		sum = annCheck(sum, k, a)
+	}
+	return sum
 }
 
 // NumProcs reports how many process descriptors the heap was built with.
@@ -403,6 +438,7 @@ func (h *Heap) resetAfterCrashFull() {
 func (h *Heap) finishReset() {
 	for _, p := range h.procs {
 		p.crashed = false
+		p.overlapPWB = false // batch windows do not survive a crash
 	}
 	h.epoch.Add(1)
 	h.crashing.Store(false)

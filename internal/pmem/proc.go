@@ -1,6 +1,9 @@
 package pmem
 
-import "slices"
+import (
+	"fmt"
+	"slices"
+)
 
 // Proc is a process descriptor: the unit of crash-recovery in the paper's
 // model. All primitive operations on the heap go through a Proc, which lets
@@ -29,6 +32,13 @@ type Proc struct {
 	// lineScratch is the reusable line-set backing barrier dedup (see
 	// flushLines); its capacity is retained across barriers.
 	lineScratch []Addr
+
+	// overlapPWB, when set, models clwb-style overlapped write-backs inside
+	// a batched-admission window: PWB still applies its line write-back
+	// synchronously (crash semantics and counters are unchanged) but skips
+	// the simulated clflush latency — the wait is paid once, at the window's
+	// closing psync. Cleared on crash reset (see Heap.finishReset).
+	overlapPWB bool
 
 	spinSink uint64 // defeats dead-code elimination of latency spins
 }
@@ -163,7 +173,7 @@ func (p *Proc) PWB(a Addr) {
 
 // pwb is the uncounted core of PWB, shared with PBarrier.
 func (p *Proc) pwb(a Addr) {
-	if p.h.pwbSpin > 0 {
+	if p.h.pwbSpin > 0 && !p.overlapPWB {
 		p.spin(p.h.pwbSpin)
 	}
 	if p.h.tracked {
@@ -305,7 +315,121 @@ func (p *Proc) Announce(structID, kind, arg uint64) {
 func (p *Proc) ClearAnnounce() {
 	a := p.h.annAddr(p.id)
 	p.Store(a+annStruct, 0)
+	p.Store(a+abCount, 0)
 	p.PWB(a)
+}
+
+// SetPWBOverlap switches clwb-style overlapped write-backs on or off for
+// this process (see the overlapPWB field). The engines enable it for the
+// duration of a batched-admission window and disable it at the window's
+// closing psync; it never changes crash-visible state or instruction counts,
+// only the simulated latency attribution.
+func (p *Proc) SetPWBOverlap(on bool) { p.overlapPWB = on }
+
+// AnnounceBatch durably records that this process is about to execute a
+// batch of n operations (1 ≤ n ≤ MaxBatch) on the structure with registry ID
+// structID (nonzero), all under the caller's next single psync. op reports
+// the i-th operation's kind and argument.
+//
+// The record comprises the header (structID, count, cursor := 0, checksum
+// over the immutable part) and n (kind, arg) op slots; result slots are NOT
+// cleared here — a result slot only means something for indexes below the
+// cursor, and the cursor writes that move it are ordered after the covered
+// result slot's write-back (see SetBatchResult/AdvanceBatchCursor). The
+// single-op announcement words are cleared so the record cannot be read as
+// both shapes at once; the caller must have issued ClearAnnounce earlier in
+// the same begin sequence (before resetting any recovery register), exactly
+// as with Announce.
+func (p *Proc) AnnounceBatch(structID uint64, n int, op func(i int) (kind, arg uint64)) {
+	if structID == 0 {
+		panic("pmem: AnnounceBatch with structID 0")
+	}
+	if n < 1 || n > MaxBatch {
+		panic(fmt.Sprintf("pmem: AnnounceBatch with %d ops (want 1..%d)", n, MaxBatch))
+	}
+	a := p.h.annAddr(p.id)
+	for i := 0; i < n; i++ {
+		k, v := op(i)
+		p.Store(a+abSlots+Addr(2*i), k)
+		p.Store(a+abSlots+Addr(2*i)+1, v)
+	}
+	p.Store(a+annStruct, structID)
+	p.Store(a+annKind, 0)
+	p.Store(a+annArg, 0)
+	p.Store(a+annSum, 0)
+	p.Store(a+abCursor, 0)
+	p.Store(a+abCount, uint64(n))
+	p.Store(a+abSum, batchCheck(structID, uint64(n), op))
+	// One pwb per touched line: the header and the op-slot lines. A crash
+	// with only some of these lines persisted leaves the checksum invalid,
+	// so a torn batch announcement reads as "no batch" (provably no effect).
+	end := a + abSlots + Addr(2*n)
+	for line := a; line < end; line += WordsPerLine {
+		p.PWB(line)
+	}
+}
+
+// SetBatchResult durably records operation i's response in the batch
+// announcement's result slot. resp must be nonzero (0 is the engine's ⊥,
+// the "no durable result" sentinel). The write-back is synchronous, so once
+// AdvanceBatchCursor(i+1) persists, the covering result is already durable —
+// the invariant batch recovery's completed-prefix reads rely on.
+func (p *Proc) SetBatchResult(i int, resp uint64) {
+	if resp == 0 {
+		panic("pmem: SetBatchResult with zero response")
+	}
+	a := p.h.annAddr(p.id) + abResults + Addr(i)
+	p.Store(a, resp)
+	p.PWB(a)
+}
+
+// AdvanceBatchCursor durably moves the completed-prefix cursor to i: the
+// batch's operations [0, i) now have durable results. Call only after
+// SetBatchResult(i-1, …) returned.
+func (p *Proc) AdvanceBatchCursor(i int) {
+	a := p.h.annAddr(p.id)
+	p.Store(a+abCursor, uint64(i))
+	p.PWB(a)
+}
+
+// BatchAnnouncement reads this process's batch announcement record,
+// validating the checksum over its immutable part. ok is false if no batch
+// is announced (or the record was only partially persisted when the crash
+// hit — the whole batch then provably performed no tracked writes). cursor
+// is the durable completed prefix: ops [0, cursor) have durable results
+// readable via BatchResult, op cursor is the (at most one) in-flight
+// operation, and ops (cursor, n) provably never started.
+func (p *Proc) BatchAnnouncement() (structID uint64, n, cursor int, ok bool) {
+	a := p.h.annAddr(p.id)
+	structID = p.Load(a + annStruct)
+	cnt := p.Load(a + abCount)
+	if structID == 0 || cnt == 0 || cnt > MaxBatch {
+		return 0, 0, 0, false
+	}
+	if p.Load(a+abSum) != batchCheck(structID, cnt, func(i int) (uint64, uint64) {
+		return p.Load(a + abSlots + Addr(2*i)), p.Load(a + abSlots + Addr(2*i) + 1)
+	}) {
+		return 0, 0, 0, false
+	}
+	cur := p.Load(a + abCursor)
+	if cur >= cnt {
+		// The cursor never reaches the count (the final operation's result
+		// lives in the engine's recovery record, not a result slot); clamp a
+		// torn value so callers can trust cursor < n.
+		cur = cnt - 1
+	}
+	return structID, int(cnt), int(cur), true
+}
+
+// BatchOp reads the i-th op slot of the batch announcement.
+func (p *Proc) BatchOp(i int) (kind, arg uint64) {
+	a := p.h.annAddr(p.id)
+	return p.Load(a + abSlots + Addr(2*i)), p.Load(a + abSlots + Addr(2*i) + 1)
+}
+
+// BatchResult reads the i-th result slot (0 = no durable result).
+func (p *Proc) BatchResult(i int) uint64 {
+	return p.Load(p.h.annAddr(p.id) + abResults + Addr(i))
 }
 
 // Announcement reads this process's announcement record, validating the

@@ -87,12 +87,19 @@ func (q *Queue) gather(kind uint64) isb.Gather {
 // encoded response (isb.RespTrue for enqueue; isb.RespEmpty or an encoded
 // value for dequeue): the uniform invocation surface every structure shares.
 func (q *Queue) ApplyOp(p *pmem.Proc, kind, arg uint64) uint64 {
+	if kind == OpPeek {
+		return q.ReadOp(p, kind, arg)
+	}
 	return q.e.RunOp(p, kind, arg, q.gather(kind))
 }
 
 // RecoverOp completes an interrupted operation after a crash and returns
 // its encoded response.
 func (q *Queue) RecoverOp(p *pmem.Proc, kind, arg uint64) uint64 {
+	if kind == OpPeek {
+		// Reads leave no durable trace; recovery re-executes them.
+		return q.ReadOp(p, kind, arg)
+	}
 	return q.e.Recover(p, kind, arg, q.gather(kind))
 }
 

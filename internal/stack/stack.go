@@ -116,6 +116,9 @@ func (s *Stack) Begin(p *pmem.Proc) {
 // too late to provide this), then AnnounceFor. Without elimination the
 // engine's RunOp entry (BeginOpFor) provides the whole sequence itself.
 func (s *Stack) ApplyOp(p *pmem.Proc, kind, arg uint64) uint64 {
+	if kind == OpTop {
+		return s.ReadOp(p, kind, arg)
+	}
 	if s.spins > 0 {
 		s.e.BeginOp(p)
 		s.ex.Begin(p)
@@ -156,6 +159,10 @@ func (s *Stack) Pop(p *pmem.Proc) (uint64, bool) {
 // effect, that outcome stands; otherwise the central stack's ISB recovery
 // decides.
 func (s *Stack) RecoverOp(p *pmem.Proc, kind, arg uint64) uint64 {
+	if kind == OpTop {
+		// Reads leave no durable trace; recovery re-executes them.
+		return s.ReadOp(p, kind, arg)
+	}
 	if s.spins > 0 {
 		role := exchanger.WaiterOnly
 		if kind == OpPop {

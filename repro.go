@@ -414,6 +414,11 @@ type ProcReport struct {
 	StructID uint64
 	Op       Op
 	Resp     Resp
+	// Batch is non-nil when the process crashed inside an ApplyBatch
+	// window: one entry per announced operation, partitioned into the
+	// completed prefix, the single in-flight operation, and the unstarted
+	// suffix (see OpStatus). Op/Resp then mirror the in-flight entry.
+	Batch []BatchOpReport
 }
 
 // RecoverAll is the registry-routed recovery sweep. Call it after Restart:
@@ -466,9 +471,19 @@ func (r *Runtime) RecoverAll() []ProcReport {
 		r.reclaimer.Freeze()
 		defer r.reclaimer.Thaw()
 	}
+	// A crash can land inside a batch window; the engines' volatile batch
+	// state (sync deferral mode, sequence stamps) must not leak into the
+	// recovery sweep or the operations after it.
+	for _, e := range r.engines {
+		e.ResetBatchState()
+	}
 	var out []ProcReport
 	for id := 0; id < r.h.NumProcs(); id++ {
 		p := r.h.Proc(id)
+		if rep, ok := r.recoverBatch(id); ok {
+			out = append(out, rep)
+			continue
+		}
 		sid, kind, arg, ok := p.Announcement()
 		if !ok {
 			continue
@@ -481,6 +496,52 @@ func (r *Runtime) RecoverAll() []ProcReport {
 		out = append(out, ProcReport{Proc: id, StructID: sid, Op: op, Resp: s.RecoverOp(p, op)})
 	}
 	return out
+}
+
+// recoverBatch resolves process id's crashed batch, if its persistent
+// batch announcement validates (checksum intact). The completed-prefix
+// cursor partitions the announced operations: responses below it are read
+// back from the durable result slots (the cursor only advances after the
+// covered result persisted), the operation AT it is resolved through
+// per-operation recovery — read-only kinds by re-execution (no later
+// operation of the batch ran, and the read left no durable trace),
+// mutating kinds through the engine's sequence-guarded recovery, which
+// tells this position's tracking record apart from an earlier same-kind
+// operation's — and everything above it provably performed no tracked
+// writes (OpNoEffect) and is re-submitted by the application.
+func (r *Runtime) recoverBatch(id int) (ProcReport, bool) {
+	p := r.h.Proc(id)
+	sid, n, cursor, ok := p.BatchAnnouncement()
+	if !ok {
+		return ProcReport{}, false
+	}
+	s := r.Structure(sid)
+	if s == nil {
+		panic(fmt.Sprintf("repro: batch announcement for unregistered structure %d (proc %d)", sid, id))
+	}
+	ba, okBA := s.(batchApplier)
+	if !okBA {
+		panic(fmt.Sprintf("repro: batch announcement for non-batchable structure %d (proc %d)", sid, id))
+	}
+	rep := ProcReport{Proc: id, StructID: sid, Batch: make([]BatchOpReport, n)}
+	for i := 0; i < n; i++ {
+		kind, arg := p.BatchOp(i)
+		ent := BatchOpReport{Op: Op{Kind: kind, Arg: arg}}
+		switch {
+		case i < cursor:
+			ent.Status = OpCompleted
+			ent.Resp = respOf(p.BatchResult(i))
+		case i == cursor:
+			ent.Status = OpInFlight
+			ent.Resp = respOf(ba.recoverBatchOp(p, i, kind, arg))
+		default:
+			ent.Status = OpNoEffect
+		}
+		rep.Batch[i] = ent
+	}
+	rep.Op = rep.Batch[cursor].Op
+	rep.Resp = rep.Batch[cursor].Resp
+	return rep, true
 }
 
 // reachMarker is the per-structure hook the conservative scan seeds from.
@@ -558,7 +619,13 @@ func (l *List) ID() uint64 { return l.id }
 func (l *List) Kind() StructKind { return KindList }
 
 // Apply runs op (OpInsert/OpDelete/OpFind) and returns its response.
-func (l *List) Apply(p *Proc, op Op) Resp { return respOf(l.l.ApplyOp(p, op.Kind, op.Arg)) }
+// OpFind takes the zero-persist read path (see OpKind.ReadOnly).
+func (l *List) Apply(p *Proc, op Op) Resp {
+	if op.Kind == OpFind {
+		return respOf(l.l.ReadOp(p, op.Kind, op.Arg))
+	}
+	return respOf(l.l.ApplyOp(p, op.Kind, op.Arg))
+}
 
 // RecoverOp resolves an interrupted op after a crash.
 func (l *List) RecoverOp(p *Proc, op Op) Resp { return respOf(l.l.RecoverOp(p, op.Kind, op.Arg)) }
@@ -569,8 +636,9 @@ func (l *List) Insert(p *Proc, key uint64) bool { return l.l.Insert(p, key) }
 // Delete removes key; false if absent.
 func (l *List) Delete(p *Proc, key uint64) bool { return l.l.Delete(p, key) }
 
-// Find reports membership.
-func (l *List) Find(p *Proc, key uint64) bool { return l.l.Find(p, key) }
+// Find reports membership (zero-persist read path: no Info record, no
+// pwb, no psync; a crashed Find is simply re-submitted).
+func (l *List) Find(p *Proc, key uint64) bool { return l.l.FindFast(p, key) }
 
 // Recover completes p's interrupted operation (same kind and key) after a
 // crash and returns its response: the targeted wrapper over RecoverOp.
@@ -611,7 +679,8 @@ func (q *Queue) ID() uint64 { return q.id }
 // Kind reports KindQueue.
 func (q *Queue) Kind() StructKind { return KindQueue }
 
-// Apply runs op (OpEnq/OpDeq) and returns its response.
+// Apply runs op (OpEnq/OpDeq/OpPeek) and returns its response. OpPeek
+// takes the zero-persist read path (see OpKind.ReadOnly).
 func (q *Queue) Apply(p *Proc, op Op) Resp { return respOf(q.q.ApplyOp(p, op.Kind, op.Arg)) }
 
 // RecoverOp resolves an interrupted op after a crash.
@@ -671,7 +740,13 @@ func (b *BST) ID() uint64 { return b.id }
 func (b *BST) Kind() StructKind { return KindBST }
 
 // Apply runs op (OpInsert/OpDelete/OpFind) and returns its response.
-func (b *BST) Apply(p *Proc, op Op) Resp { return respOf(b.b.ApplyOp(p, op.Kind, op.Arg)) }
+// OpFind takes the zero-persist read path (see OpKind.ReadOnly).
+func (b *BST) Apply(p *Proc, op Op) Resp {
+	if op.Kind == OpFind {
+		return respOf(b.b.ReadOp(p, op.Kind, op.Arg))
+	}
+	return respOf(b.b.ApplyOp(p, op.Kind, op.Arg))
+}
 
 // RecoverOp resolves an interrupted op after a crash.
 func (b *BST) RecoverOp(p *Proc, op Op) Resp { return respOf(b.b.RecoverOp(p, op.Kind, op.Arg)) }
@@ -682,8 +757,10 @@ func (b *BST) Insert(p *Proc, key uint64) bool { return b.b.Insert(p, key) }
 // Delete removes key; false if absent.
 func (b *BST) Delete(p *Proc, key uint64) bool { return b.b.Delete(p, key) }
 
-// Find reports membership.
-func (b *BST) Find(p *Proc, key uint64) bool { return b.b.Find(p, key) }
+// Find reports membership (zero-persist read path; the engine-backed
+// detectable finds remain available through internal/bst's OpFind and
+// OpFindFast kinds).
+func (b *BST) Find(p *Proc, key uint64) bool { return b.b.FindRO(p, key) }
 
 // Recover completes p's interrupted operation after a crash: the targeted
 // wrapper over RecoverOp.
@@ -804,9 +881,10 @@ func (s *Stack) ID() uint64 { return s.id }
 // Kind reports KindStack.
 func (s *Stack) Kind() StructKind { return KindStack }
 
-// Apply runs op (OpPush/OpPop) and returns its response. The announcement
-// is durable before the elimination attempt, so even an eliminated
-// operation's effect is routable by RecoverAll.
+// Apply runs op (OpPush/OpPop/OpTop) and returns its response. The
+// announcement is durable before the elimination attempt, so even an
+// eliminated operation's effect is routable by RecoverAll. OpTop takes the
+// zero-persist read path (see OpKind.ReadOnly).
 func (s *Stack) Apply(p *Proc, op Op) Resp { return respOf(s.s.ApplyOp(p, op.Kind, op.Arg)) }
 
 // RecoverOp resolves an interrupted op after a crash.
@@ -872,7 +950,14 @@ func (m *HashMap) ID() uint64 { return m.id }
 func (m *HashMap) Kind() StructKind { return KindHashMap }
 
 // Apply runs op (OpInsert/OpDelete/OpFind) and returns its response.
-func (m *HashMap) Apply(p *Proc, op Op) Resp { return respOf(m.m.ApplyOp(p, op.Kind, op.Arg)) }
+// OpFind takes the zero-persist read path (see OpKind.ReadOnly): it leaves
+// even the shard register untouched.
+func (m *HashMap) Apply(p *Proc, op Op) Resp {
+	if op.Kind == OpFind {
+		return respOf(m.m.ReadOp(p, op.Kind, op.Arg))
+	}
+	return respOf(m.m.ApplyOp(p, op.Kind, op.Arg))
+}
 
 // RecoverOp resolves an interrupted op after a crash, routing to the
 // operation's shard.
@@ -884,8 +969,9 @@ func (m *HashMap) Insert(p *Proc, key uint64) bool { return m.m.Insert(p, key) }
 // Delete removes key; false if absent.
 func (m *HashMap) Delete(p *Proc, key uint64) bool { return m.m.Delete(p, key) }
 
-// Find reports membership.
-func (m *HashMap) Find(p *Proc, key uint64) bool { return m.m.Find(p, key) }
+// Find reports membership (zero-persist read path: neither the shard
+// register nor any tracking state is written).
+func (m *HashMap) Find(p *Proc, key uint64) bool { return m.m.FindFast(p, key) }
 
 // Recover completes p's interrupted operation (same kind and key) after a
 // crash, routing to the operation's shard, and returns its response.
