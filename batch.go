@@ -159,10 +159,10 @@ func (s *Stack) recoverBatchOp(p *Proc, seq int, kind, arg uint64) uint64 {
 
 func (m *HashMap) engine() *isb.Engine { return m.m.Engine() }
 func (m *HashMap) applyBatchOp(p *Proc, seq int, kind, arg uint64) uint64 {
-	return m.m.ApplyBatchOp(p, seq, kind, arg)
+	return m.m.ApplyBatchOp(p, seq, kind, m.key(arg))
 }
 func (m *HashMap) recoverBatchOp(p *Proc, seq int, kind, arg uint64) uint64 {
-	return m.m.RecoverBatchOp(p, seq, kind, arg)
+	return m.m.RecoverBatchOp(p, seq, kind, m.key(arg))
 }
 
 // Peek returns the queue's front value without dequeuing it (zero-persist
@@ -221,6 +221,41 @@ func (r *Runtime) ApplyBatch(p *Proc, s Structure, ops []Op) []Resp {
 			out[base] = s.Apply(p, win[0])
 			break
 		}
+		e.BeginBatch(p, len(win), func(i int) (uint64, uint64) {
+			return win[i].Kind, win[i].Arg
+		})
+		for i, op := range win {
+			if i > 0 {
+				e.BatchBoundary(p, i, out[base+i-1].raw)
+			}
+			out[base+i] = respOf(ba.applyBatchOp(p, i, op.Kind, op.Arg))
+		}
+		e.EndBatch(p)
+	}
+	return out
+}
+
+// ApplyWindow admits ops exactly like ApplyBatch but ALWAYS through the
+// batch announcement protocol, even for a single-operation window (where
+// ApplyBatch would fall back to the plain per-op announcement). Serving
+// layers that thread request identity through the announcement's Arg (see
+// HashMap.SetArgMask) need every admitted operation to appear in a batch
+// report entry carrying its full Arg; the per-op fast path would lose
+// nothing durable, but its report entry cannot be told apart from an
+// earlier identical operation's without the identity bits. s must be
+// batchable (every structure but the exchanger).
+func (r *Runtime) ApplyWindow(p *Proc, s Structure, ops []Op) []Resp {
+	ba, batchable := s.(batchApplier)
+	if !batchable {
+		panic("repro: ApplyWindow requires a batchable structure")
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	out := make([]Resp, len(ops))
+	e := ba.engine()
+	for base := 0; base < len(ops); base += MaxBatch {
+		win := ops[base:min(base+MaxBatch, len(ops))]
 		e.BeginBatch(p, len(win), func(i int) (uint64, uint64) {
 			return win[i].Kind, win[i].Arg
 		})

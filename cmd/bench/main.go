@@ -57,6 +57,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *check != "" && *compare != "" {
+		fail(fmt.Errorf("-check and -compare are mutually exclusive: -check validates an existing report without running, -compare runs the matrix and gates it"))
+	}
+
 	if *check != "" {
 		data, err := os.ReadFile(*check)
 		if err != nil {
@@ -67,6 +71,21 @@ func main() {
 		}
 		fmt.Printf("%s: valid bench report\n", *check)
 		return
+	}
+
+	// Vet the baseline BEFORE the multi-minute run: a missing, corrupt or
+	// stale-schema baseline must fail in milliseconds, not after the whole
+	// matrix has been measured.
+	var baseline []byte
+	if *compare != "" {
+		var err error
+		baseline, err = os.ReadFile(*compare)
+		if err != nil {
+			fail(err)
+		}
+		if err := bench.CheckBaseline(baseline); err != nil {
+			fail(err)
+		}
 	}
 
 	// -quick supplies smaller defaults; explicit flags always win.
@@ -119,11 +138,7 @@ func main() {
 	fmt.Printf("wrote %s: %d scenario cells, %d sweep scenarios, sweep %.2fs\n",
 		path, len(rep.Scenarios), len(rep.Sweeps), rep.SweepSeconds)
 	if *compare != "" {
-		old, err := os.ReadFile(*compare)
-		if err != nil {
-			fail(err)
-		}
-		if err := bench.Compare(old, data); err != nil {
+		if err := bench.Compare(baseline, data); err != nil {
 			fail(err)
 		}
 		fmt.Printf("no regression vs %s\n", *compare)

@@ -1,0 +1,86 @@
+package repro
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// crashGroupWorker drives ops single-op style under g, consuming reports
+// through MatchReport, until its operation count is exhausted.
+func crashGroupWorker(rt *Runtime, g *CrashGroup, m *HashMap, w, ops int) {
+	p := rt.Proc(w)
+	rng := rand.New(rand.NewSource(int64(w) + 1))
+	for i := 0; i < ops; i++ {
+		kind := OpInsert
+		if rng.Intn(2) == 0 {
+			kind = OpDelete
+		}
+		pending := []Op{{Kind: kind, Arg: uint64(rng.Intn(32)) + 1}}
+		for len(pending) > 0 {
+			op := pending[0]
+			if rt.Run(func() { m.Begin(p); m.Apply(p, op) }) {
+				pending = nil
+				break
+			}
+			g.Park()
+			if rep, ok := g.Report(w); ok {
+				pending = pending[MatchReport(rep, pending, func(int, Op, Resp) {}):]
+			}
+		}
+	}
+}
+
+// TestCrashGroupReArmsAfterLeave is the regression test for the kvstore
+// example's leave() bug: a worker that retires while the system is down
+// performs the recovery on the survivors' behalf but — before this PR —
+// never re-armed the next crash, so the survivors ran their entire tail
+// crash-free. The test retires worker 0 exactly while a crash is pending
+// and requires that worker 1's remaining work still crashes afterwards.
+func TestCrashGroupReArmsAfterLeave(t *testing.T) {
+	rt := New(Config{Procs: 2, CrashSim: true, HeapWords: 1 << 20})
+	m := rt.NewHashMap(4)
+	const crashEvery = 800
+	g := NewCrashGroup(rt, 2, crashEvery)
+
+	atLeave := -1
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // worker 1: the survivor with a long tail
+		defer wg.Done()
+		defer g.Leave()
+		crashGroupWorker(rt, g, m, 1, 1500)
+	}()
+	go func() { // worker 0: one op, then retire while the system is down
+		defer wg.Done()
+		crashGroupWorker(rt, g, m, 0, 1)
+		parked := func() int {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			return g.parked
+		}
+		// Wait until worker 1 is stranded mid-crash, so Leave (not Park) is
+		// the call that performs the recovery — the exact buggy path.
+		for !rt.Crashing() || parked() != 1 {
+			runtime.Gosched()
+		}
+		atLeave = g.Crashes()
+		g.Leave() // last straggler: recovers AND must re-arm for the tail
+	}()
+	wg.Wait()
+
+	if atLeave < 0 {
+		t.Fatal("worker 0 never left while a crash was pending")
+	}
+	total := g.Crashes()
+	// total == atLeave+1 is exactly the old bug: the leave-time recovery
+	// happened but the survivor's tail never crashed again.
+	if total <= atLeave+1 {
+		t.Fatalf("no crash fired after leave(): %d crashes at leave, %d total — leave() did not re-arm",
+			atLeave, total)
+	}
+	if msg := m.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants after run: %s", msg)
+	}
+}

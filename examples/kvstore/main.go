@@ -91,62 +91,12 @@ func main() {
 	})
 	store := rt.NewHashMap(shards)
 
-	var mu sync.Mutex
-	var cond = sync.NewCond(&mu)
-	parked, generation, crashes := 0, 0, 0
-	active := workers
-	reports := map[int]repro.ProcReport{} // refreshed by each RecoverAll
-
-	// restartAndRecover is the system's whole crash-handling duty: discard
-	// volatile state, then one RecoverAll call resolves every in-flight
-	// operation across all structures. Runs with mu held, all workers parked.
-	restartAndRecover := func() {
-		rt.Restart()
-		reports = map[int]repro.ProcReport{}
-		for _, rep := range rt.RecoverAll() {
-			reports[rep.Proc] = rep
-		}
-		crashes++
-		generation++
-		parked = 0
-	}
-
-	// park blocks a crashed worker until everyone crashed and the system
-	// recovered — the role the "system" plays in the paper's model.
-	park := func() {
-		mu.Lock()
-		defer mu.Unlock()
-		parked++
-		g := generation
-		if parked == active && rt.Crashing() {
-			restartAndRecover()
-			rt.ScheduleCrash(crashEach)
-			cond.Broadcast()
-		}
-		for generation == g {
-			cond.Wait()
-		}
-	}
-	leave := func() {
-		mu.Lock()
-		defer mu.Unlock()
-		active--
-		if parked == active && active > 0 && rt.Crashing() {
-			restartAndRecover()
-			cond.Broadcast()
-		}
-	}
-	// report fetches (and consumes) this worker's RecoverAll entry, if the
-	// last sweep resolved an operation for it.
-	report := func(w int) (repro.ProcReport, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		rep, ok := reports[w]
-		delete(reports, w)
-		return rep, ok
-	}
-
-	rt.ScheduleCrash(crashEach)
+	// The crash coordinator — the role "the system" plays in the paper's
+	// model — is repro.CrashGroup: the last worker stranded by a crash runs
+	// Restart plus exactly one RecoverAll, hands each worker its report
+	// entry, and re-arms the next crash while anyone is still working (so a
+	// worker retiring early cannot leave the survivors' tail crash-free).
+	group := repro.NewCrashGroup(rt, workers, crashEach)
 
 	net := make([]map[uint64]int, workers)
 	var wg sync.WaitGroup
@@ -155,7 +105,7 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			defer leave()
+			defer group.Leave()
 			p := rt.Proc(w)
 			rng := rand.New(rand.NewSource(int64(w) + 1))
 			tally := func(op repro.Op, resp repro.Resp) {
@@ -183,34 +133,19 @@ func main() {
 						pending = nil
 						break
 					}
-					// Crashed mid-window. After recovery, the report's batch
-					// entries hand back the completed prefix's durable
-					// responses and the recovered in-flight operation; the
+					// Crashed mid-window. After recovery, MatchReport hands
+					// back the completed prefix's durable responses and the
+					// recovered in-flight operation (rejecting a stale
+					// report from an earlier, fully answered window); the
 					// no-effect suffix loops around for re-submission.
-					park()
-					rep, hit := report(w)
+					group.Park()
+					rep, hit := group.Report(w)
 					if !hit {
 						continue // nothing durable: re-submit the remainder
 					}
-					if rep.Batch == nil {
-						// A one-op remainder announces like a plain operation.
-						if len(pending) > 0 && rep.Op == pending[0] {
-							tally(pending[0], rep.Resp)
-							pending = pending[1:]
-						}
-						continue
-					}
-					resolved := 0
-					for i, ent := range rep.Batch {
-						// A stale entry (an earlier, fully completed window)
-						// stops matching immediately and resolves nothing.
-						if ent.Status == repro.OpNoEffect || i >= len(pending) || ent.Op != pending[i] {
-							break
-						}
-						tally(ent.Op, ent.Resp)
-						resolved = i + 1
-					}
-					pending = pending[resolved:]
+					pending = pending[repro.MatchReport(rep, pending, func(_ int, op repro.Op, resp repro.Resp) {
+						tally(op, resp)
+					}):]
 				}
 			}
 		}(w)
@@ -240,7 +175,7 @@ func main() {
 		}
 	}
 	fmt.Printf("%d workers × %d ops (batch=%d) over %d shards, %d crashes survived (one RecoverAll each), %d keys stored, %d mismatches\n",
-		workers, opsPerW, batchSize, store.NumShards(), crashes, len(store.Keys()), bad)
+		workers, opsPerW, batchSize, store.NumShards(), group.Crashes(), len(store.Keys()), bad)
 	if bs, rf, ok := rt.EngineCounters(store); ok {
 		fmt.Printf("batching: %d psyncs deferred into window boundaries, %d reads on the zero-persist fast path\n", bs, rf)
 	}

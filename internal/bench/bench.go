@@ -31,8 +31,11 @@ import (
 // v2 added the reclaim section (steady-state heap pins under the epoch
 // reclaimer vs the leak-forever arena). v3 added the batch axis (each
 // scenario cell now carries the admission batch size driven through
-// Runtime.ApplyBatch) plus the batch_syncs/read_fast_ops counters.
-const SchemaVersion = 3
+// Runtime.ApplyBatch) plus the batch_syncs/read_fast_ops counters. v4
+// added the serve section: the network front-end measured end to end
+// (conns × batch cells over the in-process transport), with its own
+// batching gate in Validate.
+const SchemaVersion = 4
 
 // Mix is a named operation mix: percentages of finds, with the remainder
 // split evenly between inserts and deletes.
@@ -59,6 +62,11 @@ type Params struct {
 	OpsPerProc int   // default 2000
 	KeyRange   int   // default 256
 	Seed       int64 // default 1
+	// ServeConns / ServeBatches span the serve section's matrix: client
+	// connections (default 1,4,16) × admission batch sizes (default 1,16)
+	// against the fixed serveProcs-worker server.
+	ServeConns   []int
+	ServeBatches []int
 }
 
 func (p Params) withDefaults() Params {
@@ -83,12 +91,22 @@ func (p Params) withDefaults() Params {
 	if p.Seed == 0 {
 		p.Seed = 1
 	}
+	if len(p.ServeConns) == 0 {
+		p.ServeConns = []int{1, 4, 16}
+	}
+	if len(p.ServeBatches) == 0 {
+		p.ServeBatches = []int{1, 16}
+	}
 	return p
 }
 
 // QuickParams shrinks the matrix for tests and CI smoke use.
 func QuickParams() Params {
-	return Params{Label: "quick", Procs: []int{1, 2}, Shards: []int{1, 4}, Batches: []int{1, 8}, OpsPerProc: 320}
+	return Params{
+		Label: "quick", Procs: []int{1, 2}, Shards: []int{1, 4},
+		Batches: []int{1, 8}, OpsPerProc: 320,
+		ServeConns: []int{1, 4}, ServeBatches: []int{1, 8},
+	}
 }
 
 // Point is one measured scenario cell.
@@ -180,6 +198,11 @@ type Report struct {
 	// allocators; Validate fails a report whose reclaimer-on cells grew
 	// across the churn window.
 	Reclaim []ReclaimPoint `json:"reclaim"`
+	// Serve measures the network front-end end to end: conns × batch cells
+	// over the in-process transport. Validate gates each conns group's
+	// batched syncs/op against its batch=1 anchor; Compare folds the cells
+	// into the throughput-ratio machinery as engine="serve" groups.
+	Serve []ServePoint `json:"serve"`
 }
 
 // engineKinds maps the public engine axis.
@@ -421,6 +444,7 @@ func Run(p Params) (Report, error) {
 				runReclaim(eng.name, eng.kind, p.OpsPerProc, rec))
 		}
 	}
+	rep.Serve = runServeMatrix(p)
 	return rep, nil
 }
 
@@ -536,6 +560,76 @@ func Validate(data []byte) error {
 				pt.Name, pt.HeapWordsMid, pt.HeapWords)
 		}
 	}
+	if len(rep.Serve) == 0 {
+		return fmt.Errorf("bench: no serve cells")
+	}
+	type serveSyncs struct {
+		anchor, atMax float64 // syncs/op at batch=1 and at the largest batch
+		maxBatch      int
+		hasAnchor     bool
+	}
+	byConns := map[int]*serveSyncs{}
+	for _, pt := range rep.Serve {
+		if pt.Name == "" || pt.Conns <= 0 || pt.Procs <= 0 || pt.Batch < 1 || pt.Ops <= 0 {
+			return fmt.Errorf("bench: serve cell %q has non-positive axes", pt.Name)
+		}
+		if !finite(pt.Seconds, pt.OpsPerSec, pt.SyncsPerOp, pt.PersistsPerOp,
+			pt.BatchFillMean, pt.P50Micros, pt.P99Micros) {
+			return fmt.Errorf("bench: serve cell %s has non-finite metrics", pt.Name)
+		}
+		if pt.Seconds <= 0 || pt.OpsPerSec <= 0 || pt.SyncsPerOp < 0 || pt.PersistsPerOp < 0 {
+			return fmt.Errorf("bench: serve cell %s has non-positive throughput or negative persistence metrics", pt.Name)
+		}
+		if pt.BatchFillMean < 1 {
+			return fmt.Errorf("bench: serve cell %s drained empty windows (fill %.2f)", pt.Name, pt.BatchFillMean)
+		}
+		ss := byConns[pt.Conns]
+		if ss == nil {
+			ss = &serveSyncs{}
+			byConns[pt.Conns] = ss
+		}
+		if pt.Batch == 1 {
+			ss.anchor = pt.SyncsPerOp
+			ss.hasAnchor = true
+		}
+		if pt.Batch > ss.maxBatch {
+			ss.maxBatch = pt.Batch
+			if pt.Batch > 1 {
+				ss.atMax = pt.SyncsPerOp
+			}
+		}
+	}
+	// The serve-layer batching gate: within each conns group, the largest
+	// admission batch must undercut the batch=1 anchor's syncs/op — the
+	// whole point of multiplexing connections onto windowed admission.
+	for conns, ss := range byConns {
+		if !ss.hasAnchor {
+			return fmt.Errorf("bench: serve conns=%d group is missing its batch=1 anchor cell", conns)
+		}
+		if ss.maxBatch > 1 && ss.atMax >= serveBatchGate*ss.anchor {
+			return fmt.Errorf("bench: serve conns=%d: batch=%d syncs/op %.3f did not undercut %.0f%% of the batch=1 anchor %.3f",
+				conns, ss.maxBatch, ss.atMax, 100*serveBatchGate, ss.anchor)
+		}
+	}
+	return nil
+}
+
+// CheckBaseline verifies that a baseline report is usable for Compare
+// BEFORE a multi-minute bench run is spent: parseable JSON, the current
+// schema, and a non-empty scenario matrix. It deliberately does not run
+// the full Validate gauntlet — an older baseline may predate newer
+// sections' gates, and Compare only needs name-matched cells.
+func CheckBaseline(data []byte) error {
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("bench: baseline is not valid JSON: %w", err)
+	}
+	if rep.Schema != SchemaVersion {
+		return fmt.Errorf("bench: baseline schema_version %d, want %d — regenerate the baseline", rep.Schema, SchemaVersion)
+	}
+	if len(rep.Scenarios) == 0 {
+		return fmt.Errorf("bench: baseline has no scenarios")
+	}
 	return nil
 }
 
@@ -558,6 +652,16 @@ func Validate(data []byte) error {
 const (
 	compareOpsFloor     = 0.85 // each group's ratio must reach 85% of the median ratio
 	comparePersistSlack = 0.02 // tolerated relative persists/op growth
+	// Serve cells' persists/op is scheduling-dependent (admission-window
+	// fill varies run to run, and fill is what amortizes the boundary
+	// psyncs), so their slack is much wider than the deterministic
+	// hash-map cells'. A real placement regression adds whole syncs per
+	// op — several times this.
+	compareServePersistSlack = 0.25
+	// serveBatchGate is Validate's serve-layer batching requirement: the
+	// largest batch's syncs/op must fall below this fraction of the
+	// batch=1 anchor within the same conns group.
+	serveBatchGate = 0.8
 )
 
 // Compare gates a fresh report against a committed baseline. Throughput:
@@ -619,6 +723,35 @@ func Compare(oldData, newData []byte) error {
 	}
 	if matched == 0 {
 		return fmt.Errorf("bench: no scenario names in common with the baseline — regenerate it")
+	}
+	// Serve cells ride the same median-relative throughput machinery as
+	// pseudo-groups (engine "serve", mix "conns=N") with their own, wider
+	// persist slack; a baseline predating the serve section simply
+	// contributes no matches.
+	baseServe := make(map[string]ServePoint, len(oldRep.Serve))
+	for _, pt := range oldRep.Serve {
+		baseServe[pt.Name] = pt
+	}
+	for _, pt := range newRep.Serve {
+		old, ok := baseServe[pt.Name]
+		if !ok {
+			continue
+		}
+		g := groupKey{engine: "serve", mix: fmt.Sprintf("conns=%d", pt.Conns), batch: pt.Batch}
+		agg := groups[g]
+		if agg == nil {
+			agg = &groupAgg{}
+			groups[g] = agg
+		}
+		agg.oldOps += float64(old.Ops)
+		agg.oldSecs += old.Seconds
+		agg.newOps += float64(pt.Ops)
+		agg.newSecs += pt.Seconds
+		if pt.PersistsPerOp > old.PersistsPerOp*(1+compareServePersistSlack)+1e-9 {
+			fails = append(fails, fmt.Sprintf(
+				"%s: persists/op rose %.3f -> %.3f (serve slack %.0f%%)",
+				pt.Name, old.PersistsPerOp, pt.PersistsPerOp, 100*compareServePersistSlack))
+		}
 	}
 	type groupRatio struct {
 		key      groupKey

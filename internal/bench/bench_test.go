@@ -30,7 +30,7 @@ func TestReportSchema(t *testing.T) {
 	if err := json.Unmarshal(data, &raw); err != nil {
 		t.Fatalf("round trip: %v", err)
 	}
-	for _, key := range []string{"schema_version", "label", "go_version", "scenarios", "sweeps", "sweep_seconds"} {
+	for _, key := range []string{"schema_version", "label", "go_version", "scenarios", "sweeps", "sweep_seconds", "reclaim", "serve"} {
 		if _, ok := raw[key]; !ok {
 			t.Fatalf("report JSON is missing top-level key %q", key)
 		}
@@ -54,6 +54,14 @@ func TestReportSchema(t *testing.T) {
 		"heap_words_mid", "heap_words", "live_nodes", "freed_blocks", "reused_blocks"} {
 		if _, ok := rec[key]; !ok {
 			t.Fatalf("reclaim JSON is missing key %q", key)
+		}
+	}
+	sv := raw["serve"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "conns", "procs", "batch", "ops", "seconds",
+		"ops_per_sec", "syncs_per_op", "persists_per_op", "retried", "batch_fill_mean",
+		"p50_micros", "p99_micros"} {
+		if _, ok := sv[key]; !ok {
+			t.Fatalf("serve JSON is missing key %q", key)
 		}
 	}
 
@@ -103,32 +111,69 @@ func TestReportSchema(t *testing.T) {
 			t.Fatalf("reclaim cells %v missing %s", modes, want)
 		}
 	}
+
+	// The serve section must span the conns axis with a batch=1 anchor and
+	// a batched cell per group (the undercut itself is Validate's gate,
+	// already enforced above).
+	serveGroups := map[int]map[int]bool{}
+	for _, pt := range rep.Serve {
+		if serveGroups[pt.Conns] == nil {
+			serveGroups[pt.Conns] = map[int]bool{}
+		}
+		serveGroups[pt.Conns][pt.Batch] = true
+	}
+	if len(serveGroups) < 2 {
+		t.Fatalf("serve section spans %d conns values, want >= 2", len(serveGroups))
+	}
+	for conns, batches := range serveGroups {
+		if !batches[1] || len(batches) < 2 {
+			t.Fatalf("serve conns=%d batches = %v, want batch=1 plus a batched size", conns, batches)
+		}
+	}
 }
 
 // TestValidateRejectsMalformed pins the failure modes the CI gate relies
 // on: truncated output, wrong schema, and an empty matrix must all error.
 func TestValidateRejectsMalformed(t *testing.T) {
+	// validPrefix carries well-formed scenarios/sweeps/reclaim sections so
+	// each case below trips exactly the serve-or-later check it names.
+	const validPrefix = `{"schema_version": 4, "label": "x", "scenarios": [
+		{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"read-heavy","batch":1,"ops":1,"seconds":1},
+		{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","batch":1,"ops":1,"seconds":1},
+		{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"write-heavy","batch":1,"ops":1,"seconds":1}],
+		"sweeps": [{"name":"c","cases":1,"crash_points":1,"seconds":1}],
+		"reclaim": [{"name":"r","engine":"isb","reclaim":false,"churn_ops":10,
+		 "heap_words_mid":100,"heap_words":200}]`
 	for name, data := range map[string]string{
-		"truncated":    `{"schema_version": 3, "label": "x"`,
+		"truncated":    `{"schema_version": 4, "label": "x"`,
 		"wrong-schema": `{"schema_version": 99, "label": "x", "scenarios": [], "sweeps": []}`,
-		"no-scenarios": `{"schema_version": 3, "label": "x", "scenarios": [], "sweeps": []}`,
-		"nan-metric": `{"schema_version": 3, "label": "x", "scenarios": [
+		"no-scenarios": `{"schema_version": 4, "label": "x", "scenarios": [], "sweeps": []}`,
+		"nan-metric": `{"schema_version": 4, "label": "x", "scenarios": [
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","batch":1,"ops":1,
 			 "seconds":1,"ops_per_sec":"NaN"}], "sweeps": []}`,
-		"no-batch-anchor": `{"schema_version": 3, "label": "x", "scenarios": [
+		"no-batch-anchor": `{"schema_version": 4, "label": "x", "scenarios": [
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"read-heavy","batch":8,"ops":1,"seconds":1},
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","batch":8,"ops":1,"seconds":1},
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"write-heavy","batch":8,"ops":1,"seconds":1}],
 			"sweeps": [{"name":"c","cases":1,"crash_points":1,"seconds":1}],
 			"reclaim": [{"name":"r","engine":"isb","reclaim":false,"churn_ops":10,
 			 "heap_words_mid":100,"heap_words":200}]}`,
-		"reclaim-heap-grew": `{"schema_version": 3, "label": "x", "scenarios": [
+		"reclaim-heap-grew": `{"schema_version": 4, "label": "x", "scenarios": [
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"read-heavy","batch":1,"ops":1,"seconds":1},
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","batch":1,"ops":1,"seconds":1},
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"write-heavy","batch":1,"ops":1,"seconds":1}],
 			"sweeps": [{"name":"c","cases":1,"crash_points":1,"seconds":1}],
 			"reclaim": [{"name":"r","engine":"isb","reclaim":true,"churn_ops":10,
 			 "heap_words_mid":100,"heap_words":200}]}`,
+		"no-serve": validPrefix + `}`,
+		"serve-missing-anchor": validPrefix + `, "serve": [
+			{"name":"sv","conns":1,"procs":2,"batch":8,"ops":10,"seconds":1,"ops_per_sec":10,
+			 "syncs_per_op":2,"persists_per_op":4,"batch_fill_mean":2,"p50_micros":1,"p99_micros":2}]}`,
+		"serve-batch-gate": validPrefix + `, "serve": [
+			{"name":"sv1","conns":1,"procs":2,"batch":1,"ops":10,"seconds":1,"ops_per_sec":10,
+			 "syncs_per_op":3,"persists_per_op":5,"batch_fill_mean":1,"p50_micros":1,"p99_micros":2},
+			{"name":"sv8","conns":1,"procs":2,"batch":8,"ops":10,"seconds":1,"ops_per_sec":20,
+			 "syncs_per_op":2.9,"persists_per_op":5,"batch_fill_mean":4,"p50_micros":1,"p99_micros":2}]}`,
 	} {
 		if err := Validate([]byte(data)); err == nil {
 			t.Errorf("%s: Validate accepted malformed report", name)
@@ -195,6 +240,9 @@ func TestCompare(t *testing.T) {
 				Ops: 1000, Seconds: 1.0, OpsPerSec: 1000, PersistsPerOp: 4.0},
 			{Name: "a/batch=64", Engine: "isb", Mix: "mixed", Batch: 64,
 				Ops: 3000, Seconds: 1.0, OpsPerSec: 3000, PersistsPerOp: 1.2},
+		}, Serve: []ServePoint{
+			{Name: "serve/conns=4/procs=2/batch=16", Conns: 4, Procs: 2, Batch: 16,
+				Ops: 4000, Seconds: 1.0, OpsPerSec: 4000, PersistsPerOp: 2.0},
 		}}
 		if edit != nil {
 			edit(&rep)
@@ -234,6 +282,20 @@ func TestCompare(t *testing.T) {
 	}
 	if err := Compare(base, mk(func(r *Report) { r.Scenarios[1].PersistsPerOp = 1.21 })); err != nil {
 		t.Fatalf("sub-slack persists/op jitter flagged: %v", err)
+	}
+	// Serve cells ride the same gates with a wider persist slack: +20%
+	// (window-fill scheduling jitter) passes, +30% fails by name, and a
+	// serve throughput collapse is flagged as its own pseudo-group.
+	if err := Compare(base, mk(func(r *Report) { r.Serve[0].PersistsPerOp = 2.4 })); err != nil {
+		t.Fatalf("serve persists/op jitter inside the wide slack flagged: %v", err)
+	}
+	err = Compare(base, mk(func(r *Report) { r.Serve[0].PersistsPerOp = 2.6 }))
+	if err == nil || !strings.Contains(err.Error(), "serve/conns=4") {
+		t.Fatalf("serve persists/op regression not flagged: %v", err)
+	}
+	err = Compare(base, mk(func(r *Report) { r.Serve[0].Seconds = 2.5 }))
+	if err == nil || !strings.Contains(err.Error(), "engine=serve") {
+		t.Fatalf("serve throughput collapse not flagged as a serve group: %v", err)
 	}
 	// Structural mismatches must error.
 	if err := Compare(base, mk(func(r *Report) { r.Schema = SchemaVersion + 1 })); err == nil {

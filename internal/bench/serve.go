@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/isb"
+	"repro/internal/pmem"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+// ServePoint is one serve-layer cell: the full network front-end (framed
+// in-process transport, admission queues, batched ApplyWindow) driven by
+// `Conns` pipelining clients, with simulated persistence latencies. The
+// batch axis is what the cell argues about: concurrent connections are
+// what fills admission windows, so syncs/op at Batch=N must undercut the
+// Batch=1 anchor — the serve-layer restatement of the paper's batched
+// placement claim, which Validate gates.
+type ServePoint struct {
+	Name          string  `json:"name"`
+	Conns         int     `json:"conns"`
+	Procs         int     `json:"procs"`
+	Batch         int     `json:"batch"`
+	Ops           int     `json:"ops"`
+	Seconds       float64 `json:"seconds"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	SyncsPerOp    float64 `json:"syncs_per_op"`
+	PersistsPerOp float64 `json:"persists_per_op"`
+	// Retried counts RETRY (backpressure) replies; BatchFillMean is the
+	// mean admitted window size (the batching the connection mix earned).
+	Retried       uint64  `json:"retried"`
+	BatchFillMean float64 `json:"batch_fill_mean"`
+	// Client-observed service latency, aggregated across connections
+	// (median of per-conn p50s; worst per-conn p99).
+	P50Micros float64 `json:"p50_micros"`
+	P99Micros float64 `json:"p99_micros"`
+}
+
+// serveProcs is the fixed admission pool every serve cell runs on: the
+// conns axis scales offered load against a constant-size server.
+const serveProcs = 2
+
+// runServe measures one serve cell: conns clients, each keeping up to
+// `batch` requests in flight over its own connection, for opsPerConn
+// requests per client against a crash-free server (the crash path has its
+// own conformance sweep; this cell prices the steady-state serve path).
+func runServe(p Params, conns, batch int) ServePoint {
+	s := serve.New(serve.Config{
+		Procs: serveProcs, Shards: 16, Batch: batch, QueueDepth: 4 * batch,
+		Engine: repro.EngineIsbOpt, Reclaim: true, HeapWords: 1 << 20,
+		PWBLatency: pmem.DefaultPWBLatency, PSyncLatency: pmem.DefaultPSyncLatency,
+	})
+	defer s.Close()
+	ln := serve.NewMemListener()
+	go s.Serve(ln)
+
+	rt := s.Runtime()
+	rt.Heap().ResetAllStats()
+	ops := conns * p.OpsPerProc
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		nc, err := ln.Dial()
+		if err != nil {
+			panic(err)
+		}
+		c := client.New(nc, uint64(w+1))
+		// Pipelining window = the admission batch: `slots` concurrent
+		// request streams per connection, so the server's windows can fill.
+		slots := batch
+		if slots > 16 {
+			slots = 16
+		}
+		perSlot := p.OpsPerProc / slots
+		rest := p.OpsPerProc - perSlot*slots
+		for sl := 0; sl < slots; sl++ {
+			n := perSlot
+			if sl < rest {
+				n++
+			}
+			wg.Add(1)
+			go func(w, sl, n int, c *client.Client) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(p.Seed*1009 + int64(w)*31 + int64(sl)))
+				for i := 0; i < n; i++ {
+					k := uint64(rng.Intn(p.KeyRange)) + 1
+					var err error
+					switch rng.Intn(4) {
+					case 0:
+						_, err = c.Put(k)
+					case 1:
+						_, err = c.Del(k)
+					default:
+						_, err = c.Get(k)
+					}
+					if err != nil {
+						panic(err)
+					}
+				}
+			}(w, sl, n, c)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := s.Snapshot()
+	mem := rt.Heap().TotalStats()
+	st := isb.Stats{Ops: uint64(ops), Mem: mem}
+	pt := ServePoint{
+		Name:          fmt.Sprintf("serve/conns=%d/procs=%d/batch=%d", conns, serveProcs, batch),
+		Conns:         conns,
+		Procs:         serveProcs,
+		Batch:         batch,
+		Ops:           ops,
+		Seconds:       elapsed.Seconds(),
+		SyncsPerOp:    st.SyncsPerOp(),
+		PersistsPerOp: st.PersistsPerOp(),
+		Retried:       snap.Retried,
+		BatchFillMean: snap.BatchFillMean(),
+	}
+	if elapsed > 0 {
+		pt.OpsPerSec = float64(ops) / elapsed.Seconds()
+	}
+	var p50s []float64
+	for _, cs := range snap.Conns {
+		p50s = append(p50s, cs.P50Micros)
+		if cs.P99Micros > pt.P99Micros {
+			pt.P99Micros = cs.P99Micros
+		}
+	}
+	if len(p50s) > 0 {
+		sort.Float64s(p50s)
+		pt.P50Micros = p50s[len(p50s)/2]
+	}
+	return pt
+}
+
+// runServeMatrix produces the serve section: conns × batch cells.
+func runServeMatrix(p Params) []ServePoint {
+	var out []ServePoint
+	for _, conns := range p.ServeConns {
+		for _, batch := range p.ServeBatches {
+			out = append(out, runServe(p, conns, batch))
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+// Package client is the wire client for the serve layer: it frames
+// requests, matches replies to request IDs (so calls can be pipelined on
+// one connection), and drives the RETRY/resubmit protocol — always
+// resubmitting with the SAME request ID, which is what makes a resubmit
+// after backpressure or a server crash exactly-once.
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// IDBits is how many low bits of the request-ID space index a client's own
+// sequence numbers; the bits above carry the client ID, keeping request
+// IDs globally unique across connections (the exactly-once table keys on
+// them).
+const IDBits = 24
+
+// Client is one connection's client. Safe for concurrent use.
+type Client struct {
+	nc  net.Conn
+	wmu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	pending map[uint64]chan serve.Reply
+	err     error
+	seq     uint64
+	base    uint64
+
+	// RetryDelay is the pause before resubmitting after a RETRY reply
+	// (default 200µs).
+	RetryDelay time.Duration
+}
+
+// New wraps an established connection. clientID must be unique among
+// clients sharing a server and fit in 32-IDBits bits.
+func New(nc net.Conn, clientID uint64) *Client {
+	c := &Client{
+		nc:         nc,
+		pending:    map[uint64]chan serve.Reply{},
+		base:       clientID << IDBits,
+		RetryDelay: 200 * time.Microsecond,
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (c *Client) Close() { c.nc.Close() }
+
+// readLoop dispatches reply frames to their waiting calls.
+func (c *Client) readLoop() {
+	for {
+		payload, err := serve.ReadFrame(c.nc)
+		if err != nil {
+			c.fail(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		rep, err := serve.DecodeReply(payload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[rep.ReqID]
+		delete(c.pending, rep.ReqID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- rep
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.nc.Close()
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// NextID mints a fresh request ID for this client.
+func (c *Client) NextID() uint64 {
+	c.mu.Lock()
+	c.seq++
+	id := c.base | c.seq
+	c.mu.Unlock()
+	return id
+}
+
+// Send writes one request frame and returns the channel its reply will
+// arrive on. Callers pipelining must eventually receive from it; a closed
+// channel means the connection died.
+func (c *Client) Send(op byte, reqID, key uint64) (<-chan serve.Reply, error) {
+	ch := make(chan serve.Reply, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[reqID] = ch
+	c.mu.Unlock()
+	c.wmu.Lock()
+	err := serve.WriteFrame(c.nc, serve.EncodeRequest(serve.Request{Op: op, ReqID: reqID, Key: key}))
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// DoWithID runs one request to completion under a caller-chosen request
+// ID, resubmitting (same ID) through RETRY backpressure. The reply's Val
+// is the operation's boolean result; resubmitting an already-answered ID
+// returns its recorded answer without re-executing.
+func (c *Client) DoWithID(op byte, reqID, key uint64) (serve.Reply, error) {
+	for {
+		ch, err := c.Send(op, reqID, key)
+		if err != nil {
+			return serve.Reply{}, err
+		}
+		rep, ok := <-ch
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return serve.Reply{}, err
+		}
+		switch rep.Status {
+		case serve.StRetry:
+			time.Sleep(c.RetryDelay)
+		case serve.StOK:
+			return rep, nil
+		default:
+			return rep, fmt.Errorf("client: server rejected request %d (status %d)", reqID, rep.Status)
+		}
+	}
+}
+
+// Do runs one request under a fresh request ID.
+func (c *Client) Do(op byte, key uint64) (serve.Reply, error) {
+	return c.DoWithID(op, c.NextID(), key)
+}
+
+// Put inserts key; reports whether it was newly inserted.
+func (c *Client) Put(key uint64) (bool, error) {
+	rep, err := c.Do(serve.OpPut, key)
+	return rep.Val != 0, err
+}
+
+// Del deletes key; reports whether it was present.
+func (c *Client) Del(key uint64) (bool, error) {
+	rep, err := c.Do(serve.OpDel, key)
+	return rep.Val != 0, err
+}
+
+// Get reports membership of key.
+func (c *Client) Get(key uint64) (bool, error) {
+	rep, err := c.Do(serve.OpGet, key)
+	return rep.Val != 0, err
+}
+
+// Stats fetches the server's stats snapshot as raw JSON.
+func (c *Client) Stats() ([]byte, error) {
+	rep, err := c.DoWithID(serve.OpStats, c.NextID(), 0)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Body, nil
+}

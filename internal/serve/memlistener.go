@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// MemListener is an in-process net.Listener over net.Pipe: the transport
+// the tests, the crash sweep and the bench serve cells run the real server
+// on, so the full frame path is exercised without sockets.
+type MemListener struct {
+	ch     chan net.Conn
+	once   sync.Once
+	closed chan struct{}
+}
+
+// NewMemListener builds an in-process listener.
+func NewMemListener() *MemListener {
+	return &MemListener{ch: make(chan net.Conn), closed: make(chan struct{})}
+}
+
+// Dial opens a new connection to the listener (blocks until accepted or
+// the listener closes).
+func (l *MemListener) Dial() (net.Conn, error) {
+	c, s := net.Pipe()
+	select {
+	case l.ch <- s:
+		return c, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("serve: listener closed")
+	}
+}
+
+// Accept waits for the next Dial.
+func (l *MemListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close unblocks Accept and future Dials.
+func (l *MemListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }
+
+// Addr reports a placeholder address.
+func (l *MemListener) Addr() net.Addr { return memAddr{} }

@@ -1,0 +1,123 @@
+package serve
+
+import "time"
+
+// latHist is a power-of-two-bucket latency histogram: bucket i counts
+// service latencies in [2^i, 2^(i+1)) microseconds (bucket 0 holds <2µs).
+// Quantiles read back the containing bucket's upper bound — coarse, but
+// allocation-free, mergeable, and monotone under load shifts, which is all
+// the p50/p99 surface needs.
+type latHist struct {
+	buckets [40]uint64
+	count   uint64
+}
+
+func (h *latHist) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	i := 0
+	for us > 1 && i < len(h.buckets)-1 {
+		us >>= 1
+		i++
+	}
+	h.buckets[i]++
+	h.count++
+}
+
+// quantile reports the q-quantile in microseconds (0 when empty).
+func (h *latHist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	want := uint64(q * float64(h.count))
+	if want >= h.count {
+		want = h.count - 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum > want {
+			return float64(uint64(1) << uint(i+1))
+		}
+	}
+	return float64(uint64(1) << uint(len(h.buckets)))
+}
+
+// ConnStats is one connection's counter snapshot.
+type ConnStats struct {
+	ID   uint64 `json:"id"`
+	Proc int    `json:"proc"`
+	// Queued counts requests admitted into the connection's queue; Admitted
+	// counts those drained into an ApplyWindow; Retried counts RETRY
+	// replies (queue full or duplicate-in-flight backpressure).
+	Queued   uint64 `json:"queued"`
+	Admitted uint64 `json:"admitted"`
+	Retried  uint64 `json:"retried"`
+	// Deduped counts requests answered from the response table without
+	// executing (a resubmitted request ID); FromReport counts replies
+	// resolved from a RecoverAll report after a crash.
+	Deduped    uint64  `json:"deduped"`
+	FromReport uint64  `json:"from_report"`
+	P50Micros  float64 `json:"p50_micros"`
+	P99Micros  float64 `json:"p99_micros"`
+}
+
+// ProcStats is one Proc's admission snapshot.
+type ProcStats struct {
+	Proc     int    `json:"proc"`
+	Windows  uint64 `json:"windows"`
+	Admitted uint64 `json:"admitted"`
+	// FromReport counts this Proc's replies resolved from a RecoverAll
+	// report after a crash.
+	FromReport uint64 `json:"from_report"`
+	// BatchFill[k] counts admission windows that drained exactly k
+	// requests (index 0 unused).
+	BatchFill []uint64 `json:"batch_fill"`
+}
+
+// Stats is the server snapshot the stats endpoint serves as JSON.
+type Stats struct {
+	Conns []ConnStats `json:"conns"`
+	Procs []ProcStats `json:"procs"`
+	// Crashes counts store crashes recovered (Restart + one RecoverAll
+	// each); TableEntries is the current response-table size, of which
+	// RecoveredEntries were (re)filled from RecoverAll reports.
+	Crashes          int    `json:"crashes"`
+	TableEntries     int    `json:"table_entries"`
+	RecoveredEntries uint64 `json:"recovered_entries"`
+	// Totals across all connections, open and closed.
+	Queued     uint64 `json:"queued"`
+	Admitted   uint64 `json:"admitted"`
+	Retried    uint64 `json:"retried"`
+	Deduped    uint64 `json:"deduped"`
+	FromReport uint64 `json:"from_report"`
+}
+
+// BatchFillMean reports the mean admission-window fill across all Procs
+// (0 when no window has been drained).
+func (s Stats) BatchFillMean() float64 {
+	var wins, ops uint64
+	for _, p := range s.Procs {
+		wins += p.Windows
+		ops += p.Admitted
+	}
+	if wins == 0 {
+		return 0
+	}
+	return float64(ops) / float64(wins)
+}
+
+// connMetrics is the live (lock-guarded) counterpart of ConnStats.
+type connMetrics struct {
+	queued, admitted, retried uint64
+	deduped, fromReport       uint64
+	lat                       latHist
+}
+
+func (m *connMetrics) snapshot(id uint64, proc int) ConnStats {
+	return ConnStats{
+		ID: id, Proc: proc,
+		Queued: m.queued, Admitted: m.admitted, Retried: m.retried,
+		Deduped: m.deduped, FromReport: m.fromReport,
+		P50Micros: m.lat.quantile(0.50), P99Micros: m.lat.quantile(0.99),
+	}
+}

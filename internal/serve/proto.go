@@ -1,0 +1,161 @@
+// Package serve is the network front-end over the detectably recoverable
+// store: a KV server speaking length-prefixed binary frames that
+// multiplexes many client connections onto the Runtime's fixed Proc pool.
+//
+// Each connection is pinned to one Proc; a Proc drains up to Config.Batch
+// queued requests — round-robin across its connections for fairness — into
+// one Runtime.ApplyWindow, so concurrent connections amortize psyncs
+// exactly as the batch admission protocol measures. A full per-connection
+// queue answers with an explicit RETRY frame (backpressure; the client
+// resubmits), and every request carries a client-chosen 32-bit request ID
+// that rides the durable batch announcement's Arg (see PackArg and
+// repro.HashMap.SetArgMask): after a crash, reboot is Restart plus ONE
+// RecoverAll, pending requests are answered from the report's batch
+// entries, and a resubmitted request ID is answered from the server's
+// response table instead of re-executed — client-visible exactly-once.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Request op codes.
+const (
+	// OpPut inserts Key; the reply's Val is 1 if the key was absent.
+	OpPut byte = 1
+	// OpDel deletes Key; the reply's Val is 1 if the key was present.
+	OpDel byte = 2
+	// OpGet reports membership of Key (zero-persist read path).
+	OpGet byte = 3
+	// OpStats requests a stats snapshot; the reply carries JSON in Body.
+	OpStats byte = 4
+)
+
+// Reply status codes.
+const (
+	// StOK: the operation executed (or was answered from the durable
+	// report/response table); Val carries its boolean result.
+	StOK byte = 0
+	// StRetry: backpressure — the connection's admission queue is full, or
+	// the same request ID is already queued. Resubmit with the SAME
+	// request ID after a short delay; the ID makes the retry idempotent.
+	StRetry byte = 1
+	// StErr: malformed frame or out-of-range op/key/request ID.
+	StErr byte = 2
+)
+
+// KeyBits is the width of the key space: the low half of the announced
+// Arg. Keys are 1..MaxKey; the 32 bits above them carry the request ID.
+const KeyBits = 32
+
+// MaxKey is the largest storable key (and the arg mask the server installs
+// with repro.HashMap.SetArgMask).
+const MaxKey = uint64(1)<<KeyBits - 1
+
+// MaxReqID bounds client request IDs to the Arg's high half.
+const MaxReqID = uint64(1)<<(64-KeyBits) - 1
+
+// PackArg packs a request ID and a key into one announcement Arg: the
+// durable identity a recovered operation is matched and answered by.
+func PackArg(reqID, key uint64) uint64 { return reqID<<KeyBits | key }
+
+// SplitArg recovers the request ID and key from an announced Arg.
+func SplitArg(arg uint64) (reqID, key uint64) { return arg >> KeyBits, arg & MaxKey }
+
+// reqWire/replyWire are the fixed frame payload sizes (op/status byte plus
+// two big-endian uint64s); a stats reply appends its JSON body.
+const (
+	reqWire   = 1 + 8 + 8
+	replyWire = 1 + 8 + 8
+)
+
+// MaxFrame bounds a frame payload (a stats body is the only variable part).
+const MaxFrame = 1 << 20
+
+// Request is one client->server frame.
+type Request struct {
+	Op    byte
+	ReqID uint64
+	Key   uint64
+}
+
+// Reply is one server->client frame. Body is non-nil only for OpStats.
+type Reply struct {
+	Status byte
+	ReqID  uint64
+	Val    uint64
+	Body   []byte
+}
+
+// EncodeRequest renders a request payload.
+func EncodeRequest(r Request) []byte {
+	b := make([]byte, reqWire)
+	b[0] = r.Op
+	binary.BigEndian.PutUint64(b[1:], r.ReqID)
+	binary.BigEndian.PutUint64(b[9:], r.Key)
+	return b
+}
+
+// DecodeRequest parses a request payload.
+func DecodeRequest(b []byte) (Request, error) {
+	if len(b) != reqWire {
+		return Request{}, fmt.Errorf("serve: request frame is %d bytes, want %d", len(b), reqWire)
+	}
+	return Request{Op: b[0], ReqID: binary.BigEndian.Uint64(b[1:]), Key: binary.BigEndian.Uint64(b[9:])}, nil
+}
+
+// EncodeReply renders a reply payload.
+func EncodeReply(r Reply) []byte {
+	b := make([]byte, replyWire+len(r.Body))
+	b[0] = r.Status
+	binary.BigEndian.PutUint64(b[1:], r.ReqID)
+	binary.BigEndian.PutUint64(b[9:], r.Val)
+	copy(b[replyWire:], r.Body)
+	return b
+}
+
+// DecodeReply parses a reply payload.
+func DecodeReply(b []byte) (Reply, error) {
+	if len(b) < replyWire {
+		return Reply{}, fmt.Errorf("serve: reply frame is %d bytes, want >= %d", len(b), replyWire)
+	}
+	r := Reply{Status: b[0], ReqID: binary.BigEndian.Uint64(b[1:]), Val: binary.BigEndian.Uint64(b[9:])}
+	if len(b) > replyWire {
+		r.Body = append([]byte(nil), b[replyWire:]...)
+	}
+	return r, nil
+}
+
+// WriteFrame writes one length-prefixed frame (4-byte big-endian length,
+// then the payload).
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("serve: frame of %d bytes exceeds MaxFrame", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("serve: frame length %d exceeds MaxFrame", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,537 @@
+package serve
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Procs is the fixed admission pool: one worker goroutine per Runtime
+	// Proc (default 2). Connections are pinned round-robin to Procs.
+	Procs int
+	// Shards is the store's shard count (default 16).
+	Shards int
+	// Batch caps how many queued requests one Proc drains into a single
+	// ApplyWindow (default 16, max repro.MaxBatch).
+	Batch int
+	// QueueDepth bounds each connection's pending queue; a full queue
+	// answers RETRY (default 32).
+	QueueDepth int
+	// CrashSim enables the tracked heap; CrashEvery (accesses between
+	// injected crashes) arms the crash storm the harnesses run under.
+	CrashSim   bool
+	CrashEvery uint64
+	// HeapWords / Engine / Reclaim / latencies configure the Runtime as in
+	// repro.Config (HeapWords defaults to 1<<22).
+	HeapWords                int
+	Engine                   repro.EngineKind
+	Reclaim                  bool
+	PWBLatency, PSyncLatency time.Duration
+	// Gated holds every worker before its first admission until Release is
+	// called — deterministic-harness plumbing (the crash sweep uses it to
+	// fix the queue contents, and so the heap access sequence, per run).
+	Gated bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Procs <= 0 {
+		c.Procs = 2
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+	if c.Batch > repro.MaxBatch {
+		c.Batch = repro.MaxBatch
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.HeapWords == 0 {
+		c.HeapWords = 1 << 22
+	}
+	return c
+}
+
+// pendingReq is one queued request with its reply route and enqueue time.
+type pendingReq struct {
+	c   *conn
+	req Request
+	enq time.Time
+}
+
+// conn is one accepted connection: reply socket, assigned Proc, pending
+// queue and counters (queue and metrics are guarded by Server.mu).
+type conn struct {
+	s    *Server
+	id   uint64
+	nc   net.Conn
+	proc int
+	wmu  sync.Mutex // serializes reply frames
+	q    []pendingReq
+	m    connMetrics
+	gone bool
+}
+
+// Server multiplexes client connections onto the store's Proc pool. See
+// the package comment for the admission, backpressure and crash story.
+type Server struct {
+	cfg   Config
+	rt    *repro.Runtime
+	store *repro.HashMap
+	group *repro.CrashGroup
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	procConns [][]*conn // conns pinned to each proc
+	rr        []int     // per-proc round-robin drain cursor
+	procM     []ProcStats
+	// done is the response table: request ID -> boolean result of every
+	// answered request, including entries (re)filled from RecoverAll
+	// reports — what makes a resubmitted request ID exactly-once. It grows
+	// with distinct request IDs; eviction (e.g. per-session acknowledgement)
+	// is a deployment concern out of scope here.
+	done      map[uint64]uint64
+	inflight  map[uint64]struct{} // queued or admitted, not yet answered
+	recovered uint64              // table entries filled by OnRecover
+	closedAgg connMetrics         // folded-in metrics of closed conns
+	connSeq   uint64
+	released  bool
+	closed    bool
+	ln        net.Listener
+	wg        sync.WaitGroup // workers
+}
+
+// New builds the server, its Runtime and store, and starts the Proc
+// workers (parked if cfg.Gated).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		rt: repro.New(repro.Config{
+			Procs: cfg.Procs, HeapWords: cfg.HeapWords, CrashSim: cfg.CrashSim,
+			Engine: cfg.Engine, Reclaim: cfg.Reclaim,
+			PWBLatency: cfg.PWBLatency, PSyncLatency: cfg.PSyncLatency,
+		}),
+		procConns: make([][]*conn, cfg.Procs),
+		rr:        make([]int, cfg.Procs),
+		procM:     make([]ProcStats, cfg.Procs),
+		done:      map[uint64]uint64{},
+		inflight:  map[uint64]struct{}{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.store = s.rt.NewHashMap(cfg.Shards)
+	// The store keys on the low KeyBits of the announced Arg; the high
+	// bits are the request ID riding the announcement across crashes.
+	s.store.SetArgMask(MaxKey)
+	for i := range s.procM {
+		s.procM[i] = ProcStats{Proc: i, BatchFill: make([]uint64, cfg.Batch+1)}
+	}
+	every := uint64(0)
+	if cfg.CrashSim {
+		every = cfg.CrashEvery
+	}
+	s.group = repro.NewCrashGroup(s.rt, cfg.Procs, every)
+	s.group.OnRecover = s.onRecover
+	for w := 0; w < cfg.Procs; w++ {
+		s.wg.Add(1)
+		go s.worker(w)
+	}
+	return s
+}
+
+// Runtime exposes the server's runtime (bench and harness plumbing).
+func (s *Server) Runtime() *repro.Runtime { return s.rt }
+
+// Store exposes the underlying map (post-run audits at quiescence).
+func (s *Server) Store() *repro.HashMap { return s.store }
+
+// Crashes reports how many store crashes the server has recovered from.
+func (s *Server) Crashes() int { return s.group.Crashes() }
+
+// Release opens the admission gate of a Config.Gated server.
+func (s *Server) Release() {
+	s.mu.Lock()
+	s.released = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Serve accepts connections on ln until the listener or server closes.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return net.ErrClosed
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed = s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.addConn(nc)
+	}
+}
+
+// Close shuts the server down: stops accepting, closes every connection,
+// and joins the workers (recovering first if a crash is in progress, so
+// the store is auditable at quiescence).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	var conns []*conn
+	for _, pc := range s.procConns {
+		conns = append(conns, pc...)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		if c.nc != nil {
+			c.nc.Close()
+		}
+	}
+	s.cond.Broadcast()
+	s.wg.Wait()
+}
+
+// addConn pins nc to a Proc and starts its reader.
+func (s *Server) addConn(nc net.Conn) *conn {
+	s.mu.Lock()
+	s.connSeq++
+	c := &conn{s: s, id: s.connSeq, nc: nc, proc: int(s.connSeq-1) % s.cfg.Procs}
+	s.procConns[c.proc] = append(s.procConns[c.proc], c)
+	s.mu.Unlock()
+	go c.readLoop()
+	return c
+}
+
+// removeConn drops c: its queued-but-unadmitted requests are discarded
+// (their IDs leave the inflight set, so a resubmission on a fresh
+// connection is admitted rather than bounced) and its counters fold into
+// the closed-connection aggregate.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.gone {
+		return
+	}
+	c.gone = true
+	pc := s.procConns[c.proc]
+	for i, cc := range pc {
+		if cc == c {
+			s.procConns[c.proc] = append(pc[:i], pc[i+1:]...)
+			break
+		}
+	}
+	for _, pr := range c.q {
+		delete(s.inflight, pr.req.ReqID)
+	}
+	c.q = nil
+	s.closedAgg.queued += c.m.queued
+	s.closedAgg.admitted += c.m.admitted
+	s.closedAgg.retried += c.m.retried
+	s.closedAgg.deduped += c.m.deduped
+	s.closedAgg.fromReport += c.m.fromReport
+}
+
+// readLoop decodes frames off one connection and routes them.
+func (c *conn) readLoop() {
+	defer c.s.removeConn(c)
+	defer c.nc.Close()
+	for {
+		payload, err := ReadFrame(c.nc)
+		if err != nil {
+			return
+		}
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			c.sendReply(Reply{Status: StErr})
+			continue
+		}
+		c.s.handle(c, req)
+	}
+}
+
+// sendReply writes one reply frame (write errors surface as the reader's
+// connection teardown; nothing to do here).
+func (c *conn) sendReply(r Reply) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_ = WriteFrame(c.nc, EncodeReply(r))
+}
+
+// handle admits one decoded request: stats snapshot, response-table hit,
+// backpressure, or enqueue.
+func (s *Server) handle(c *conn, req Request) {
+	if req.Op == OpStats {
+		body, err := json.Marshal(s.Snapshot())
+		if err != nil {
+			c.sendReply(Reply{Status: StErr, ReqID: req.ReqID})
+			return
+		}
+		c.sendReply(Reply{Status: StOK, ReqID: req.ReqID, Body: body})
+		return
+	}
+	if req.Op != OpPut && req.Op != OpDel && req.Op != OpGet ||
+		req.Key < 1 || req.Key > MaxKey || req.ReqID > MaxReqID {
+		c.sendReply(Reply{Status: StErr, ReqID: req.ReqID})
+		return
+	}
+	s.mu.Lock()
+	if val, ok := s.done[req.ReqID]; ok {
+		// A resubmitted request ID: answer from the response table (after
+		// a crash, filled from the RecoverAll report) — never re-execute.
+		c.m.deduped++
+		s.mu.Unlock()
+		c.sendReply(Reply{Status: StOK, ReqID: req.ReqID, Val: val})
+		return
+	}
+	if _, busy := s.inflight[req.ReqID]; busy {
+		c.m.retried++
+		s.mu.Unlock()
+		c.sendReply(Reply{Status: StRetry, ReqID: req.ReqID})
+		return
+	}
+	if len(c.q) >= s.cfg.QueueDepth {
+		c.m.retried++
+		s.mu.Unlock()
+		c.sendReply(Reply{Status: StRetry, ReqID: req.ReqID})
+		return
+	}
+	c.q = append(c.q, pendingReq{c: c, req: req, enq: time.Now()})
+	s.inflight[req.ReqID] = struct{}{}
+	c.m.queued++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// worker is one Proc's admission loop: drain a window, serve it, repeat.
+func (s *Server) worker(w int) {
+	defer s.wg.Done()
+	defer s.group.Leave()
+	p := s.rt.Proc(w)
+	for {
+		batch := s.drain(w)
+		if batch == nil {
+			return
+		}
+		s.serveWindow(p, w, batch)
+	}
+}
+
+// drain blocks until worker w has admissible requests (or the server
+// closes — nil), parking through any crash rendezvous it is notified of.
+func (s *Server) drain(w int) []pendingReq {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		if s.rt.Crashing() {
+			s.mu.Unlock()
+			s.group.Park()
+			s.mu.Lock()
+			continue
+		}
+		if !s.cfg.Gated || s.released {
+			if batch := s.takeLocked(w); len(batch) > 0 {
+				return batch
+			}
+		}
+		s.cond.Wait()
+	}
+}
+
+// takeLocked drains up to cfg.Batch requests for proc w, one request per
+// connection per pass (round-robin fairness: a connection with a deep
+// queue cannot starve its neighbours), starting each window at a rotating
+// cursor.
+func (s *Server) takeLocked(w int) []pendingReq {
+	conns := s.procConns[w]
+	n := len(conns)
+	if n == 0 {
+		return nil
+	}
+	var out []pendingReq
+	start := s.rr[w]
+	depth := 0
+	for len(out) < s.cfg.Batch {
+		took := false
+		for i := 0; i < n && len(out) < s.cfg.Batch; i++ {
+			c := conns[(start+i)%n]
+			if depth < len(c.q) {
+				out = append(out, c.q[depth])
+				c.m.admitted++
+				took = true
+			}
+		}
+		if !took {
+			break
+		}
+		depth++
+	}
+	// Pop the admitted prefixes and advance the fairness cursor.
+	taken := map[*conn]int{}
+	for _, pr := range out {
+		taken[pr.c]++
+	}
+	for c, k := range taken {
+		c.q = append(c.q[:0:0], c.q[k:]...)
+	}
+	s.rr[w] = (start + 1) % n
+	if len(out) > 0 {
+		pm := &s.procM[w]
+		pm.Windows++
+		pm.Admitted += uint64(len(out))
+		pm.BatchFill[len(out)]++
+	}
+	return out
+}
+
+// reqOp maps a request onto the store's operation protocol: the request ID
+// rides the announcement Arg's high bits (see PackArg), the key its low
+// bits.
+func reqOp(r Request) repro.Op {
+	kind := repro.OpFind
+	switch r.Op {
+	case OpPut:
+		kind = repro.OpInsert
+	case OpDel:
+		kind = repro.OpDelete
+	}
+	return repro.Op{Kind: kind, Arg: PackArg(r.ReqID, r.Key)}
+}
+
+// serveWindow runs one admission window to completion across any number of
+// crashes: admit via ApplyWindow; on a crash, park through the group
+// rendezvous (reboot = Restart + one RecoverAll, run by the last parker),
+// answer the prefix the report proves durable via repro.MatchReport, and
+// re-admit the no-effect suffix.
+func (s *Server) serveWindow(p *repro.Proc, w int, batch []pendingReq) {
+	pending := batch
+	for len(pending) > 0 {
+		ops := make([]repro.Op, len(pending))
+		for i, pr := range pending {
+			ops[i] = reqOp(pr.req)
+		}
+		var out []repro.Resp
+		if s.rt.Run(func() { out = s.rt.ApplyWindow(p, s.store, ops) }) {
+			for i, pr := range pending {
+				s.finish(w, pr, out[i], false)
+			}
+			return
+		}
+		// Wake idle workers so they join the rendezvous, then park.
+		s.cond.Broadcast()
+		s.group.Park()
+		if rep, ok := s.group.Report(w); ok {
+			n := repro.MatchReport(rep, ops, func(i int, _ repro.Op, resp repro.Resp) {
+				s.finish(w, pending[i], resp, true)
+			})
+			pending = pending[n:]
+		}
+		// No report (or nothing matched): the window provably performed no
+		// tracked writes and is re-admitted wholesale.
+	}
+}
+
+// finish records one answered request in the response table and replies.
+func (s *Server) finish(w int, pr pendingReq, resp repro.Resp, fromReport bool) {
+	val := uint64(0)
+	if resp.Bool() {
+		val = 1
+	}
+	s.mu.Lock()
+	s.done[pr.req.ReqID] = val
+	delete(s.inflight, pr.req.ReqID)
+	pr.c.m.lat.observe(time.Since(pr.enq))
+	if fromReport {
+		pr.c.m.fromReport++
+		s.procM[w].FromReport++
+	}
+	s.mu.Unlock()
+	pr.c.sendReply(Reply{Status: StOK, ReqID: pr.req.ReqID, Val: val})
+}
+
+// onRecover rebuilds the response table from the RecoverAll report: every
+// completed or in-flight batch entry carries its request ID in the
+// announced Arg and its durable (or recovery-resolved) response, so a
+// client that resubmits after the reboot is answered without re-execution.
+// Runs with the whole group parked.
+func (s *Server) onRecover(reps []repro.ProcReport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rep := range reps {
+		if rep.Batch == nil {
+			continue // serve admits through ApplyWindow: always a batch
+		}
+		for _, ent := range rep.Batch {
+			if ent.Status == repro.OpNoEffect {
+				break
+			}
+			reqID, _ := SplitArg(ent.Op.Arg)
+			val := uint64(0)
+			if ent.Resp.Bool() {
+				val = 1
+			}
+			s.done[reqID] = val
+			s.recovered++
+		}
+	}
+}
+
+// Snapshot assembles the stats the OpStats endpoint serves.
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Crashes:          s.group.Crashes(),
+		TableEntries:     len(s.done),
+		RecoveredEntries: s.recovered,
+		Queued:           s.closedAgg.queued,
+		Admitted:         s.closedAgg.admitted,
+		Retried:          s.closedAgg.retried,
+		Deduped:          s.closedAgg.deduped,
+		FromReport:       s.closedAgg.fromReport,
+	}
+	for _, pc := range s.procConns {
+		for _, c := range pc {
+			cs := c.m.snapshot(c.id, c.proc)
+			st.Conns = append(st.Conns, cs)
+			st.Queued += cs.Queued
+			st.Admitted += cs.Admitted
+			st.Retried += cs.Retried
+			st.Deduped += cs.Deduped
+			st.FromReport += cs.FromReport
+		}
+	}
+	for i := range s.procM {
+		pm := s.procM[i]
+		pm.BatchFill = append([]uint64(nil), pm.BatchFill...)
+		st.Procs = append(st.Procs, pm)
+	}
+	return st
+}

@@ -928,6 +928,11 @@ func (s *Stack) CheckInvariants() string { return s.s.CheckInvariants() }
 type HashMap struct {
 	m  *hashmap.Map
 	id uint64
+	// argMask, when nonzero, is ANDed onto Op.Arg before it reaches the
+	// map: the announcement (and so every RecoverAll report entry) carries
+	// the full Arg while the stored key is its masked low bits. See
+	// SetArgMask.
+	argMask uint64
 }
 
 // NewHashMap builds a recoverable hash map with the given shard count
@@ -949,19 +954,41 @@ func (m *HashMap) ID() uint64 { return m.id }
 // Kind reports KindHashMap.
 func (m *HashMap) Kind() StructKind { return KindHashMap }
 
+// SetArgMask makes the map treat only arg & mask as the key on the
+// Op-based surfaces (Apply, RecoverOp and the batch paths); mask = 0
+// restores the default (the full Arg is the key). The masking is applied
+// identically on the apply and recover paths, so a recovered operation
+// resolves against the same key its original invocation used while the
+// announcement — and hence the RecoverAll report — still carries the full
+// Arg. Serving layers use the surplus high bits as a client request ID
+// that rides the durable announcement across crashes (see internal/serve).
+// Set it before operations run; the typed key methods (Insert/Delete/Find)
+// always take bare keys and are unaffected.
+func (m *HashMap) SetArgMask(mask uint64) { m.argMask = mask }
+
+// key applies the configured arg mask.
+func (m *HashMap) key(arg uint64) uint64 {
+	if m.argMask != 0 {
+		return arg & m.argMask
+	}
+	return arg
+}
+
 // Apply runs op (OpInsert/OpDelete/OpFind) and returns its response.
 // OpFind takes the zero-persist read path (see OpKind.ReadOnly): it leaves
 // even the shard register untouched.
 func (m *HashMap) Apply(p *Proc, op Op) Resp {
 	if op.Kind == OpFind {
-		return respOf(m.m.ReadOp(p, op.Kind, op.Arg))
+		return respOf(m.m.ReadOp(p, op.Kind, m.key(op.Arg)))
 	}
-	return respOf(m.m.ApplyOp(p, op.Kind, op.Arg))
+	return respOf(m.m.ApplyOp(p, op.Kind, m.key(op.Arg)))
 }
 
 // RecoverOp resolves an interrupted op after a crash, routing to the
 // operation's shard.
-func (m *HashMap) RecoverOp(p *Proc, op Op) Resp { return respOf(m.m.RecoverOp(p, op.Kind, op.Arg)) }
+func (m *HashMap) RecoverOp(p *Proc, op Op) Resp {
+	return respOf(m.m.RecoverOp(p, op.Kind, m.key(op.Arg)))
+}
 
 // Insert adds key (1 ≤ key ≤ MaxUint64-1); false if present.
 func (m *HashMap) Insert(p *Proc, key uint64) bool { return m.m.Insert(p, key) }

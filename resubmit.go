@@ -1,0 +1,47 @@
+package repro
+
+// MatchReport consumes one RecoverAll report entry on behalf of a caller
+// that crashed mid-submission and still holds the window's unanswered
+// operations in order. It aligns the report against pending and delivers
+// every operation the report proves durable, returning how many leading
+// operations of pending were resolved — the caller re-submits the rest.
+//
+// Three shapes arise, all handled here (and pinned by TestMatchReport):
+//
+//   - Single-op report (rep.Batch == nil): a one-operation remainder
+//     announces like a plain operation. It resolves pending[0] iff the
+//     reported operation is exactly pending[0]; otherwise the entry is a
+//     previous operation's idempotent re-confirmation and nothing resolves.
+//   - Batch prefix: batch entries resolve pending in lockstep until the
+//     first no-effect entry (the unstarted suffix performed no tracked
+//     writes) — the completed prefix and the recovered in-flight operation
+//     both deliver their durable responses.
+//   - Stale report: an entry that does not match its pending position
+//     belongs to an earlier, fully answered window (the crash landed after
+//     completion but before the next announcement retired it). Matching
+//     stops immediately and resolves nothing; the durable effects it
+//     describes were already delivered the first time.
+//
+// deliver is called once per resolved operation, in order, with the
+// operation's index in pending and its durable response. Callers that key
+// operations by an identity riding Op.Arg (see HashMap.SetArgMask) get
+// exact stale-window rejection for free: a stale entry's Arg carries the
+// old window's identity and cannot equal the pending one's.
+func MatchReport(rep ProcReport, pending []Op, deliver func(i int, op Op, resp Resp)) int {
+	if rep.Batch == nil {
+		if len(pending) > 0 && rep.Op == pending[0] {
+			deliver(0, pending[0], rep.Resp)
+			return 1
+		}
+		return 0
+	}
+	resolved := 0
+	for i, ent := range rep.Batch {
+		if ent.Status == OpNoEffect || i >= len(pending) || ent.Op != pending[i] {
+			break
+		}
+		deliver(i, ent.Op, ent.Resp)
+		resolved = i + 1
+	}
+	return resolved
+}

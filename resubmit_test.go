@@ -1,0 +1,82 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/isb"
+)
+
+// TestMatchReport pins the three resubmission-matching branches the kvstore
+// example and the serve layer both depend on: the single-op remainder, the
+// batch completed-prefix + in-flight cut, and the stale-report rejection.
+func TestMatchReport(t *testing.T) {
+	opA := Op{Kind: OpInsert, Arg: 41}
+	opB := Op{Kind: OpDelete, Arg: 42}
+	opC := Op{Kind: OpInsert, Arg: 43}
+	rTrue, rFalse := respOf(isb.RespTrue), respOf(isb.RespFalse)
+
+	type got struct {
+		i  int
+		op Op
+	}
+	collect := func() (*[]got, func(i int, op Op, resp Resp)) {
+		var g []got
+		return &g, func(i int, op Op, resp Resp) { g = append(g, got{i, op}) }
+	}
+
+	t.Run("single-op-remainder", func(t *testing.T) {
+		rep := ProcReport{Proc: 0, Op: opA, Resp: rTrue}
+		g, deliver := collect()
+		if n := MatchReport(rep, []Op{opA, opB}, deliver); n != 1 {
+			t.Fatalf("resolved %d, want 1", n)
+		}
+		if len(*g) != 1 || (*g)[0] != (got{0, opA}) {
+			t.Fatalf("delivered %v, want [{0 %v}]", *g, opA)
+		}
+		// A mismatching single-op entry is a previous operation's idempotent
+		// re-confirmation: it resolves nothing.
+		g, deliver = collect()
+		if n := MatchReport(rep, []Op{opB, opA}, deliver); n != 0 || len(*g) != 0 {
+			t.Fatalf("stale single-op entry resolved %d ops (%v), want 0", n, *g)
+		}
+		if n := MatchReport(rep, nil, deliver); n != 0 {
+			t.Fatalf("empty pending resolved %d, want 0", n)
+		}
+	})
+
+	t.Run("batch-prefix", func(t *testing.T) {
+		rep := ProcReport{Proc: 1, Batch: []BatchOpReport{
+			{Op: opA, Resp: rTrue, Status: OpCompleted},
+			{Op: opB, Resp: rFalse, Status: OpInFlight},
+			{Op: opC, Status: OpNoEffect},
+		}}
+		g, deliver := collect()
+		if n := MatchReport(rep, []Op{opA, opB, opC}, deliver); n != 2 {
+			t.Fatalf("resolved %d, want 2 (completed prefix + in-flight)", n)
+		}
+		want := []got{{0, opA}, {1, opB}}
+		if len(*g) != 2 || (*g)[0] != want[0] || (*g)[1] != want[1] {
+			t.Fatalf("delivered %v, want %v", *g, want)
+		}
+		// Pending shorter than the durable prefix: matching stops at the
+		// pending boundary rather than indexing past it.
+		g, deliver = collect()
+		if n := MatchReport(rep, []Op{opA}, deliver); n != 1 || len(*g) != 1 {
+			t.Fatalf("short pending resolved %d (%v), want 1", n, *g)
+		}
+	})
+
+	t.Run("stale-report", func(t *testing.T) {
+		// An earlier, fully completed window's entries: position 0 does not
+		// match the new window's first pending op, so nothing resolves and
+		// nothing is delivered twice.
+		rep := ProcReport{Proc: 2, Batch: []BatchOpReport{
+			{Op: opB, Resp: rTrue, Status: OpCompleted},
+			{Op: opA, Resp: rTrue, Status: OpCompleted},
+		}}
+		g, deliver := collect()
+		if n := MatchReport(rep, []Op{opA, opB}, deliver); n != 0 || len(*g) != 0 {
+			t.Fatalf("stale report resolved %d ops (%v), want 0", n, *g)
+		}
+	})
+}
