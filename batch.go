@@ -244,29 +244,38 @@ func (r *Runtime) ApplyBatch(p *Proc, s Structure, ops []Op) []Resp {
 // nothing durable, but its report entry cannot be told apart from an
 // earlier identical operation's without the identity bits. s must be
 // batchable (every structure but the exchanger).
+//
+// A window must fit one batch announcement: len(ops) > MaxBatch panics.
+// Unlike ApplyBatch, ApplyWindow must NOT silently split an oversized
+// window into several announcements — a crash in a later chunk would
+// produce a report whose entries align against the window's tail, a
+// MatchReport-driven caller would resolve nothing, and re-submitting the
+// whole window would re-execute the already-applied earlier chunks.
+// Crash-recovery callers clamp their admission size instead (serve does,
+// via Config.Batch).
 func (r *Runtime) ApplyWindow(p *Proc, s Structure, ops []Op) []Resp {
 	ba, batchable := s.(batchApplier)
 	if !batchable {
 		panic("repro: ApplyWindow requires a batchable structure")
+	}
+	if len(ops) > MaxBatch {
+		panic("repro: ApplyWindow window exceeds MaxBatch")
 	}
 	if len(ops) == 0 {
 		return nil
 	}
 	out := make([]Resp, len(ops))
 	e := ba.engine()
-	for base := 0; base < len(ops); base += MaxBatch {
-		win := ops[base:min(base+MaxBatch, len(ops))]
-		e.BeginBatch(p, len(win), func(i int) (uint64, uint64) {
-			return win[i].Kind, win[i].Arg
-		})
-		for i, op := range win {
-			if i > 0 {
-				e.BatchBoundary(p, i, out[base+i-1].raw)
-			}
-			out[base+i] = respOf(ba.applyBatchOp(p, i, op.Kind, op.Arg))
+	e.BeginBatch(p, len(ops), func(i int) (uint64, uint64) {
+		return ops[i].Kind, ops[i].Arg
+	})
+	for i, op := range ops {
+		if i > 0 {
+			e.BatchBoundary(p, i, out[i-1].raw)
 		}
-		e.EndBatch(p)
+		out[i] = respOf(ba.applyBatchOp(p, i, op.Kind, op.Arg))
 	}
+	e.EndBatch(p)
 	return out
 }
 

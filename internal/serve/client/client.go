@@ -37,8 +37,15 @@ type Client struct {
 }
 
 // New wraps an established connection. clientID must be unique among
-// clients sharing a server and fit in 32-IDBits bits.
+// clients sharing a server and fit in 32-IDBits bits (the bits of the
+// request-ID space above the per-client sequence); an oversized ID would
+// bleed into other clients' ID ranges — and the server's exactly-once
+// table would then serve one client another's cached answers — so New
+// panics instead.
 func New(nc net.Conn, clientID uint64) *Client {
+	if clientID >= 1<<(32-IDBits) {
+		panic(fmt.Sprintf("client: clientID %d does not fit in %d bits", clientID, 32-IDBits))
+	}
 	c := &Client{
 		nc:         nc,
 		pending:    map[uint64]chan serve.Reply{},
@@ -88,10 +95,18 @@ func (c *Client) fail(err error) {
 	c.mu.Unlock()
 }
 
-// NextID mints a fresh request ID for this client.
+// NextID mints a fresh request ID for this client. The sequence space is
+// 1<<IDBits IDs per client; exhausting it panics rather than letting the
+// sequence carry into the clientID bits, where a wrapped ID would collide
+// with another client's and the server's exactly-once table would answer
+// it with that request's cached result.
 func (c *Client) NextID() uint64 {
 	c.mu.Lock()
 	c.seq++
+	if c.seq >= 1<<IDBits {
+		c.mu.Unlock()
+		panic("client: request-ID sequence exhausted (1<<IDBits requests on one client)")
+	}
 	id := c.base | c.seq
 	c.mu.Unlock()
 	return id

@@ -1,0 +1,56 @@
+package client
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+// TestNewRejectsOversizedClientID pins the clientID width check: an ID
+// that does not fit above the sequence bits would alias another client's
+// request-ID range, so New must refuse it outright.
+func TestNewRejectsOversizedClientID(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := New(a, 1<<(32-IDBits)-1) // largest valid ID is fine
+	c.Close()
+	mustPanic(t, "New(oversized clientID)", func() { New(b, 1<<(32-IDBits)) })
+}
+
+// TestNextIDGuardsSequenceOverflow pins the sequence-exhaustion guard:
+// minting more than 1<<IDBits IDs must panic rather than bleed the
+// sequence into the clientID bits (where it would collide with another
+// client's IDs and the server's exactly-once table would cross-serve
+// cached answers).
+func TestNextIDGuardsSequenceOverflow(t *testing.T) {
+	a, _ := net.Pipe()
+	defer a.Close()
+	c := New(a, 3)
+
+	c.mu.Lock()
+	c.seq = 1<<IDBits - 2
+	c.mu.Unlock()
+
+	// The last in-range ID still mints, stays inside this client's range,
+	// and within the server's request-ID space.
+	id := c.NextID()
+	if id>>IDBits != 3 {
+		t.Fatalf("NextID = %#x, carries clientID %d, want 3", id, id>>IDBits)
+	}
+	if id > serve.MaxReqID {
+		t.Fatalf("NextID = %#x exceeds serve.MaxReqID %#x", id, serve.MaxReqID)
+	}
+	mustPanic(t, "NextID past sequence space", func() { c.NextID() })
+}

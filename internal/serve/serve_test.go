@@ -247,6 +247,114 @@ func TestServeConcurrentStorm(t *testing.T) {
 		st.Crashes, st.FromReport, st.BatchFillMean())
 }
 
+// TestServeStatsDuringCrashStorm hammers the stats path (direct Snapshot
+// and the in-band OpStats frame) concurrently with a crash storm: stats
+// must never interfere with the recovery rendezvous. The deterministic
+// lock-order pin is TestSnapshotDuringRecoveryLockOrder (whitebox); this
+// is the end-to-end smoke over the wire.
+func TestServeStatsDuringCrashStorm(t *testing.T) {
+	s, ln := startServer(t, serve.Config{
+		Procs: 2, Batch: 8, QueueDepth: 16,
+		CrashSim: true, CrashEvery: 400, HeapWords: 1 << 20,
+	})
+	c := dial(t, ln, 1)
+	sc := dial(t, ln, 2)
+
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	pollers.Add(1)
+	go func() {
+		defer pollers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Snapshot() // direct snapshot: the tightest possible race
+			if _, err := sc.Stats(); err != nil {
+				return // connection torn down at test end
+			}
+		}
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 400; i++ {
+			if _, err := c.Put(uint64(i%32) + 1); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("traffic under stats polling: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("traffic stalled while stats were polled through crash recovery (lock-order deadlock)")
+	}
+	close(stop)
+	pollers.Wait()
+	if s.Crashes() == 0 {
+		t.Fatal("storm fired no crashes; the race was never exercised")
+	}
+}
+
+// TestServeSlowReaderDoesNotStallWorkers pins the reply/worker decoupling:
+// a connection that pipelines requests but never reads replies overflows
+// its bounded outbox and is disconnected, while a well-behaved client on
+// the SAME Proc keeps completing operations. Pre-fix, the Proc worker
+// blocked inside the stalled connection's reply write, halting every
+// connection pinned to it (and, under crashes, the whole recovery
+// rendezvous).
+func TestServeSlowReaderDoesNotStallWorkers(t *testing.T) {
+	_, ln := startServer(t, serve.Config{
+		Procs: 1, Batch: 4, QueueDepth: 4, HeapWords: 1 << 18,
+	})
+	good := dial(t, ln, 1)
+	if ok, err := good.Put(1); err != nil || !ok {
+		t.Fatalf("warm-up put = %v, %v", ok, err)
+	}
+
+	// A raw connection that writes requests and never reads a reply.
+	nc, err := ln.Dial()
+	if err != nil {
+		t.Fatalf("dial raw: %v", err)
+	}
+	defer nc.Close()
+	var sendErr error
+	for i := 0; i < 500 && sendErr == nil; i++ {
+		req := serve.Request{Op: serve.OpPut, ReqID: uint64(1000 + i), Key: uint64(i%8) + 1}
+		sendErr = serve.WriteFrame(nc, serve.EncodeRequest(req))
+	}
+	if sendErr == nil {
+		t.Fatal("server never disconnected the non-reading connection")
+	}
+
+	// The worker is free: the well-behaved neighbour still completes.
+	done := make(chan error, 1)
+	go func() {
+		for k := uint64(10); k < 20; k++ {
+			if _, err := good.Put(k); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("well-behaved client after slow-reader teardown: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("worker stalled behind the non-reading connection's replies")
+	}
+}
+
 // TestServeCloseDuringCrash pins shutdown while a crash is in flight: the
 // workers must still run the recovery rendezvous so Close returns and the
 // store is auditable.

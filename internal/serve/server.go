@@ -68,13 +68,16 @@ type pendingReq struct {
 }
 
 // conn is one accepted connection: reply socket, assigned Proc, pending
-// queue and counters (queue and metrics are guarded by Server.mu).
+// queue and counters (queue and metrics are guarded by Server.mu). Replies
+// are queued on out and written by the connection's own writer goroutine,
+// so a Proc worker never blocks on a slow client's socket.
 type conn struct {
 	s    *Server
 	id   uint64
 	nc   net.Conn
 	proc int
-	wmu  sync.Mutex // serializes reply frames
+	out  chan Reply    // bounded outbox drained by writeLoop
+	done chan struct{} // closed by removeConn; retires an idle writeLoop
 	q    []pendingReq
 	m    connMetrics
 	gone bool
@@ -98,10 +101,16 @@ type Server struct {
 	// reports — what makes a resubmitted request ID exactly-once. It grows
 	// with distinct request IDs; eviction (e.g. per-session acknowledgement)
 	// is a deployment concern out of scope here.
-	done      map[uint64]uint64
-	inflight  map[uint64]struct{} // queued or admitted, not yet answered
-	recovered uint64              // table entries filled by OnRecover
-	closedAgg connMetrics         // folded-in metrics of closed conns
+	done     map[uint64]uint64
+	inflight map[uint64]struct{} // queued or admitted, not yet answered
+	// crashes mirrors group.Crashes() under s.mu (bumped in onRecover, which
+	// already holds it). Snapshot reads the mirror: calling group.Crashes()
+	// while holding s.mu would invert the lock order against
+	// CrashGroup.recoverLocked -> onRecover (g.mu then s.mu) and deadlock a
+	// stats request racing a crash recovery.
+	crashes   int
+	recovered uint64      // table entries filled by OnRecover
+	closedAgg connMetrics // folded-in metrics of closed conns
 	connSeq   uint64
 	released  bool
 	closed    bool
@@ -216,14 +225,22 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// addConn pins nc to a Proc and starts its reader.
+// addConn pins nc to a Proc and starts its reader and writer. The outbox
+// is sized so every reply a well-behaved connection can have outstanding
+// (its full queue, a drained window, plus backpressure bounces) fits
+// without ever parking a worker.
 func (s *Server) addConn(nc net.Conn) *conn {
 	s.mu.Lock()
 	s.connSeq++
-	c := &conn{s: s, id: s.connSeq, nc: nc, proc: int(s.connSeq-1) % s.cfg.Procs}
+	c := &conn{
+		s: s, id: s.connSeq, nc: nc, proc: int(s.connSeq-1) % s.cfg.Procs,
+		out:  make(chan Reply, 2*s.cfg.QueueDepth+s.cfg.Batch+8),
+		done: make(chan struct{}),
+	}
 	s.procConns[c.proc] = append(s.procConns[c.proc], c)
 	s.mu.Unlock()
 	go c.readLoop()
+	go c.writeLoop()
 	return c
 }
 
@@ -249,6 +266,9 @@ func (s *Server) removeConn(c *conn) {
 		delete(s.inflight, pr.req.ReqID)
 	}
 	c.q = nil
+	if c.done != nil {
+		close(c.done)
+	}
 	s.closedAgg.queued += c.m.queued
 	s.closedAgg.admitted += c.m.admitted
 	s.closedAgg.retried += c.m.retried
@@ -274,12 +294,36 @@ func (c *conn) readLoop() {
 	}
 }
 
-// sendReply writes one reply frame (write errors surface as the reader's
-// connection teardown; nothing to do here).
+// sendReply enqueues one reply on the connection's outbox — never blocks.
+// A client that stops reading fills the outbox and is disconnected here
+// instead of stalling the caller: crash recovery needs every active worker
+// to park, so one blocking write on a Proc worker would halt the whole
+// server behind one stalled socket.
 func (c *conn) sendReply(r Reply) {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	_ = WriteFrame(c.nc, EncodeReply(r))
+	select {
+	case c.out <- r:
+	default:
+		if c.nc != nil {
+			c.nc.Close() // slow consumer: tear down, reader runs removeConn
+		}
+	}
+}
+
+// writeLoop is the connection's single writer: it serializes reply frames
+// off the outbox so neither the reader nor the Proc workers ever block on
+// the socket. It retires when removeConn closes done; write errors close
+// the socket and surface as the reader's teardown.
+func (c *conn) writeLoop() {
+	for {
+		select {
+		case r := <-c.out:
+			if WriteFrame(c.nc, EncodeReply(r)) != nil {
+				c.nc.Close()
+			}
+		case <-c.done:
+			return
+		}
+	}
 }
 
 // handle admits one decoded request: stats snapshot, response-table hit,
@@ -467,9 +511,16 @@ func (s *Server) finish(w int, pr pendingReq, resp repro.Resp, fromReport bool) 
 	s.mu.Lock()
 	s.done[pr.req.ReqID] = val
 	delete(s.inflight, pr.req.ReqID)
-	pr.c.m.lat.observe(time.Since(pr.enq))
+	m := &pr.c.m
+	if pr.c.gone {
+		// removeConn already folded this connection's counters into the
+		// closed aggregate; route the late completion there too, or the
+		// update would vanish from Snapshot totals.
+		m = &s.closedAgg
+	}
+	m.lat.observe(time.Since(pr.enq))
 	if fromReport {
-		pr.c.m.fromReport++
+		m.fromReport++
 		s.procM[w].FromReport++
 	}
 	s.mu.Unlock()
@@ -484,6 +535,7 @@ func (s *Server) finish(w int, pr pendingReq, resp repro.Resp, fromReport bool) 
 func (s *Server) onRecover(reps []repro.ProcReport) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.crashes++ // mirror of group.Crashes(); see the field comment
 	for _, rep := range reps {
 		if rep.Batch == nil {
 			continue // serve admits through ApplyWindow: always a batch
@@ -508,7 +560,7 @@ func (s *Server) Snapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Crashes:          s.group.Crashes(),
+		Crashes:          s.crashes,
 		TableEntries:     len(s.done),
 		RecoveredEntries: s.recovered,
 		Queued:           s.closedAgg.queued,

@@ -80,3 +80,44 @@ func TestMatchReport(t *testing.T) {
 		}
 	})
 }
+
+// TestApplyWindowRejectsOversizedWindow pins that an ApplyWindow larger
+// than MaxBatch panics instead of silently splitting into several batch
+// announcements: a crash in a later chunk would leave a report that
+// MatchReport cannot align against the window's head, and a
+// resubmit-the-rest caller would re-execute the earlier chunks.
+func TestApplyWindowRejectsOversizedWindow(t *testing.T) {
+	rt := New(Config{Procs: 1, HeapWords: 1 << 18})
+	m := rt.NewHashMap(4)
+	p := rt.Proc(0)
+
+	ops := make([]Op, MaxBatch+1)
+	for i := range ops {
+		ops[i] = Op{Kind: OpInsert, Arg: uint64(i + 1)}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("ApplyWindow admitted %d ops (> MaxBatch=%d) without panicking", len(ops), MaxBatch)
+		}
+	}()
+	rt.ApplyWindow(p, m, ops)
+}
+
+// TestApplyWindowMaxBatch pins that a window of exactly MaxBatch still
+// admits as one announcement (the boundary the serve layer clamps to).
+func TestApplyWindowMaxBatch(t *testing.T) {
+	rt := New(Config{Procs: 1, HeapWords: 1 << 18})
+	m := rt.NewHashMap(4)
+	p := rt.Proc(0)
+
+	ops := make([]Op, MaxBatch)
+	for i := range ops {
+		ops[i] = Op{Kind: OpInsert, Arg: uint64(i + 1)}
+	}
+	out := rt.ApplyWindow(p, m, ops)
+	for i, r := range out {
+		if !r.Bool() {
+			t.Fatalf("op %d: insert of fresh key reported false", i)
+		}
+	}
+}
