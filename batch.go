@@ -117,9 +117,14 @@ type batchApplier interface {
 	engine() *isb.Engine
 	applyBatchOp(p *Proc, seq int, kind, arg uint64) uint64
 	recoverBatchOp(p *Proc, seq int, kind, arg uint64) uint64
+	// legKey maps an operation argument to the key its engine records
+	// track (identity everywhere except the hash map's arg mask):
+	// transaction recovery probes tracking records by this key.
+	legKey(arg uint64) uint64
 }
 
-func (l *List) engine() *isb.Engine { return l.l.Engine() }
+func (l *List) engine() *isb.Engine      { return l.l.Engine() }
+func (l *List) legKey(arg uint64) uint64 { return arg }
 func (l *List) applyBatchOp(p *Proc, seq int, kind, arg uint64) uint64 {
 	return l.l.ApplyBatchOp(p, seq, kind, arg)
 }
@@ -127,7 +132,8 @@ func (l *List) recoverBatchOp(p *Proc, seq int, kind, arg uint64) uint64 {
 	return l.l.RecoverBatchOp(p, seq, kind, arg)
 }
 
-func (q *Queue) engine() *isb.Engine { return q.q.Engine() }
+func (q *Queue) engine() *isb.Engine      { return q.q.Engine() }
+func (q *Queue) legKey(arg uint64) uint64 { return arg }
 func (q *Queue) applyBatchOp(p *Proc, seq int, kind, arg uint64) uint64 {
 	return q.q.ApplyBatchOp(p, seq, kind, arg)
 }
@@ -135,7 +141,8 @@ func (q *Queue) recoverBatchOp(p *Proc, seq int, kind, arg uint64) uint64 {
 	return q.q.RecoverBatchOp(p, seq, kind, arg)
 }
 
-func (b *BST) engine() *isb.Engine { return b.b.Engine() }
+func (b *BST) engine() *isb.Engine      { return b.b.Engine() }
+func (b *BST) legKey(arg uint64) uint64 { return arg }
 func (b *BST) applyBatchOp(p *Proc, seq int, kind, arg uint64) uint64 {
 	if kind == OpFind {
 		return b.b.ReadOp(p, kind, arg)
@@ -149,7 +156,8 @@ func (b *BST) recoverBatchOp(p *Proc, seq int, kind, arg uint64) uint64 {
 	return b.b.RecoverBatchOp(p, seq, kind, arg)
 }
 
-func (s *Stack) engine() *isb.Engine { return s.s.Engine() }
+func (s *Stack) engine() *isb.Engine      { return s.s.Engine() }
+func (s *Stack) legKey(arg uint64) uint64 { return arg }
 func (s *Stack) applyBatchOp(p *Proc, seq int, kind, arg uint64) uint64 {
 	return s.s.ApplyBatchOp(p, seq, kind, arg)
 }
@@ -157,7 +165,8 @@ func (s *Stack) recoverBatchOp(p *Proc, seq int, kind, arg uint64) uint64 {
 	return s.s.RecoverBatchOp(p, seq, kind, arg)
 }
 
-func (m *HashMap) engine() *isb.Engine { return m.m.Engine() }
+func (m *HashMap) engine() *isb.Engine      { return m.m.Engine() }
+func (m *HashMap) legKey(arg uint64) uint64 { return m.key(arg) }
 func (m *HashMap) applyBatchOp(p *Proc, seq int, kind, arg uint64) uint64 {
 	return m.m.ApplyBatchOp(p, seq, kind, m.key(arg))
 }

@@ -544,3 +544,91 @@ func BenchmarkBatchAdmissionSpeedup(b *testing.B) {
 		b.ReportMetric(float64(b.N)*opsTotal/secs64, "mapops/s")
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Transaction admission: moving a key between two maps as one two-leg
+// ApplyTxn vs as two independent single operations. The transaction pays
+// one begin psync for both legs plus the durable commit-point flip between
+// them, so the interesting quantity is psyncs per *pair* — the same unit
+// in both modes.
+// ---------------------------------------------------------------------------
+
+// runTxnAdmission moves `pairs` keys from a prefilled source map into a
+// destination map, either as two-leg transactions or as independent
+// delete/insert single operations, and returns the canonical metrics with
+// Ops = pairs (so per-op figures read as per-pair).
+func runTxnAdmission(kind EngineKind, asTxn bool, pairs int, seed int64) isb.Stats {
+	rt := New(Config{
+		Procs: 1, HeapWords: 1 << 24, Engine: kind,
+		PWBLatency: pmem.DefaultPWBLatency, PSyncLatency: pmem.DefaultPSyncLatency,
+	})
+	src := rt.NewHashMap(4)
+	dst := rt.NewHashMap(4)
+	p := rt.Proc(0)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 256; i++ {
+		src.Insert(p, uint64(rng.Intn(1024))+1)
+	}
+	rt.Heap().ResetAllStats()
+
+	for i := 0; i < pairs; i++ {
+		k := uint64(rng.Intn(1024)) + 1
+		if asTxn {
+			rt.ApplyTxn(p,
+				TxnLeg{S: src, Op: Op{Kind: OpDelete, Arg: k}},
+				TxnLeg{S: dst, Op: Op{Kind: OpInsert, Arg: k}})
+		} else {
+			src.Delete(p, k)
+			dst.Insert(p, k)
+		}
+	}
+	return isb.Stats{Ops: uint64(pairs), Mem: rt.Heap().TotalStats()}
+}
+
+func BenchmarkTxnAdmission(b *testing.B) {
+	const pairs = 2000
+	for _, e := range engines() {
+		kind := EngineIsb
+		if e.name == "isb-opt" {
+			kind = EngineIsbOpt
+		}
+		for _, mode := range []struct {
+			name  string
+			asTxn bool
+		}{{"two-singles", false}, {"txn", true}} {
+			b.Run(fmt.Sprintf("engine=%s/mode=%s", e.name, mode.name), func(b *testing.B) {
+				var agg isb.Stats
+				for i := 0; i < b.N; i++ {
+					st := runTxnAdmission(kind, mode.asTxn, pairs, int64(i)+1)
+					agg.Ops += st.Ops
+					agg.Mem.Add(st.Mem)
+				}
+				b.ReportMetric(agg.SyncsPerOp(), "syncs/pair")
+				b.ReportMetric(agg.PBarriersPerOp(), "pbarriers/pair")
+				b.ReportMetric(agg.PersistsPerOp(), "persists/pair")
+			})
+		}
+	}
+}
+
+// TestTxnAdmissionSyncCost pins the transaction's admission price: the
+// atomicity of a two-leg transaction must not cost more psyncs than
+// running its legs as two unrelated single operations — the single begin
+// psync covering both legs pays for the commit-point flip. Counter-based
+// like TestBatchAdmissionSpeedup, so it cannot flake on wall clock.
+func TestTxnAdmissionSyncCost(t *testing.T) {
+	const pairs = 4000
+	for _, e := range engines() {
+		kind := EngineIsb
+		if e.name == "isb-opt" {
+			kind = EngineIsbOpt
+		}
+		single := runTxnAdmission(kind, false, pairs, 7)
+		txn := runTxnAdmission(kind, true, pairs, 7)
+		if txn.SyncsPerOp() > single.SyncsPerOp() {
+			t.Fatalf("%s: txn pair costs %.3f syncs, two singles cost %.3f — atomicity must not cost extra psyncs",
+				e.name, txn.SyncsPerOp(), single.SyncsPerOp())
+		}
+		t.Logf("%s: two-singles %.3f syncs/pair, txn %.3f syncs/pair", e.name, single.SyncsPerOp(), txn.SyncsPerOp())
+	}
+}

@@ -1,0 +1,355 @@
+package crash
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/isb"
+)
+
+// This file is the transaction twin of batchsweep.go: an exhaustive
+// crash-point sweep over Runtime.ApplyTxn. Every access offset of a
+// two-leg transaction is swept — mid-announcement, mid-leg-1,
+// mid-commit-point, mid-leg-2, mid-result-slot — and each crash is
+// resolved the way a real application would: through RecoverAll's
+// transaction report, re-submitting the whole transaction exactly when the
+// report proves it had no effect. Each offset additionally checks
+// cross-structure atomicity (a no-effect report means NEITHER structure
+// changed; any other class means leg 1's effect never exists without
+// leg 2's once recovery returns) and exactly-once under a duplicate
+// recovery pass (a second RecoverAll re-reports the completed transaction
+// instead of re-applying anything).
+
+// TxnSweepInstance is one freshly built runtime + prefilled structures +
+// the transaction under sweep. VerifyPre must report "" exactly when both
+// structures still hold their pre-transaction state (the atomicity check
+// behind a no-effect report); VerifyPost when they hold the
+// crash-free-execution state.
+type TxnSweepInstance struct {
+	RT         *repro.Runtime
+	Leg1, Leg2 repro.TxnLeg
+	VerifyPre  func() string
+	VerifyPost func() string
+}
+
+// TxnSweepCase is the expected crash-free outcome: both legs' encoded
+// responses.
+type TxnSweepCase struct {
+	Name         string
+	Want1, Want2 uint64
+}
+
+// checkTxnReport validates one transaction report's shape against the
+// announced legs.
+func checkTxnReport(in TxnSweepInstance, rep repro.ProcReport) error {
+	t := rep.Txn
+	if t.Legs[0].Op != in.Leg1.Op || t.Legs[0].StructID != in.Leg1.S.ID() {
+		return fmt.Errorf("leg 1 reported as %+v on struct %d, announced %+v on %d",
+			t.Legs[0].Op, t.Legs[0].StructID, in.Leg1.Op, in.Leg1.S.ID())
+	}
+	if t.Legs[1].Op != in.Leg2.Op || t.Legs[1].StructID != in.Leg2.S.ID() {
+		return fmt.Errorf("leg 2 reported as %+v on struct %d, announced %+v on %d",
+			t.Legs[1].Op, t.Legs[1].StructID, in.Leg2.Op, in.Leg2.S.ID())
+	}
+	switch t.Class {
+	case repro.TxnNoEffect:
+		if t.Legs[0].Status != repro.OpNoEffect || t.Legs[1].Status != repro.OpNoEffect {
+			return fmt.Errorf("no-effect txn with leg statuses %v/%v", t.Legs[0].Status, t.Legs[1].Status)
+		}
+	case repro.TxnLeg2Recovered:
+		if t.Legs[0].Status != repro.OpCompleted || t.Legs[1].Status != repro.OpInFlight {
+			return fmt.Errorf("leg2-recovered txn with leg statuses %v/%v", t.Legs[0].Status, t.Legs[1].Status)
+		}
+	case repro.TxnCompleted:
+		if t.Legs[0].Status != repro.OpCompleted || t.Legs[1].Status != repro.OpCompleted {
+			return fmt.Errorf("completed txn with leg statuses %v/%v", t.Legs[0].Status, t.Legs[1].Status)
+		}
+	default:
+		return fmt.Errorf("unknown txn class %v", t.Class)
+	}
+	return nil
+}
+
+// resolveTxn turns a crashed ApplyTxn replay into both responses, the way
+// an application consumes the transaction report: a no-effect report (or
+// no transaction report at all — the announcement never became durable)
+// first proves NEITHER structure changed, then re-submits the whole
+// transaction; any other class answers from the report.
+func resolveTxn(in TxnSweepInstance, p *repro.Proc) (r1, r2 uint64, err error) {
+	reps := in.RT.RecoverAll()
+	if len(reps) > 1 {
+		return 0, 0, fmt.Errorf("single-proc sweep produced %d report entries", len(reps))
+	}
+	if len(reps) == 1 && reps[0].Txn != nil {
+		if err := checkTxnReport(in, reps[0]); err != nil {
+			return 0, 0, err
+		}
+		t := reps[0].Txn
+		if t.Class != repro.TxnNoEffect {
+			return t.Legs[0].Resp.Raw(), t.Legs[1].Resp.Raw(), nil
+		}
+	}
+	// No effect (or a pre-announcement crash, where any report entry is the
+	// prefill's last single operation re-confirming itself): atomicity
+	// demands both structures are exactly as before the transaction.
+	if msg := in.VerifyPre(); msg != "" {
+		return 0, 0, fmt.Errorf("no-effect txn but pre-state check failed: %s", msg)
+	}
+	resp1, resp2 := in.RT.ApplyTxn(p, in.Leg1, in.Leg2)
+	return resp1.Raw(), resp2.Raw(), nil
+}
+
+// RunTxnCase is the transaction sweep core: measure the uninterrupted
+// transaction's tracked access span, then replay it once per access offset
+// with a crash armed exactly there, resolving each crash through the
+// transaction report (plus whole-transaction re-submission for no-effect),
+// and checking both responses, the post-state, and duplicate-recovery
+// idempotence every time. Returns how many offsets actually interrupted
+// the transaction.
+func RunTxnCase(build func() TxnSweepInstance, c TxnSweepCase) (crashPoints int, err error) {
+	check := func(r1, r2 uint64, off uint64) error {
+		if r1 != c.Want1 || r2 != c.Want2 {
+			return fmt.Errorf("%s off=%d: responses (%d, %d), want (%d, %d)", c.Name, off, r1, r2, c.Want1, c.Want2)
+		}
+		return nil
+	}
+
+	in := build()
+	p := in.RT.Proc(0)
+	if msg := in.VerifyPre(); msg != "" {
+		return 0, fmt.Errorf("%s: pre-state check failed before the txn ran: %s", c.Name, msg)
+	}
+	before := in.RT.Heap().AccessCount()
+	resp1, resp2 := in.RT.ApplyTxn(p, in.Leg1, in.Leg2)
+	total := in.RT.Heap().AccessCount() - before
+	if err := check(resp1.Raw(), resp2.Raw(), 0); err != nil {
+		return 0, fmt.Errorf("uninterrupted %v", err)
+	}
+	if msg := in.VerifyPost(); msg != "" {
+		return 0, fmt.Errorf("uninterrupted %s: %s", c.Name, msg)
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("%s: transaction made no tracked accesses", c.Name)
+	}
+
+	for off := uint64(1); off <= total; off++ {
+		in := build()
+		p := in.RT.Proc(0)
+		in.RT.ScheduleCrash(off)
+		var r1, r2 uint64
+		if in.RT.Run(func() {
+			a, b := in.RT.ApplyTxn(p, in.Leg1, in.Leg2)
+			r1, r2 = a.Raw(), b.Raw()
+		}) {
+			in.RT.CancelCrash()
+		} else {
+			crashPoints++
+			in.RT.Restart()
+			var rerr error
+			r1, r2, rerr = resolveTxn(in, p)
+			if rerr != nil {
+				return crashPoints, fmt.Errorf("%s off=%d: %v", c.Name, off, rerr)
+			}
+		}
+		if err := check(r1, r2, off); err != nil {
+			return crashPoints, err
+		}
+		if msg := in.VerifyPost(); msg != "" {
+			return crashPoints, fmt.Errorf("%s off=%d: %s", c.Name, off, msg)
+		}
+		// Exactly-once under duplicate recovery: a second RecoverAll — the
+		// duplicate-resubmit path a rebooted application drives — must
+		// re-report the transaction as completed with the same responses
+		// and change nothing.
+		reps := in.RT.RecoverAll()
+		if len(reps) != 1 || reps[0].Txn == nil {
+			return crashPoints, fmt.Errorf("%s off=%d: duplicate recovery produced %d entries (txn: %v)",
+				c.Name, off, len(reps), len(reps) == 1 && reps[0].Txn != nil)
+		}
+		dup := reps[0].Txn
+		if dup.Class != repro.TxnCompleted {
+			return crashPoints, fmt.Errorf("%s off=%d: duplicate recovery class %v, want completed", c.Name, off, dup.Class)
+		}
+		if err := check(dup.Legs[0].Resp.Raw(), dup.Legs[1].Resp.Raw(), off); err != nil {
+			return crashPoints, fmt.Errorf("duplicate recovery %v", err)
+		}
+		if msg := in.VerifyPost(); msg != "" {
+			return crashPoints, fmt.Errorf("%s off=%d: after duplicate recovery: %s", c.Name, off, msg)
+		}
+	}
+	if crashPoints == 0 {
+		return 0, fmt.Errorf("%s: no crash point actually interrupted the transaction", c.Name)
+	}
+	return crashPoints, nil
+}
+
+// TxnScenario is one (shape, engine kind, reclaim mode) cell of the
+// transaction conformance matrix.
+type TxnScenario struct {
+	Shape   string
+	Engine  string
+	Reclaim bool
+	Build   func() TxnSweepInstance
+	Case    TxnSweepCase
+}
+
+// Name identifies the cell in test output.
+func (s TxnScenario) Name() string {
+	mode := "arena"
+	if s.Reclaim {
+		mode = "reclaim"
+	}
+	return s.Shape + "/" + s.Engine + "/" + mode
+}
+
+// txnKeysCheck compares a key snapshot against want.
+func txnKeysCheck(label string, keys func() []uint64, want []uint64) string {
+	got := keys()
+	if len(got) != len(want) {
+		return fmt.Sprintf("%s keys %v, want %v", label, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Sprintf("%s keys %v, want %v", label, got, want)
+		}
+	}
+	return ""
+}
+
+// TxnScenarios returns the transaction conformance matrix: four
+// transaction shapes — queue→map handoff with a derived argument, a move
+// between two maps (two engines), a move within one map (one engine, two
+// sequence-stamped legs), and an elided leg 2 (handoff from an empty
+// queue) — × both public engine kinds × reclamation on/off.
+func TxnScenarios() []TxnScenario {
+	var out []TxnScenario
+	for _, eng := range []struct {
+		name string
+		kind repro.EngineKind
+	}{{"isb", repro.EngineIsb}, {"isb-opt", repro.EngineIsbOpt}} {
+		for _, rec := range []bool{false, true} {
+			eng, rec := eng, rec
+			out = append(out,
+				TxnScenario{
+					Shape: "handoff", Engine: eng.name, Reclaim: rec,
+					Build: func() TxnSweepInstance {
+						rt := batchRT(eng.kind, rec)
+						q := rt.NewQueue()
+						m := rt.NewHashMap(4)
+						p := rt.Proc(0)
+						q.Enqueue(p, 7)
+						m.Insert(p, 3)
+						check := func(qWant, mWant []uint64) func() string {
+							return func() string {
+								if msg := txnKeysCheck("queue", q.Values, qWant); msg != "" {
+									return msg
+								}
+								if msg := txnKeysCheck("map", m.Keys, mWant); msg != "" {
+									return msg
+								}
+								if msg := q.CheckInvariants(); msg != "" {
+									return msg
+								}
+								return m.CheckInvariants()
+							}
+						}
+						return TxnSweepInstance{
+							RT:         rt,
+							Leg1:       repro.TxnLeg{S: q, Op: repro.Op{Kind: repro.OpDeq}},
+							Leg2:       repro.TxnLeg{S: m, Op: repro.Op{Kind: repro.OpInsert}, ArgFromLeg1: true},
+							VerifyPre:  check([]uint64{7}, []uint64{3}),
+							VerifyPost: check(nil, []uint64{3, 7}),
+						}
+					},
+					Case: TxnSweepCase{Name: "deq-insert", Want1: isb.EncodeValue(7), Want2: isb.RespTrue},
+				},
+				TxnScenario{
+					Shape: "two-map-move", Engine: eng.name, Reclaim: rec,
+					Build: func() TxnSweepInstance {
+						rt := batchRT(eng.kind, rec)
+						src := rt.NewHashMap(2)
+						dst := rt.NewHashMap(2)
+						p := rt.Proc(0)
+						src.Insert(p, 5)
+						dst.Insert(p, 9)
+						check := func(sWant, dWant []uint64) func() string {
+							return func() string {
+								if msg := txnKeysCheck("src", src.Keys, sWant); msg != "" {
+									return msg
+								}
+								if msg := txnKeysCheck("dst", dst.Keys, dWant); msg != "" {
+									return msg
+								}
+								if msg := src.CheckInvariants(); msg != "" {
+									return msg
+								}
+								return dst.CheckInvariants()
+							}
+						}
+						return TxnSweepInstance{
+							RT:         rt,
+							Leg1:       repro.TxnLeg{S: src, Op: repro.Op{Kind: repro.OpDelete, Arg: 5}},
+							Leg2:       repro.TxnLeg{S: dst, Op: repro.Op{Kind: repro.OpInsert, Arg: 5}},
+							VerifyPre:  check([]uint64{5}, []uint64{9}),
+							VerifyPost: check(nil, []uint64{5, 9}),
+						}
+					},
+					Case: TxnSweepCase{Name: "move", Want1: isb.RespTrue, Want2: isb.RespTrue},
+				},
+				TxnScenario{
+					Shape: "same-map-move", Engine: eng.name, Reclaim: rec,
+					Build: func() TxnSweepInstance {
+						rt := batchRT(eng.kind, rec)
+						m := rt.NewHashMap(4)
+						p := rt.Proc(0)
+						m.Insert(p, 5)
+						check := func(want []uint64) func() string {
+							return func() string {
+								if msg := txnKeysCheck("map", m.Keys, want); msg != "" {
+									return msg
+								}
+								return m.CheckInvariants()
+							}
+						}
+						return TxnSweepInstance{
+							RT:         rt,
+							Leg1:       repro.TxnLeg{S: m, Op: repro.Op{Kind: repro.OpDelete, Arg: 5}},
+							Leg2:       repro.TxnLeg{S: m, Op: repro.Op{Kind: repro.OpInsert, Arg: 9}},
+							VerifyPre:  check([]uint64{5}),
+							VerifyPost: check([]uint64{9}),
+						}
+					},
+					Case: TxnSweepCase{Name: "rename", Want1: isb.RespTrue, Want2: isb.RespTrue},
+				},
+				TxnScenario{
+					Shape: "empty-handoff", Engine: eng.name, Reclaim: rec,
+					Build: func() TxnSweepInstance {
+						rt := batchRT(eng.kind, rec)
+						q := rt.NewQueue()
+						m := rt.NewHashMap(2)
+						p := rt.Proc(0)
+						m.Insert(p, 3)
+						check := func() string {
+							if msg := txnKeysCheck("queue", q.Values, nil); msg != "" {
+								return msg
+							}
+							if msg := txnKeysCheck("map", m.Keys, []uint64{3}); msg != "" {
+								return msg
+							}
+							return m.CheckInvariants()
+						}
+						return TxnSweepInstance{
+							RT:         rt,
+							Leg1:       repro.TxnLeg{S: q, Op: repro.Op{Kind: repro.OpDeq}},
+							Leg2:       repro.TxnLeg{S: m, Op: repro.Op{Kind: repro.OpInsert}, ArgFromLeg1: true},
+							VerifyPre:  check,
+							VerifyPost: check,
+						}
+					},
+					Case: TxnSweepCase{Name: "deq-empty", Want1: isb.RespEmpty, Want2: isb.RespSkipped},
+				},
+			)
+		}
+	}
+	return out
+}

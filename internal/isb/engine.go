@@ -327,6 +327,61 @@ func (e *Engine) RecoverSeq(p *pmem.Proc, opType, argKey, seq uint64, gather Gat
 	return e.runAttempts(p, opType, argKey, gather)
 }
 
+// BeginTxnLeg is the engine-side begin step of one leg of a two-structure
+// transaction: persist CP_q := 0 (so a previous operation's recovery data
+// cannot be attributed to this leg) and retire the previous record, WITHOUT
+// the psync — a transaction resets every involved engine and then publishes
+// one announcement, all under the caller's single begin psync (the pwbs are
+// synchronous, so the ordering constraints hold without it). The caller
+// must have durably cleared the old announcement first, exactly as in
+// BeginOpFor, and calls it once per distinct engine (legs on the same
+// structure share the reset; their records are told apart by sequence
+// stamps). Announcing is the caller's job too: the transaction announcement
+// (pmem.Proc.AnnounceTxn) replaces the per-op announcement.
+func (e *Engine) BeginTxnLeg(p *pmem.Proc) {
+	id := p.ID()
+	e.batchMode[id] = syncEager
+	e.curSeq[id] = 0
+	cp := e.cp(p)
+	p.Store(cp, 0)
+	p.PWB(cp)
+	e.retireLast(p)
+}
+
+// ResolveSeq probes whether the operation (opType, argKey) at batch
+// sequence number seq took effect, WITHOUT re-invoking it: the
+// roll-forward-or-resubmit decision point of transaction recovery. Like
+// RecoverSeq it helps an installed matching record to completion (the
+// effect may land now, during recovery — that still counts as applied);
+// unlike RecoverSeq a missing or mismatching record returns (0, false)
+// — the operation provably made no changes and never can (a failed
+// tagging attempt's expected info values cannot recur) — instead of
+// running attempts. Idempotent and re-invocable across further crashes.
+func (e *Engine) ResolveSeq(p *pmem.Proc, opType, argKey, seq uint64) (uint64, bool) {
+	id := p.ID()
+	e.batchMode[id] = syncEager
+	e.curSeq[id] = seq
+	rd, cp := e.rd(p), e.cp(p)
+	info := pmem.Addr(p.Load(rd))
+	if p.Load(cp) == 0 || info == pmem.Null {
+		return 0, false
+	}
+	if p.Load(info+offOpType) != opType || p.Load(info+offArgKey) != argKey ||
+		p.Load(info+offSeq) != seq {
+		return 0, false
+	}
+	// Pin before dereferencing the record (see RecoverSeq: the post-crash
+	// scan kept it alive, and completed operands are NOT retired here).
+	e.alloc.Enter(p)
+	e.Help(p, info, true)
+	r := p.Load(info + offResult)
+	e.alloc.Exit(p)
+	if r == RespNone {
+		return 0, false
+	}
+	return r, true
+}
+
 // MarkReachable reports, via mark, every address the engine's recovery
 // data can still lead to: for each process with CP_q = 1 and a non-Null
 // RD_q, the installed Info record and (conservatively) every word of it

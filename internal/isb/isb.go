@@ -39,7 +39,11 @@ const (
 	RespFalse uint64 = 1
 	RespTrue  uint64 = 2
 	RespEmpty uint64 = 3 // e.g. dequeue on an empty queue
-	respVBase uint64 = 16
+	// RespSkipped: a transaction leg that was deterministically elided —
+	// leg 2's argument derives from leg 1's response, and leg 1 carried no
+	// value (e.g. dequeue on empty). Never produced by a structure op.
+	RespSkipped uint64 = 4
+	respVBase   uint64 = 16
 )
 
 // EncodeValue encodes an application payload (e.g. a dequeued value) as a

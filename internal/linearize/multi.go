@@ -1,0 +1,162 @@
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file extends the WGL checker to multi-structure histories: each
+// history entry is a MultiOp whose legs all take effect at ONE
+// linearization point, applied to their structures' sub-states in leg
+// order. It is the cross-structure atomicity oracle behind the transaction
+// tests — a history in which some observer saw leg 1's effect without
+// leg 2's (or the reverse order across structures) admits no such single
+// point and fails the check. Plain operations participate as one-leg
+// MultiOps, so transactional and ordinary traffic check under one oracle.
+
+// Leg is one structure-local effect of a MultiOp: which structure it
+// applied to (the model key in CheckMulti's models map), the operation,
+// and the response it must have produced. Elided legs (a transaction's
+// skipped leg 2) perform no effect and carry no checkable response — the
+// caller simply omits them.
+type Leg struct {
+	Struct uint64
+	Kind   uint64
+	Arg    uint64
+	Resp   uint64
+}
+
+// MultiOp is one atomic history entry: all Legs linearize at a single
+// point between Start and End (timestamps from the same shared counter as
+// Operation's). Entries sharing Proc, Start and End are program-ordered by
+// Seq, exactly as batched Operations are; independent entries leave Seq
+// zero.
+type MultiOp struct {
+	Proc  int
+	Legs  []Leg
+	Start uint64
+	End   uint64
+	Seq   uint64
+}
+
+// multiState is the composite sequential state: one sub-state per
+// structure, hashed in sorted structure order.
+type multiState struct {
+	ids  []uint64
+	subs map[uint64]interface{}
+}
+
+func (s multiState) hash(models map[uint64]Model) string {
+	var b strings.Builder
+	for _, id := range s.ids {
+		fmt.Fprintf(&b, "%d:%s;", id, models[id].Hash(s.subs[id]))
+	}
+	return b.String()
+}
+
+// step applies every leg of op at one point, in leg order. It returns the
+// successor composite state, or ok=false if any leg's response disagrees
+// with the model.
+func (s multiState) step(models map[uint64]Model, op MultiOp) (multiState, bool) {
+	next := multiState{ids: s.ids, subs: make(map[uint64]interface{}, len(s.subs))}
+	for id, sub := range s.subs {
+		next.subs[id] = sub
+	}
+	for _, leg := range op.Legs {
+		m, ok := models[leg.Struct]
+		if !ok {
+			panic(fmt.Sprintf("linearize: MultiOp leg on structure %d with no model", leg.Struct))
+		}
+		sub, resp := m.Step(next.subs[leg.Struct], leg.Kind, leg.Arg)
+		if resp != leg.Resp {
+			return multiState{}, false
+		}
+		next.subs[leg.Struct] = sub
+	}
+	return next, true
+}
+
+// CheckMulti reports whether hist is linearizable with every MultiOp's
+// legs applied atomically. models maps each structure identity appearing
+// in the history to its sequential specification.
+func CheckMulti(models map[uint64]Model, hist []MultiOp) bool {
+	n := len(hist)
+	if n == 0 {
+		return true
+	}
+	if n > MaxOps {
+		panic(fmt.Sprintf("linearize: history of %d multi-ops exceeds MaxOps=%d; decompose it first", n, MaxOps))
+	}
+	ops := make([]MultiOp, n)
+	copy(ops, hist)
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Start != ops[j].Start {
+			return ops[i].Start < ops[j].Start
+		}
+		return ops[i].Seq < ops[j].Seq
+	})
+
+	// Same batch-program-order rule as Check: an entry whose same-window
+	// predecessor is untaken is not a candidate.
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = -1
+		for j := 0; j < n; j++ {
+			if i != j && ops[j].Proc == ops[i].Proc &&
+				ops[j].Start == ops[i].Start && ops[j].End == ops[i].End &&
+				ops[j].Seq+1 == ops[i].Seq {
+				prev[i] = j
+				break
+			}
+		}
+	}
+
+	init := multiState{subs: make(map[uint64]interface{}, len(models))}
+	for id, m := range models {
+		init.ids = append(init.ids, id)
+		init.subs[id] = m.Init()
+	}
+	sort.Slice(init.ids, func(i, j int) bool { return init.ids[i] < init.ids[j] })
+
+	memo := map[string]bool{}
+	var search func(mask uint64, state multiState) bool
+	search = func(mask uint64, state multiState) bool {
+		if mask == (uint64(1)<<uint(n))-1 {
+			return true
+		}
+		key := fmt.Sprintf("%x|%s", mask, state.hash(models))
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		minEnd := ^uint64(0)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 && ops[i].End < minEnd {
+				minEnd = ops[i].End
+			}
+		}
+		ok := false
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				continue
+			}
+			if ops[i].Start > minEnd {
+				continue
+			}
+			if j := prev[i]; j >= 0 && mask&(1<<uint(j)) == 0 {
+				continue
+			}
+			next, match := state.step(models, ops[i])
+			if !match {
+				continue
+			}
+			if search(mask|(1<<uint(i)), next) {
+				ok = true
+				break
+			}
+		}
+		memo[key] = ok
+		return ok
+	}
+	return search(0, init)
+}

@@ -1,0 +1,116 @@
+package linearize
+
+import "testing"
+
+// multiModels builds the two-set world used throughout: structure 1 and
+// structure 2 are independent sets.
+func multiModels() map[uint64]Model {
+	return map[uint64]Model{1: SetModel(), 2: SetModel()}
+}
+
+func single(proc int, st, kind, arg, resp, start, end uint64) MultiOp {
+	return MultiOp{Proc: proc, Legs: []Leg{{Struct: st, Kind: kind, Arg: arg, Resp: resp}}, Start: start, End: end}
+}
+
+// TestCheckMultiAtomicMove pins the oracle's core judgment: a move
+// transaction (delete from set 1, insert into set 2) is a single
+// linearization point. A pair of real-time-ordered observers that witness
+// "gone from the source" strictly before "not yet in the destination" is
+// only explainable by a split transaction, and must be rejected.
+func TestCheckMultiAtomicMove(t *testing.T) {
+	move := MultiOp{Proc: 0, Legs: []Leg{
+		{Struct: 1, Kind: KindDelete, Arg: 5, Resp: RespTrue},
+		{Struct: 2, Kind: KindInsert, Arg: 5, Resp: RespTrue},
+	}, Start: 10, End: 20}
+	seed := single(0, 1, KindInsert, 5, RespTrue, 0, 1)
+
+	// Consistent interleaving: one observer inside the move's window sees
+	// the pre-state on both structures (the move linearizes after it).
+	ok := []MultiOp{
+		seed,
+		move,
+		single(1, 1, KindFind, 5, RespTrue, 12, 13),  // still in source
+		single(1, 2, KindFind, 5, RespFalse, 14, 15), // not yet in dest
+		single(1, 2, KindFind, 5, RespTrue, 25, 26),  // after: moved
+	}
+	if !CheckMulti(multiModels(), ok) {
+		t.Fatal("consistent move history rejected")
+	}
+
+	// Atomicity violation: observer A sees the source already empty, then
+	// — strictly later in real time — observer B sees the destination
+	// still empty. A single-point move admits no such pair: A forces the
+	// move before it, B forces it after, and A precedes B.
+	bad := []MultiOp{
+		seed,
+		move,
+		single(1, 1, KindFind, 5, RespFalse, 12, 13), // source: already gone
+		single(1, 2, KindFind, 5, RespFalse, 15, 16), // dest: still missing
+	}
+	if CheckMulti(multiModels(), bad) {
+		t.Fatal("split-transaction history accepted: leg 1's effect was observed without leg 2's")
+	}
+}
+
+// TestCheckMultiResponseMismatch pins that leg responses constrain the
+// search exactly as single-op responses do.
+func TestCheckMultiResponseMismatch(t *testing.T) {
+	hist := []MultiOp{
+		{Proc: 0, Legs: []Leg{
+			{Struct: 1, Kind: KindDelete, Arg: 5, Resp: RespTrue}, // but 5 was never inserted
+			{Struct: 2, Kind: KindInsert, Arg: 5, Resp: RespTrue},
+		}, Start: 0, End: 1},
+	}
+	if CheckMulti(multiModels(), hist) {
+		t.Fatal("accepted a delete-true on an empty set")
+	}
+}
+
+// TestCheckMultiLegOrderWithinOp pins that legs of one MultiOp apply in
+// leg order at the shared point: a same-structure delete-then-insert of
+// different keys must evaluate against the intermediate state.
+func TestCheckMultiLegOrderWithinOp(t *testing.T) {
+	models := map[uint64]Model{1: SetModel()}
+	hist := []MultiOp{
+		single(0, 1, KindInsert, 5, RespTrue, 0, 1),
+		{Proc: 0, Legs: []Leg{
+			{Struct: 1, Kind: KindDelete, Arg: 5, Resp: RespTrue},
+			{Struct: 1, Kind: KindInsert, Arg: 5, Resp: RespTrue}, // re-insert succeeds only AFTER the delete
+		}, Start: 2, End: 3},
+		single(0, 1, KindFind, 5, RespTrue, 4, 5),
+	}
+	if !CheckMulti(models, hist) {
+		t.Fatal("in-order legs rejected")
+	}
+	swapped := []MultiOp{
+		hist[0],
+		{Proc: 0, Legs: []Leg{
+			{Struct: 1, Kind: KindInsert, Arg: 5, Resp: RespTrue}, // would be false before the delete
+			{Struct: 1, Kind: KindDelete, Arg: 5, Resp: RespTrue},
+		}, Start: 2, End: 3},
+	}
+	if CheckMulti(models, swapped) {
+		t.Fatal("out-of-order legs accepted")
+	}
+}
+
+// TestCheckMultiEmptyAndPlain pins the degenerate shapes: the empty
+// history, and a plain single-leg interleaving equivalent to Check's.
+func TestCheckMultiEmptyAndPlain(t *testing.T) {
+	if !CheckMulti(multiModels(), nil) {
+		t.Fatal("empty history rejected")
+	}
+	hist := []MultiOp{
+		single(0, 1, KindInsert, 7, RespTrue, 0, 10),
+		single(1, 1, KindInsert, 7, RespFalse, 2, 3), // must linearize after proc 0's insert
+	}
+	if !CheckMulti(multiModels(), hist) {
+		t.Fatal("overlapping single-leg history rejected")
+	}
+	bad := []MultiOp{
+		single(0, 1, KindInsert, 7, RespFalse, 0, 1), // nothing inserted it first
+	}
+	if CheckMulti(multiModels(), bad) {
+		t.Fatal("impossible single-leg response accepted")
+	}
+}

@@ -164,15 +164,35 @@ const (
 	abCursor = 5 // completed-prefix cursor: ops [0, cursor) have durable results
 	abSum    = 6 // checksum binding structID, count and every op slot
 
+	// annTxn is the transaction-announcement checksum (0 = no transaction
+	// announced): it binds the two leg descriptors and the flags word in the
+	// txLegs line (see txnCheck), so a header that persisted without its leg
+	// line — or vice versa — is detectably invalid. The three announcement
+	// shapes are mutually exclusive: announcing a transaction zeroes
+	// annStruct and abCount; Announce/AnnounceBatch zero annTxn.
+	annTxn = 7
+
 	// abSlots is the first op slot word: MaxBatch (kind, arg) pairs.
 	abSlots = WordsPerLine
 	// abResults is the first result slot word: MaxBatch response words.
 	// A result slot of 0 (the engine's ⊥) means "no durable result".
 	abResults = abSlots + 2*MaxBatch
 
+	// Transaction announcement: one line of leg descriptors — two
+	// (structID, kind, arg) triples, the durable commit-point word and a
+	// flags word — plus a line of per-leg result slots (0 = no durable
+	// result, like batch result slots). The commit point is 0 until leg 1
+	// completed and its result slot persisted; CommitTxn then sets it to
+	// txnCommitMark(annTxn's checksum), a nonzero value bound to this very
+	// transaction's legs, so a stale mark can never validate a new record.
+	txLegs    = abResults + MaxBatch // leg line: 6 leg words, commit, flags
+	txCommit  = txLegs + 6           // durable commit point (0 = uncommitted)
+	txFlags   = txLegs + 7           // transaction flags (see internal/txn)
+	txResults = txLegs + WordsPerLine
+
 	// annStride is the per-process announcement region size in words
-	// (header line + op slots + result slots; a whole number of lines).
-	annStride = abResults + MaxBatch
+	// (header line + op slots + result slots + txn lines; whole lines).
+	annStride = txResults + WordsPerLine
 )
 
 // MaxBatch bounds the number of operations one batch announcement can hold.
@@ -260,6 +280,25 @@ func batchCheck(structID, count uint64, op func(i int) (kind, arg uint64)) uint6
 	}
 	return sum
 }
+
+// txnCheck chains annCheck over a transaction announcement's immutable
+// part: both leg descriptors and the flags word, in order. The commit point
+// and result slots are deliberately excluded — they mutate as the
+// transaction progresses and have their own torn-write defenses (a result
+// slot is durable strictly before the commit point that covers it). Never
+// zero, so a cleared header can never validate.
+func txnCheck(l1, l2 TxnLeg, flags uint64) uint64 {
+	sum := annCheck(l1.StructID, l1.Kind, l1.Arg)
+	sum = annCheck(sum, l2.StructID, l2.Kind)
+	return annCheck(sum, l2.Arg, flags)
+}
+
+// txnCommitMark derives the nonzero commit-point value for a transaction
+// with announcement checksum sum: bound to the legs it commits, so a commit
+// word that survived from an earlier transaction (a crash between the leg
+// line's stores and its write-back, with the old line partially evicted)
+// reads as uncommitted for the new record.
+func txnCommitMark(sum uint64) uint64 { return annCheck(sum, 0, 1) }
 
 // NumProcs reports how many process descriptors the heap was built with.
 func (h *Heap) NumProcs() int { return len(h.procs) }

@@ -303,6 +303,7 @@ func (p *Proc) Announce(structID, kind, arg uint64) {
 	p.Store(a+annKind, kind)
 	p.Store(a+annArg, arg)
 	p.Store(a+annSum, annCheck(structID, kind, arg))
+	p.Store(a+annTxn, 0) // shape exclusion: never a single op AND a txn
 	p.PWB(a)
 }
 
@@ -316,6 +317,7 @@ func (p *Proc) ClearAnnounce() {
 	a := p.h.annAddr(p.id)
 	p.Store(a+annStruct, 0)
 	p.Store(a+abCount, 0)
+	p.Store(a+annTxn, 0)
 	p.PWB(a)
 }
 
@@ -357,6 +359,7 @@ func (p *Proc) AnnounceBatch(structID uint64, n int, op func(i int) (kind, arg u
 	p.Store(a+annKind, 0)
 	p.Store(a+annArg, 0)
 	p.Store(a+annSum, 0)
+	p.Store(a+annTxn, 0) // shape exclusion: never a batch AND a txn
 	p.Store(a+abCursor, 0)
 	p.Store(a+abCount, uint64(n))
 	p.Store(a+abSum, batchCheck(structID, uint64(n), op))
@@ -430,6 +433,108 @@ func (p *Proc) BatchOp(i int) (kind, arg uint64) {
 // BatchResult reads the i-th result slot (0 = no durable result).
 func (p *Proc) BatchResult(i int) uint64 {
 	return p.Load(p.h.annAddr(p.id) + abResults + Addr(i))
+}
+
+// TxnLeg is one leg of a two-structure transaction announcement: which
+// structure (registry ID), which operation kind, and its argument.
+type TxnLeg struct {
+	StructID uint64
+	Kind     uint64
+	Arg      uint64
+}
+
+// AnnounceTxn durably records that this process is about to execute a
+// two-leg transaction — leg 1 on one structure, then a durable commit
+// point, then leg 2 — all admitted under the caller's next single psync.
+// flags carries transaction options (see internal/txn; e.g. "leg 2's
+// argument derives from leg 1's response").
+//
+// The write order is load-bearing (each pwb is synchronous): first the leg
+// line (both legs, commit point := 0, flags) and the zeroed result slots
+// persist, THEN the header's annTxn checksum — the word that makes the
+// record valid. A crash anywhere inside AnnounceTxn leaves either the old
+// announcement, nothing, or a checksum-invalid torn record: in every case
+// the transaction provably performed no tracked writes and is simply
+// re-submitted. The caller must have issued ClearAnnounce earlier in the
+// same begin sequence (before resetting any recovery register), exactly as
+// with Announce; zeroing the commit point and result slots before validity
+// is what lets recovery trust "commit = 0 means leg 2 never started" and
+// "result slot ≠ 0 means this transaction wrote it".
+func (p *Proc) AnnounceTxn(leg1, leg2 TxnLeg, flags uint64) {
+	if leg1.StructID == 0 || leg2.StructID == 0 {
+		panic("pmem: AnnounceTxn with structID 0")
+	}
+	a := p.h.annAddr(p.id)
+	p.Store(a+txLegs+0, leg1.StructID)
+	p.Store(a+txLegs+1, leg1.Kind)
+	p.Store(a+txLegs+2, leg1.Arg)
+	p.Store(a+txLegs+3, leg2.StructID)
+	p.Store(a+txLegs+4, leg2.Kind)
+	p.Store(a+txLegs+5, leg2.Arg)
+	p.Store(a+txCommit, 0)
+	p.Store(a+txFlags, flags)
+	p.PWB(a + txLegs)
+	p.Store(a+txResults, 0)
+	p.Store(a+txResults+1, 0)
+	p.PWB(a + txResults)
+	p.Store(a+annStruct, 0)
+	p.Store(a+abCount, 0)
+	p.Store(a+annTxn, txnCheck(leg1, leg2, flags))
+	p.PWB(a)
+}
+
+// CommitTxn durably flips the transaction's commit point: leg 1 completed
+// and its result slot persisted (call only after SetTxnResult(0, …)
+// returned — its write-back is synchronous, so the result is durable
+// strictly before the commit mark that covers it). After CommitTxn,
+// recovery re-drives leg 2 instead of re-submitting the transaction.
+func (p *Proc) CommitTxn() {
+	a := p.h.annAddr(p.id)
+	p.Store(a+txCommit, txnCommitMark(p.Load(a+annTxn)))
+	p.PWB(a + txCommit)
+}
+
+// SetTxnResult durably records leg i's (0 or 1) response in the
+// transaction announcement's result slot. resp must be nonzero (0 is the
+// engine's ⊥, the "no durable result" sentinel).
+func (p *Proc) SetTxnResult(i int, resp uint64) {
+	if resp == 0 {
+		panic("pmem: SetTxnResult with zero response")
+	}
+	a := p.h.annAddr(p.id) + txResults + Addr(i)
+	p.Store(a, resp)
+	p.PWB(a)
+}
+
+// TxnResult reads leg i's result slot (0 = no durable result). AnnounceTxn
+// durably zeroed both slots before the record became valid, so a nonzero
+// slot was written by THIS transaction — which is what lets recovery trust
+// slot 0 as proof that leg 1 completed even when the commit point's
+// write was lost.
+func (p *Proc) TxnResult(i int) uint64 {
+	return p.Load(p.h.annAddr(p.id) + txResults + Addr(i))
+}
+
+// TxnAnnouncement reads this process's transaction announcement record,
+// validating the checksum that binds the header to the leg line. ok is
+// false if no transaction is announced (or the record was only partially
+// persisted when the crash hit — the transaction then provably performed
+// no tracked writes). committed reports the durable commit point: false
+// means leg 2 provably never started.
+func (p *Proc) TxnAnnouncement() (leg1, leg2 TxnLeg, flags uint64, committed, ok bool) {
+	a := p.h.annAddr(p.id)
+	sum := p.Load(a + annTxn)
+	if sum == 0 {
+		return TxnLeg{}, TxnLeg{}, 0, false, false
+	}
+	leg1 = TxnLeg{StructID: p.Load(a + txLegs + 0), Kind: p.Load(a + txLegs + 1), Arg: p.Load(a + txLegs + 2)}
+	leg2 = TxnLeg{StructID: p.Load(a + txLegs + 3), Kind: p.Load(a + txLegs + 4), Arg: p.Load(a + txLegs + 5)}
+	flags = p.Load(a + txFlags)
+	if sum != txnCheck(leg1, leg2, flags) {
+		return TxnLeg{}, TxnLeg{}, 0, false, false
+	}
+	committed = p.Load(a+txCommit) == txnCommitMark(sum)
+	return leg1, leg2, flags, committed, true
 }
 
 // Announcement reads this process's announcement record, validating the

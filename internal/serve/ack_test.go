@@ -1,0 +1,97 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestServeAckKeepsTableFlat is the response-table bound regression: under
+// steady resubmit-free traffic, the piggybacked acknowledgement watermark
+// must evict answered entries as fast as they are created, so the
+// exactly-once table holds only the unacknowledged tail instead of growing
+// with every request ever answered.
+func TestServeAckKeepsTableFlat(t *testing.T) {
+	_, ln := startServer(t, serve.Config{Procs: 2, Batch: 8, HeapWords: 1 << 20})
+	c := dial(t, ln, 1)
+
+	const rounds = 4
+	const opsPerRound = 128
+	// A sequential client settles request k before minting k+1, so the
+	// watermark trails by one request and the table never holds more than
+	// the in-flight tail (plus the stats request itself, unanswered).
+	const flatBound = 4
+
+	total := uint64(0)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < opsPerRound; i++ {
+			k := uint64(i%64) + 1
+			var err error
+			switch i % 3 {
+			case 0:
+				_, err = c.Put(k)
+			case 1:
+				_, err = c.Get(k)
+			default:
+				_, err = c.Del(k)
+			}
+			if err != nil {
+				t.Fatalf("round %d op %d: %v", r, i, err)
+			}
+			total++
+		}
+		body, err := c.Stats()
+		if err != nil {
+			t.Fatalf("round %d stats: %v", r, err)
+		}
+		var st serve.Stats
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("round %d stats body: %v", r, err)
+		}
+		if st.TableEntries > flatBound {
+			t.Fatalf("round %d: table holds %d entries after %d requests, want <= %d (table must stay flat)",
+				r, st.TableEntries, total, flatBound)
+		}
+		if st.Deduped != 0 || st.Retried != 0 {
+			t.Fatalf("round %d: deduped=%d retried=%d — traffic was supposed to be resubmit-free",
+				r, st.Deduped, st.Retried)
+		}
+		if st.EvictedEntries < total-flatBound {
+			t.Fatalf("round %d: evicted only %d of %d answered entries", r, st.EvictedEntries, total)
+		}
+	}
+}
+
+// TestServeAckDoesNotEvictForeignIDs pins the eviction scoping: an
+// acknowledgement watermark names ONE client's sequence range, so another
+// client's recorded answers — and caller-chosen IDs outside the
+// acknowledging client's range — survive and still dedup.
+func TestServeAckDoesNotEvictForeignIDs(t *testing.T) {
+	s, ln := startServer(t, serve.Config{Procs: 1, Batch: 4, HeapWords: 1 << 18})
+	a := dial(t, ln, 1)
+	b := dial(t, ln, 2)
+
+	// Client b answers one put under a caller-chosen ID outside its own
+	// sequence space: the client must not settle (and so never ack) an ID
+	// it did not mint, so the entry sits in the table indefinitely.
+	const bID = 999 // client prefix 0: neither a's (1) nor b's (2)
+	if rep, err := b.DoWithID(serve.OpPut, bID, 7); err != nil || rep.Val != 1 {
+		t.Fatalf("b's put = val %d, err %v; want 1", rep.Val, err)
+	}
+	// Client a churns enough traffic to advance its own watermark far past
+	// b's sequence numbers.
+	for i := 0; i < 32; i++ {
+		if _, err := a.Put(uint64(i + 10)); err != nil {
+			t.Fatalf("a's put %d: %v", i, err)
+		}
+	}
+	// b's recorded answer must still be there: a resubmit dedups instead
+	// of re-executing (re-execution would answer 0 — key 7 now exists).
+	if rep, err := b.DoWithID(serve.OpPut, bID, 7); err != nil || rep.Val != 1 {
+		t.Fatalf("b's resubmit = val %d, err %v; want recorded 1", rep.Val, err)
+	}
+	if st := s.Snapshot(); st.Deduped != 1 {
+		t.Fatalf("deduped = %d, want 1", st.Deduped)
+	}
+}

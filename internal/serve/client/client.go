@@ -17,8 +17,9 @@ import (
 // IDBits is how many low bits of the request-ID space index a client's own
 // sequence numbers; the bits above carry the client ID, keeping request
 // IDs globally unique across connections (the exactly-once table keys on
-// them).
-const IDBits = 24
+// them). It aliases the wire-contract split (serve.SeqBits) because the
+// acknowledgement watermark names per-client sequence ranges.
+const IDBits = serve.SeqBits
 
 // Client is one connection's client. Safe for concurrent use.
 type Client struct {
@@ -30,6 +31,12 @@ type Client struct {
 	err     error
 	seq     uint64
 	base    uint64
+	// ackSeq is the highest CONTIGUOUSLY settled sequence number: every
+	// request up to it has a terminal reply in the caller's hands and will
+	// never be resubmitted, so its table entry is evictable. settled holds
+	// out-of-order completions above the watermark until the gap closes.
+	ackSeq  uint64
+	settled map[uint64]struct{}
 
 	// RetryDelay is the pause before resubmitting after a RETRY reply
 	// (default 200µs).
@@ -49,6 +56,7 @@ func New(nc net.Conn, clientID uint64) *Client {
 	c := &Client{
 		nc:         nc,
 		pending:    map[uint64]chan serve.Reply{},
+		settled:    map[uint64]struct{}{},
 		base:       clientID << IDBits,
 		RetryDelay: 200 * time.Microsecond,
 	}
@@ -112,10 +120,34 @@ func (c *Client) NextID() uint64 {
 	return id
 }
 
-// Send writes one request frame and returns the channel its reply will
-// arrive on. Callers pipelining must eventually receive from it; a closed
-// channel means the connection died.
-func (c *Client) Send(op byte, reqID, key uint64) (<-chan serve.Reply, error) {
+// settle marks reqID's reply as delivered to the caller and advances the
+// contiguous acknowledgement watermark. Only IDs minted from this
+// client's own sequence space count — caller-chosen foreign IDs are not
+// ours to acknowledge.
+func (c *Client) settle(reqID uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if reqID>>IDBits != c.base>>IDBits {
+		return
+	}
+	seq := reqID & serve.MaxSeq
+	if seq <= c.ackSeq {
+		return
+	}
+	c.settled[seq] = struct{}{}
+	for {
+		if _, ok := c.settled[c.ackSeq+1]; !ok {
+			return
+		}
+		c.ackSeq++
+		delete(c.settled, c.ackSeq)
+	}
+}
+
+// sendReq writes one request frame, piggybacking the current
+// acknowledgement watermark, and returns the channel its reply will
+// arrive on.
+func (c *Client) sendReq(req serve.Request) (<-chan serve.Reply, error) {
 	ch := make(chan serve.Reply, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -123,27 +155,36 @@ func (c *Client) Send(op byte, reqID, key uint64) (<-chan serve.Reply, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
-	c.pending[reqID] = ch
+	if c.ackSeq > 0 {
+		req.Ack = c.base | c.ackSeq
+	}
+	c.pending[req.ReqID] = ch
 	c.mu.Unlock()
 	c.wmu.Lock()
-	err := serve.WriteFrame(c.nc, serve.EncodeRequest(serve.Request{Op: op, ReqID: reqID, Key: key}))
+	err := serve.WriteFrame(c.nc, serve.EncodeRequest(req))
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
-		delete(c.pending, reqID)
+		delete(c.pending, req.ReqID)
 		c.mu.Unlock()
 		return nil, err
 	}
 	return ch, nil
 }
 
-// DoWithID runs one request to completion under a caller-chosen request
-// ID, resubmitting (same ID) through RETRY backpressure. The reply's Val
-// is the operation's boolean result; resubmitting an already-answered ID
-// returns its recorded answer without re-executing.
-func (c *Client) DoWithID(op byte, reqID, key uint64) (serve.Reply, error) {
+// Send writes one request frame and returns the channel its reply will
+// arrive on. Callers pipelining must eventually receive from it; a closed
+// channel means the connection died.
+func (c *Client) Send(op byte, reqID, key uint64) (<-chan serve.Reply, error) {
+	return c.sendReq(serve.Request{Op: op, ReqID: reqID, Key: key})
+}
+
+// doReq runs one request to completion, resubmitting (same ID) through
+// RETRY backpressure, and settles the ID's acknowledgement on a terminal
+// reply.
+func (c *Client) doReq(req serve.Request) (serve.Reply, error) {
 	for {
-		ch, err := c.Send(op, reqID, key)
+		ch, err := c.sendReq(req)
 		if err != nil {
 			return serve.Reply{}, err
 		}
@@ -158,11 +199,23 @@ func (c *Client) DoWithID(op byte, reqID, key uint64) (serve.Reply, error) {
 		case serve.StRetry:
 			time.Sleep(c.RetryDelay)
 		case serve.StOK:
+			c.settle(req.ReqID)
 			return rep, nil
 		default:
-			return rep, fmt.Errorf("client: server rejected request %d (status %d)", reqID, rep.Status)
+			// Terminal rejection: settled too — the server recorded
+			// nothing, and the watermark must not stall on the gap.
+			c.settle(req.ReqID)
+			return rep, fmt.Errorf("client: server rejected request %d (status %d)", req.ReqID, rep.Status)
 		}
 	}
+}
+
+// DoWithID runs one request to completion under a caller-chosen request
+// ID, resubmitting (same ID) through RETRY backpressure. The reply's Val
+// is the operation's boolean result; resubmitting an already-answered ID
+// returns its recorded answer without re-executing.
+func (c *Client) DoWithID(op byte, reqID, key uint64) (serve.Reply, error) {
+	return c.doReq(serve.Request{Op: op, ReqID: reqID, Key: key})
 }
 
 // Do runs one request under a fresh request ID.
@@ -186,6 +239,21 @@ func (c *Client) Del(key uint64) (bool, error) {
 func (c *Client) Get(key uint64) (bool, error) {
 	rep, err := c.Do(serve.OpGet, key)
 	return rep.Val != 0, err
+}
+
+// MoveWithID atomically moves membership from src to dst under a
+// caller-chosen request ID: one two-leg transaction with a single durable
+// commit point on the server. It reports whether src was present
+// (deleted) and whether dst was newly inserted; a resubmitted ID replays
+// the recorded pair without re-executing.
+func (c *Client) MoveWithID(reqID, src, dst uint64) (deleted, inserted bool, err error) {
+	rep, err := c.doReq(serve.Request{Op: serve.OpMove, ReqID: reqID, Key: src, Key2: dst})
+	return rep.Val&1 != 0, rep.Val&2 != 0, err
+}
+
+// Move runs MoveWithID under a fresh request ID.
+func (c *Client) Move(src, dst uint64) (deleted, inserted bool, err error) {
+	return c.MoveWithID(c.NextID(), src, dst)
 }
 
 // Stats fetches the server's stats snapshot as raw JSON.

@@ -66,6 +66,9 @@ type ProcStats struct {
 	Proc     int    `json:"proc"`
 	Windows  uint64 `json:"windows"`
 	Admitted uint64 `json:"admitted"`
+	// Moves counts singleton MOVE windows (a transaction never shares a
+	// window with batched requests).
+	Moves uint64 `json:"moves"`
 	// FromReport counts this Proc's replies resolved from a RecoverAll
 	// report after a crash.
 	FromReport uint64 `json:"from_report"`
@@ -84,6 +87,9 @@ type Stats struct {
 	Crashes          int    `json:"crashes"`
 	TableEntries     int    `json:"table_entries"`
 	RecoveredEntries uint64 `json:"recovered_entries"`
+	// EvictedEntries counts response-table entries dropped because the
+	// owning client acknowledged their replies (Request.Ack watermark).
+	EvictedEntries uint64 `json:"evicted_entries"`
 	// Totals across all connections, open and closed.
 	Queued     uint64 `json:"queued"`
 	Admitted   uint64 `json:"admitted"`

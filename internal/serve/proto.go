@@ -31,6 +31,13 @@ const (
 	OpGet byte = 3
 	// OpStats requests a stats snapshot; the reply carries JSON in Body.
 	OpStats byte = 4
+	// OpMove atomically moves membership from Key to Key2 as one
+	// two-leg transaction (delete Key, insert Key2) with a single durable
+	// commit point: no crash can leave the delete applied without the
+	// insert once recovery completes. The reply's Val packs both leg
+	// results: bit 0 set if Key was present (deleted), bit 1 set if Key2
+	// was newly inserted. MOVE admits alone, never inside a batch window.
+	OpMove byte = 5
 )
 
 // Reply status codes.
@@ -57,6 +64,20 @@ const MaxKey = uint64(1)<<KeyBits - 1
 // MaxReqID bounds client request IDs to the Arg's high half.
 const MaxReqID = uint64(1)<<(64-KeyBits) - 1
 
+// SeqBits splits the 32-bit request-ID space: the low SeqBits are a
+// client's own sequence numbers, the bits above carry its client ID. The
+// split is part of the wire contract because the acknowledgement
+// watermark (Request.Ack) names "every sequence number of this client up
+// to and including this one" — the server evicts the acknowledged
+// entries from its exactly-once response table by walking that range.
+const SeqBits = 24
+
+// MaxSeq is the largest per-client sequence number.
+const MaxSeq = uint64(1)<<SeqBits - 1
+
+// SplitID splits a request ID into its client prefix and sequence number.
+func SplitID(reqID uint64) (client, seq uint64) { return reqID >> SeqBits, reqID & MaxSeq }
+
 // PackArg packs a request ID and a key into one announcement Arg: the
 // durable identity a recovered operation is matched and answered by.
 func PackArg(reqID, key uint64) uint64 { return reqID<<KeyBits | key }
@@ -64,21 +85,28 @@ func PackArg(reqID, key uint64) uint64 { return reqID<<KeyBits | key }
 // SplitArg recovers the request ID and key from an announced Arg.
 func SplitArg(arg uint64) (reqID, key uint64) { return arg >> KeyBits, arg & MaxKey }
 
-// reqWire/replyWire are the fixed frame payload sizes (op/status byte plus
-// two big-endian uint64s); a stats reply appends its JSON body.
+// reqWire/replyWire are the fixed frame payload sizes (an op/status byte
+// plus big-endian uint64s); a stats reply appends its JSON body.
 const (
-	reqWire   = 1 + 8 + 8
+	reqWire   = 1 + 8 + 8 + 8 + 8
 	replyWire = 1 + 8 + 8
 )
 
 // MaxFrame bounds a frame payload (a stats body is the only variable part).
 const MaxFrame = 1 << 20
 
-// Request is one client->server frame.
+// Request is one client->server frame. Key2 is the move destination,
+// zero for every other op. Ack piggybacks the client's acknowledged-reply
+// high-watermark (a full request ID whose sequence part is the highest
+// CONTIGUOUSLY settled sequence of that client; zero acknowledges
+// nothing): the server drops response-table entries at or below it, which
+// is what keeps the exactly-once table flat under steady traffic.
 type Request struct {
 	Op    byte
 	ReqID uint64
 	Key   uint64
+	Key2  uint64
+	Ack   uint64
 }
 
 // Reply is one server->client frame. Body is non-nil only for OpStats.
@@ -95,6 +123,8 @@ func EncodeRequest(r Request) []byte {
 	b[0] = r.Op
 	binary.BigEndian.PutUint64(b[1:], r.ReqID)
 	binary.BigEndian.PutUint64(b[9:], r.Key)
+	binary.BigEndian.PutUint64(b[17:], r.Key2)
+	binary.BigEndian.PutUint64(b[25:], r.Ack)
 	return b
 }
 
@@ -103,7 +133,13 @@ func DecodeRequest(b []byte) (Request, error) {
 	if len(b) != reqWire {
 		return Request{}, fmt.Errorf("serve: request frame is %d bytes, want %d", len(b), reqWire)
 	}
-	return Request{Op: b[0], ReqID: binary.BigEndian.Uint64(b[1:]), Key: binary.BigEndian.Uint64(b[9:])}, nil
+	return Request{
+		Op:    b[0],
+		ReqID: binary.BigEndian.Uint64(b[1:]),
+		Key:   binary.BigEndian.Uint64(b[9:]),
+		Key2:  binary.BigEndian.Uint64(b[17:]),
+		Ack:   binary.BigEndian.Uint64(b[25:]),
+	}, nil
 }
 
 // EncodeReply renders a reply payload.

@@ -96,12 +96,17 @@ type Server struct {
 	procConns [][]*conn // conns pinned to each proc
 	rr        []int     // per-proc round-robin drain cursor
 	procM     []ProcStats
-	// done is the response table: request ID -> boolean result of every
-	// answered request, including entries (re)filled from RecoverAll
-	// reports — what makes a resubmitted request ID exactly-once. It grows
-	// with distinct request IDs; eviction (e.g. per-session acknowledgement)
-	// is a deployment concern out of scope here.
+	// done is the response table: request ID -> result of every answered
+	// request (boolean for PUT/DEL/GET, both packed leg booleans for
+	// MOVE), including entries (re)filled from RecoverAll reports — what
+	// makes a resubmitted request ID exactly-once. It is bounded by the
+	// acknowledgement protocol: each request piggybacks the client's
+	// acked-sequence high-watermark (Request.Ack) and applyAckLocked
+	// evicts everything at or below it, so under steady resubmit-free
+	// traffic the table holds only the unacknowledged tail.
 	done     map[uint64]uint64
+	acked    map[uint64]uint64   // client prefix -> acked seq watermark
+	evicted  uint64              // table entries dropped via acks
 	inflight map[uint64]struct{} // queued or admitted, not yet answered
 	// crashes mirrors group.Crashes() under s.mu (bumped in onRecover, which
 	// already holds it). Snapshot reads the mirror: calling group.Crashes()
@@ -133,6 +138,7 @@ func New(cfg Config) *Server {
 		rr:        make([]int, cfg.Procs),
 		procM:     make([]ProcStats, cfg.Procs),
 		done:      map[uint64]uint64{},
+		acked:     map[uint64]uint64{},
 		inflight:  map[uint64]struct{}{},
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -326,10 +332,63 @@ func (c *conn) writeLoop() {
 	}
 }
 
+// maxAckWalk caps how many sequence numbers one acknowledgement may evict
+// in a single walk: a legitimate watermark advances by the handful of
+// requests since the last one, while a hostile frame could otherwise name
+// a MaxSeq-wide range and stall the admission lock for the whole walk.
+// Capped eviction is sound — entries below the skipped range merely
+// linger until the table is rebuilt.
+const maxAckWalk = 1 << 16
+
+// applyAckLocked evicts the response-table entries an acknowledgement
+// watermark proves the client has received (its replies are in hand, so
+// their IDs can never be resubmitted). Requires s.mu.
+func (s *Server) applyAckLocked(ack uint64) {
+	if ack == 0 {
+		return
+	}
+	cl, seq := SplitID(ack)
+	old := s.acked[cl]
+	if seq <= old {
+		return
+	}
+	if seq-old > maxAckWalk {
+		old = seq - maxAckWalk
+	}
+	for sq := old + 1; sq <= seq; sq++ {
+		if _, ok := s.done[cl<<SeqBits|sq]; ok {
+			delete(s.done, cl<<SeqBits|sq)
+			s.evicted++
+		}
+	}
+	s.acked[cl] = seq
+}
+
+// validOp reports whether a data request is in range for its op.
+func validOp(req Request) bool {
+	switch req.Op {
+	case OpPut, OpDel, OpGet:
+		if req.Key2 != 0 {
+			return false
+		}
+	case OpMove:
+		if req.Key2 < 1 || req.Key2 > MaxKey {
+			return false
+		}
+	default:
+		return false
+	}
+	return req.Key >= 1 && req.Key <= MaxKey && req.ReqID <= MaxReqID
+}
+
 // handle admits one decoded request: stats snapshot, response-table hit,
-// backpressure, or enqueue.
+// backpressure, or enqueue. Every accepted frame's Ack is applied first,
+// so the response table shrinks even on requests that bounce.
 func (s *Server) handle(c *conn, req Request) {
 	if req.Op == OpStats {
+		s.mu.Lock()
+		s.applyAckLocked(req.Ack)
+		s.mu.Unlock()
 		body, err := json.Marshal(s.Snapshot())
 		if err != nil {
 			c.sendReply(Reply{Status: StErr, ReqID: req.ReqID})
@@ -338,12 +397,12 @@ func (s *Server) handle(c *conn, req Request) {
 		c.sendReply(Reply{Status: StOK, ReqID: req.ReqID, Body: body})
 		return
 	}
-	if req.Op != OpPut && req.Op != OpDel && req.Op != OpGet ||
-		req.Key < 1 || req.Key > MaxKey || req.ReqID > MaxReqID {
+	if !validOp(req) {
 		c.sendReply(Reply{Status: StErr, ReqID: req.ReqID})
 		return
 	}
 	s.mu.Lock()
+	s.applyAckLocked(req.Ack)
 	if val, ok := s.done[req.ReqID]; ok {
 		// A resubmitted request ID: answer from the response table (after
 		// a crash, filled from the RecoverAll report) — never re-execute.
@@ -413,11 +472,25 @@ func (s *Server) drain(w int) []pendingReq {
 // connection per pass (round-robin fairness: a connection with a deep
 // queue cannot starve its neighbours), starting each window at a rotating
 // cursor.
+//
+// MOVE requests never share a window: a batch announcement and a
+// transaction announcement are mutually exclusive shapes, so each
+// connection contributes only the prefix of its queue ahead of its first
+// MOVE, and when every admissible queue is blocked on a MOVE, exactly one
+// MOVE is admitted as a singleton window.
 func (s *Server) takeLocked(w int) []pendingReq {
 	conns := s.procConns[w]
 	n := len(conns)
 	if n == 0 {
 		return nil
+	}
+	limit := func(c *conn) int {
+		for i, pr := range c.q {
+			if pr.req.Op == OpMove {
+				return i
+			}
+		}
+		return len(c.q)
 	}
 	var out []pendingReq
 	start := s.rr[w]
@@ -426,7 +499,7 @@ func (s *Server) takeLocked(w int) []pendingReq {
 		took := false
 		for i := 0; i < n && len(out) < s.cfg.Batch; i++ {
 			c := conns[(start+i)%n]
-			if depth < len(c.q) {
+			if depth < limit(c) {
 				out = append(out, c.q[depth])
 				c.m.admitted++
 				took = true
@@ -436,6 +509,24 @@ func (s *Server) takeLocked(w int) []pendingReq {
 			break
 		}
 		depth++
+	}
+	if len(out) == 0 {
+		// Every nonempty queue leads with a MOVE; admit one alone.
+		for i := 0; i < n; i++ {
+			c := conns[(start+i)%n]
+			if len(c.q) == 0 {
+				continue
+			}
+			out = append(out, c.q[0])
+			c.q = append(c.q[:0:0], c.q[1:]...)
+			c.m.admitted++
+			s.rr[w] = (start + 1) % n
+			pm := &s.procM[w]
+			pm.Moves++
+			pm.Admitted++
+			return out
+		}
+		return nil
 	}
 	// Pop the admitted prefixes and advance the fairness cursor.
 	taken := map[*conn]int{}
@@ -475,6 +566,10 @@ func reqOp(r Request) repro.Op {
 // answer the prefix the report proves durable via repro.MatchReport, and
 // re-admit the no-effect suffix.
 func (s *Server) serveWindow(p *repro.Proc, w int, batch []pendingReq) {
+	if batch[0].req.Op == OpMove {
+		s.serveMove(p, w, batch[0])
+		return
+	}
 	pending := batch
 	for len(pending) > 0 {
 		ops := make([]repro.Op, len(pending))
@@ -500,6 +595,72 @@ func (s *Server) serveWindow(p *repro.Proc, w int, batch []pendingReq) {
 		// No report (or nothing matched): the window provably performed no
 		// tracked writes and is re-admitted wholesale.
 	}
+}
+
+// moveVal packs a MOVE's two leg results into one reply value: bit 0 is
+// the delete's (source present), bit 1 the insert's (destination fresh).
+func moveVal(del, ins repro.Resp) uint64 {
+	v := uint64(0)
+	if del.Bool() {
+		v |= 1
+	}
+	if ins.Bool() {
+		v |= 2
+	}
+	return v
+}
+
+// serveMove runs one MOVE to completion across any number of crashes: the
+// delete and insert legs run as a single ApplyTxn (one durable commit
+// point between them). On a crash, the transaction report either proves
+// both legs durable — recovery rolls a committed transaction's second leg
+// forward before reporting — and answers from it, or proves the whole
+// transaction had no effect, in which case it is re-applied. The request
+// ID riding both legs' announced Args makes a stale report unmatchable,
+// exactly as in the batch path.
+func (s *Server) serveMove(p *repro.Proc, w int, pr pendingReq) {
+	leg1 := repro.TxnLeg{S: s.store, Op: repro.Op{Kind: repro.OpDelete, Arg: PackArg(pr.req.ReqID, pr.req.Key)}}
+	leg2 := repro.TxnLeg{S: s.store, Op: repro.Op{Kind: repro.OpInsert, Arg: PackArg(pr.req.ReqID, pr.req.Key2)}}
+	ops := []repro.Op{leg1.Op, leg2.Op}
+	for {
+		var del, ins repro.Resp
+		if s.rt.Run(func() { del, ins = s.rt.ApplyTxn(p, leg1, leg2) }) {
+			s.finishMove(w, pr, del, ins, false)
+			return
+		}
+		s.cond.Broadcast()
+		s.group.Park()
+		if rep, ok := s.group.Report(w); ok {
+			var legs [2]repro.Resp
+			if n := repro.MatchReport(rep, ops, func(i int, _ repro.Op, resp repro.Resp) {
+				legs[i] = resp
+			}); n == 2 {
+				s.finishMove(w, pr, legs[0], legs[1], true)
+				return
+			}
+		}
+		// No report or no effect: the transaction provably did not apply
+		// and is re-submitted wholesale.
+	}
+}
+
+// finishMove records one answered MOVE in the response table and replies.
+func (s *Server) finishMove(w int, pr pendingReq, del, ins repro.Resp, fromReport bool) {
+	val := moveVal(del, ins)
+	s.mu.Lock()
+	s.done[pr.req.ReqID] = val
+	delete(s.inflight, pr.req.ReqID)
+	m := &pr.c.m
+	if pr.c.gone {
+		m = &s.closedAgg
+	}
+	m.lat.observe(time.Since(pr.enq))
+	if fromReport {
+		m.fromReport++
+		s.procM[w].FromReport++
+	}
+	s.mu.Unlock()
+	pr.c.sendReply(Reply{Status: StOK, ReqID: pr.req.ReqID, Val: val})
 }
 
 // finish records one answered request in the response table and replies.
@@ -537,8 +698,20 @@ func (s *Server) onRecover(reps []repro.ProcReport) {
 	defer s.mu.Unlock()
 	s.crashes++ // mirror of group.Crashes(); see the field comment
 	for _, rep := range reps {
+		if rep.Txn != nil {
+			// A MOVE transaction. Unless it provably had no effect (the
+			// worker re-applies it), both legs are durable by the time the
+			// report exists — recovery rolls leg 2 forward first — so the
+			// packed answer is complete and resubmittable-from-table.
+			if rep.Txn.Class != repro.TxnNoEffect {
+				reqID, _ := SplitArg(rep.Txn.Legs[0].Op.Arg)
+				s.done[reqID] = moveVal(rep.Txn.Legs[0].Resp, rep.Txn.Legs[1].Resp)
+				s.recovered++
+			}
+			continue
+		}
 		if rep.Batch == nil {
-			continue // serve admits through ApplyWindow: always a batch
+			continue // serve admits batches and transactions only
 		}
 		for _, ent := range rep.Batch {
 			if ent.Status == repro.OpNoEffect {
@@ -563,6 +736,7 @@ func (s *Server) Snapshot() Stats {
 		Crashes:          s.crashes,
 		TableEntries:     len(s.done),
 		RecoveredEntries: s.recovered,
+		EvictedEntries:   s.evicted,
 		Queued:           s.closedAgg.queued,
 		Admitted:         s.closedAgg.admitted,
 		Retried:          s.closedAgg.retried,

@@ -144,6 +144,10 @@ func (r Resp) Bool() bool { return r.raw == isb.RespTrue }
 // on an empty container).
 func (r Resp) Empty() bool { return r.raw == isb.RespEmpty }
 
+// Skipped reports the elided-transaction-leg response: leg 2's argument
+// derived from leg 1, and leg 1 carried no value (see TxnLeg.ArgFromLeg1).
+func (r Resp) Skipped() bool { return r.raw == isb.RespSkipped }
+
 // Value decodes a carried payload (dequeued/popped/exchanged value);
 // ok is false when the response carries no payload (e.g. Empty).
 func (r Resp) Value() (uint64, bool) {
@@ -419,6 +423,10 @@ type ProcReport struct {
 	// completed prefix, the single in-flight operation, and the unstarted
 	// suffix (see OpStatus). Op/Resp then mirror the in-flight entry.
 	Batch []BatchOpReport
+	// Txn is non-nil when the process crashed inside an ApplyTxn: the
+	// recovery class and both legs' outcomes (see TxnReport). Op/Resp then
+	// mirror leg 1 for a no-effect transaction and leg 2 otherwise.
+	Txn *TxnReport
 }
 
 // RecoverAll is the registry-routed recovery sweep. Call it after Restart:
@@ -480,6 +488,10 @@ func (r *Runtime) RecoverAll() []ProcReport {
 	var out []ProcReport
 	for id := 0; id < r.h.NumProcs(); id++ {
 		p := r.h.Proc(id)
+		if rep, ok := r.recoverTxn(id); ok {
+			out = append(out, rep)
+			continue
+		}
 		if rep, ok := r.recoverBatch(id); ok {
 			out = append(out, rep)
 			continue

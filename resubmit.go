@@ -6,8 +6,17 @@ package repro
 // every operation the report proves durable, returning how many leading
 // operations of pending were resolved — the caller re-submits the rest.
 //
-// Three shapes arise, all handled here (and pinned by TestMatchReport):
+// Four shapes arise, all handled here (and pinned by TestMatchReport):
 //
+//   - Transaction report (rep.Txn != nil): a two-leg transaction occupies
+//     pending[0] (leg 1) and pending[1] (leg 2). TxnNoEffect resolves
+//     nothing — neither structure changed, the caller re-submits the whole
+//     transaction. Any other class proves BOTH legs durable (recovery
+//     rolls leg 2 forward before reporting), so both legs deliver at once
+//     — iff both announced leg operations match their pending positions;
+//     a mismatch is a stale report from an earlier, answered transaction.
+//     Matching is on the ANNOUNCED operations, so an ArgFromLeg1 leg 2
+//     compares by the argument the caller submitted, not the derived one.
 //   - Single-op report (rep.Batch == nil): a one-operation remainder
 //     announces like a plain operation. It resolves pending[0] iff the
 //     reported operation is exactly pending[0]; otherwise the entry is a
@@ -28,6 +37,21 @@ package repro
 // exact stale-window rejection for free: a stale entry's Arg carries the
 // old window's identity and cannot equal the pending one's.
 func MatchReport(rep ProcReport, pending []Op, deliver func(i int, op Op, resp Resp)) int {
+	// The transaction branch must run before the single-op one: a txn
+	// report mirrors one leg into rep.Op/rep.Resp for display, and that
+	// mirror must never resolve pending[0] as if it were a lone operation.
+	if rep.Txn != nil {
+		t := rep.Txn
+		if t.Class == TxnNoEffect {
+			return 0
+		}
+		if len(pending) >= 2 && t.Legs[0].Op == pending[0] && t.Legs[1].Op == pending[1] {
+			deliver(0, pending[0], t.Legs[0].Resp)
+			deliver(1, pending[1], t.Legs[1].Resp)
+			return 2
+		}
+		return 0
+	}
 	if rep.Batch == nil {
 		if len(pending) > 0 && rep.Op == pending[0] {
 			deliver(0, pending[0], rep.Resp)

@@ -66,6 +66,64 @@ func TestMatchReport(t *testing.T) {
 		}
 	})
 
+	t.Run("txn-report", func(t *testing.T) {
+		rSkip := respOf(isb.RespSkipped)
+		mkRep := func(class TxnClass, st1, st2 OpStatus, r1, r2 Resp) ProcReport {
+			rep := ProcReport{Proc: 3, Op: opB, Resp: r2, Txn: &TxnReport{Class: class}}
+			rep.Txn.Legs[0] = TxnLegReport{StructID: 1, Op: opA, Resp: r1, Status: st1}
+			rep.Txn.Legs[1] = TxnLegReport{StructID: 2, Op: opB, Resp: r2, Status: st2}
+			return rep
+		}
+
+		// A completed transaction resolves both pending legs at once.
+		rep := mkRep(TxnCompleted, OpCompleted, OpCompleted, rTrue, rFalse)
+		g, deliver := collect()
+		if n := MatchReport(rep, []Op{opA, opB, opC}, deliver); n != 2 {
+			t.Fatalf("completed txn resolved %d, want 2", n)
+		}
+		if len(*g) != 2 || (*g)[0] != (got{0, opA}) || (*g)[1] != (got{1, opB}) {
+			t.Fatalf("delivered %v, want [{0 %v} {1 %v}]", *g, opA, opB)
+		}
+
+		// Leg 2 recovered in-flight: leg 2's effect was rolled forward
+		// before reporting, so both legs still resolve — including an
+		// elided leg 2 (skipped response).
+		rep = mkRep(TxnLeg2Recovered, OpCompleted, OpInFlight, rTrue, rSkip)
+		g, deliver = collect()
+		if n := MatchReport(rep, []Op{opA, opB}, deliver); n != 2 || len(*g) != 2 {
+			t.Fatalf("leg2-recovered txn resolved %d (%v), want 2", n, *g)
+		}
+
+		// No effect: neither leg resolves; the caller re-submits the
+		// whole transaction.
+		rep = mkRep(TxnNoEffect, OpNoEffect, OpNoEffect, Resp{}, Resp{})
+		g, deliver = collect()
+		if n := MatchReport(rep, []Op{opA, opB}, deliver); n != 0 || len(*g) != 0 {
+			t.Fatalf("no-effect txn resolved %d ops (%v), want 0", n, *g)
+		}
+
+		// Stale transaction report: the legs belong to an earlier, fully
+		// answered transaction — mismatch on either pending position
+		// resolves nothing, and the leg mirrored into rep.Op/rep.Resp must
+		// not leak through the single-op branch.
+		rep = mkRep(TxnCompleted, OpCompleted, OpCompleted, rTrue, rFalse)
+		g, deliver = collect()
+		if n := MatchReport(rep, []Op{opB, opA}, deliver); n != 0 || len(*g) != 0 {
+			t.Fatalf("stale txn report resolved %d ops (%v), want 0", n, *g)
+		}
+		g, deliver = collect()
+		if n := MatchReport(rep, []Op{opA, opC}, deliver); n != 0 || len(*g) != 0 {
+			t.Fatalf("leg-2-mismatched txn report resolved %d ops (%v), want 0", n, *g)
+		}
+
+		// Pending shorter than a transaction: a two-leg report can never
+		// half-resolve a single pending operation.
+		g, deliver = collect()
+		if n := MatchReport(rep, []Op{opA}, deliver); n != 0 || len(*g) != 0 {
+			t.Fatalf("one-op pending resolved %d against a txn report (%v), want 0", n, *g)
+		}
+	})
+
 	t.Run("stale-report", func(t *testing.T) {
 		// An earlier, fully completed window's entries: position 0 does not
 		// match the new window's first pending op, so nothing resolves and
