@@ -40,12 +40,28 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad rate %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func main() {
 	label := flag.String("label", "local", "report label (e.g. short commit sha)")
 	out := flag.String("out", "", "output path (default BENCH_<label>.json)")
 	procs := flag.String("procs", "", "comma-separated proc counts (default 1,2,4,8)")
 	shards := flag.String("shards", "", "comma-separated shard counts (default 1,16)")
 	ops := flag.Int("ops", 0, "operations per proc per cell (default 2000)")
+	faultRates := flag.String("serve-fault-rates", "", "comma-separated serve-cell fault rates in connection kills per KiB (default 0,0.5; rate 0 is every fault-free cell)")
 	quick := flag.Bool("quick", false, "small matrix for smoke runs")
 	check := flag.String("check", "", "validate an existing report file and exit")
 	compare := flag.String("compare", "", "baseline report to gate the fresh run against (fails when a cell falls >15% behind the pair's median throughput ratio or grows persists/op)")
@@ -106,6 +122,11 @@ func main() {
 		fail(err)
 	} else if flagShards != nil {
 		p.Shards = flagShards
+	}
+	if flagRates, err := parseFloats(*faultRates); err != nil {
+		fail(err)
+	} else if flagRates != nil {
+		p.ServeFaultRates = flagRates
 	}
 
 	rep, err := bench.Run(p)

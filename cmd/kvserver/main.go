@@ -8,10 +8,14 @@
 //	go run ./cmd/kvserver -addr :7070 -crash-every 50000
 //
 // Selftest mode (-selftest) runs an in-process crash storm over the
-// in-memory transport — several client connections hammering the server
+// in-memory transport — several session clients hammering the server
 // through injected crashes — audits the recovered store against every
 // response the clients observed, prints the stats snapshot, and exits
 // non-zero on any inconsistency. CI runs this as the server smoke test.
+// With -chaos the storm additionally runs through a fault-injecting
+// listener that kills connections mid-frame on a seeded schedule: the
+// session clients must redial and resubmit without a single answer or
+// store cell diverging.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 
 	"repro"
 	"repro/internal/serve"
+	"repro/internal/serve/chaos"
 	"repro/internal/serve/client"
 )
 
@@ -36,15 +41,22 @@ func main() {
 	batch := flag.Int("batch", 16, "max requests per admission window")
 	queueDepth := flag.Int("queue-depth", 32, "per-connection queue bound")
 	crashEvery := flag.Uint64("crash-every", 0, "memory accesses between injected crashes (0 = no crash sim)")
+	shedWatermark := flag.Float64("shed-watermark", 0, "aggregate queue fraction past which requests are answered OVERLOAD (0 = off)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "disconnect connections idle for this long (0 = off)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-reply write deadline (0 = off)")
 	selftest := flag.Bool("selftest", false, "run the in-process crash-storm audit and exit")
 	conns := flag.Int("conns", 4, "selftest: client connections")
 	ops := flag.Int("ops", 300, "selftest: requests per connection")
+	chaosOn := flag.Bool("chaos", false, "selftest: run the storm through a fault-injecting listener (connection kills, torn frames)")
+	chaosRate := flag.Float64("chaos-rate", 0.4, "selftest: expected connection kills per KiB of traffic")
+	chaosSeed := flag.Int64("chaos-seed", 1, "selftest: chaos schedule seed")
 	flag.Parse()
 
 	cfg := serve.Config{
 		Procs: *procs, Shards: *shards, Batch: *batch, QueueDepth: *queueDepth,
 		CrashSim: *crashEvery > 0, CrashEvery: *crashEvery,
 		Engine: repro.EngineIsbOpt, HeapWords: 1 << 22,
+		ShedWatermark: *shedWatermark, IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout,
 	}
 
 	if *selftest {
@@ -52,7 +64,11 @@ func main() {
 			cfg.CrashSim = true
 			cfg.CrashEvery = 1500
 		}
-		if err := runSelftest(cfg, *conns, *ops); err != nil {
+		var sched *chaos.Schedule
+		if *chaosOn {
+			sched = chaos.NewSchedule(chaos.ScheduleConfig{Seed: *chaosSeed, KillRate: *chaosRate})
+		}
+		if err := runSelftest(cfg, *conns, *ops, sched); err != nil {
 			fmt.Fprintln(os.Stderr, "selftest FAILED:", err)
 			os.Exit(1)
 		}
@@ -73,28 +89,39 @@ func main() {
 	}
 }
 
-// runSelftest storms a fresh server over the in-memory transport and
-// audits the recovered store against the responses the clients observed.
-func runSelftest(cfg serve.Config, conns, ops int) error {
+// runSelftest storms a fresh server over the in-memory transport —
+// optionally through a fault-injecting listener — and audits the
+// recovered store against the responses the session clients observed.
+func runSelftest(cfg serve.Config, conns, ops int, sched *chaos.Schedule) error {
 	const keySpace = 48
 	s := serve.New(cfg)
 	defer s.Close()
 	ln := serve.NewMemListener()
-	go s.Serve(ln)
+	if sched != nil {
+		go s.Serve(chaos.NewListener(ln, sched))
+	} else {
+		go s.Serve(ln)
+	}
 
-	net := make([]map[uint64]int, conns)
+	deltas := make([]map[uint64]int, conns)
 	errs := make([]error, conns)
+	sessions := make([]*client.Session, conns)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < conns; w++ {
-		net[w] = map[uint64]int{}
-		nc, err := ln.Dial()
+		deltas[w] = map[uint64]int{}
+		c, err := client.DialSession(client.SessionConfig{
+			ClientID:       uint64(w + 1),
+			Dial:           func() (net.Conn, error) { return ln.Dial() },
+			RequestTimeout: 10 * time.Second,
+			Seed:           int64(w) + 1,
+		})
 		if err != nil {
 			return err
 		}
-		c := client.New(nc, uint64(w+1))
+		sessions[w] = c
 		wg.Add(1)
-		go func(w int, c *client.Client) {
+		go func(w int, c *client.Session) {
 			defer wg.Done()
 			defer c.Close()
 			rng := rand.New(rand.NewSource(int64(w) + 1))
@@ -108,7 +135,7 @@ func runSelftest(cfg serve.Config, conns, ops int) error {
 						return
 					}
 					if ok {
-						net[w][k]++
+						deltas[w][k]++
 					}
 				case 1:
 					ok, err := c.Del(k)
@@ -117,7 +144,7 @@ func runSelftest(cfg serve.Config, conns, ops int) error {
 						return
 					}
 					if ok {
-						net[w][k]--
+						deltas[w][k]--
 					}
 				default:
 					if _, err := c.Get(k); err != nil {
@@ -136,7 +163,7 @@ func runSelftest(cfg serve.Config, conns, ops int) error {
 	}
 
 	total := map[uint64]int{}
-	for _, m := range net {
+	for _, m := range deltas {
 		for k, v := range m {
 			total[k] += v
 		}
@@ -160,6 +187,22 @@ func runSelftest(cfg serve.Config, conns, ops int) error {
 	body, _ := json.MarshalIndent(st, "", "  ")
 	fmt.Printf("%d conns × %d ops in %v: %d crashes survived, %d replies from recovery reports, %d retried, batch fill %.2f\n",
 		conns, ops, time.Since(start).Round(time.Millisecond), st.Crashes, st.FromReport, st.Retried, st.BatchFillMean())
+	if sched != nil {
+		var agg client.SessionStats
+		for _, c := range sessions {
+			cs := c.SessionStats()
+			agg.Dials += cs.Dials
+			agg.Reconnects += cs.Reconnects
+			agg.Resubmits += cs.Resubmits
+			agg.Timeouts += cs.Timeouts
+		}
+		wrapped, kills := sched.Stats()
+		fmt.Printf("chaos: %d conns wrapped, %d kills planned; clients: %d dials, %d reconnects, %d resubmits, %d timeouts; server: %d disconnects\n",
+			wrapped, kills, agg.Dials, agg.Reconnects, agg.Resubmits, agg.Timeouts, st.Disconnects)
+		if kills > 0 && agg.Reconnects == 0 {
+			return fmt.Errorf("chaos schedule planned %d kills but no client ever reconnected; storm too small", kills)
+		}
+	}
 	fmt.Println(string(body))
 	if bad > 0 {
 		return fmt.Errorf("%d keys inconsistent with observed responses", bad)

@@ -34,8 +34,11 @@ import (
 // Runtime.ApplyBatch) plus the batch_syncs/read_fast_ops counters. v4
 // added the serve section: the network front-end measured end to end
 // (conns × batch cells over the in-process transport), with its own
-// batching gate in Validate.
-const SchemaVersion = 4
+// batching gate in Validate. v5 added the fault_rate axis to the serve
+// section — hostile-wire cells run reconnecting session clients through a
+// seeded chaos listener and carry reconnects/sheds/timeouts counters, so
+// every report pins a throughput-vs-fault-rate degradation curve.
+const SchemaVersion = 5
 
 // Mix is a named operation mix: percentages of finds, with the remainder
 // split evenly between inserts and deletes.
@@ -67,6 +70,11 @@ type Params struct {
 	// against the fixed serveProcs-worker server.
 	ServeConns   []int
 	ServeBatches []int
+	// ServeFaultRates is the hostile-wire axis (expected connection kills
+	// per KiB of traffic, default 0 and 0.5): each positive rate adds one
+	// session-client cell per conns value at the largest ServeBatches
+	// entry; rate 0 is the fault-free wire every legacy cell already runs.
+	ServeFaultRates []float64
 }
 
 func (p Params) withDefaults() Params {
@@ -96,6 +104,9 @@ func (p Params) withDefaults() Params {
 	}
 	if len(p.ServeBatches) == 0 {
 		p.ServeBatches = []int{1, 16}
+	}
+	if len(p.ServeFaultRates) == 0 {
+		p.ServeFaultRates = []float64{0, 0.5}
 	}
 	return p
 }
@@ -574,7 +585,7 @@ func Validate(data []byte) error {
 			return fmt.Errorf("bench: serve cell %q has non-positive axes", pt.Name)
 		}
 		if !finite(pt.Seconds, pt.OpsPerSec, pt.SyncsPerOp, pt.PersistsPerOp,
-			pt.BatchFillMean, pt.P50Micros, pt.P99Micros) {
+			pt.BatchFillMean, pt.P50Micros, pt.P99Micros, pt.FaultRate) {
 			return fmt.Errorf("bench: serve cell %s has non-finite metrics", pt.Name)
 		}
 		if pt.Seconds <= 0 || pt.OpsPerSec <= 0 || pt.SyncsPerOp < 0 || pt.PersistsPerOp < 0 {
@@ -582,6 +593,29 @@ func Validate(data []byte) error {
 		}
 		if pt.BatchFillMean < 1 {
 			return fmt.Errorf("bench: serve cell %s drained empty windows (fill %.2f)", pt.Name, pt.BatchFillMean)
+		}
+		if pt.FaultRate < 0 {
+			return fmt.Errorf("bench: serve cell %s has negative fault_rate %g", pt.Name, pt.FaultRate)
+		}
+		if pt.FaultRate == 0 {
+			// A fault-free wire must never tear: a reconnect or deadline
+			// expiry here means the serve path itself dropped a connection.
+			if pt.Reconnects != 0 || pt.Timeouts != 0 {
+				return fmt.Errorf("bench: fault-free serve cell %s reconnected %d times / timed out %d times",
+					pt.Name, pt.Reconnects, pt.Timeouts)
+			}
+		} else if pt.Reconnects == 0 {
+			// A hostile-wire cell that never reconnected measured nothing:
+			// either the chaos schedule never fired or the session never
+			// noticed — both invalidate the degradation curve.
+			return fmt.Errorf("bench: serve cell %s ran at fault_rate %g but never reconnected",
+				pt.Name, pt.FaultRate)
+		}
+		if pt.FaultRate > 0 {
+			// The batching gate below compares fault-free cells only: a
+			// hostile wire perturbs window fill, so faulted cells carry
+			// their own reconnect gate instead.
+			continue
 		}
 		ss := byConns[pt.Conns]
 		if ss == nil {
@@ -737,7 +771,10 @@ func Compare(oldData, newData []byte) error {
 		if !ok {
 			continue
 		}
-		g := groupKey{engine: "serve", mix: fmt.Sprintf("conns=%d", pt.Conns), batch: pt.Batch}
+		// Fault cells form their own pseudo-groups: a hostile wire's
+		// throughput must be judged against the same fault rate, never
+		// against the fault-free cells at the same conns/batch.
+		g := groupKey{engine: "serve", mix: fmt.Sprintf("conns=%d/fault=%g", pt.Conns, pt.FaultRate), batch: pt.Batch}
 		agg := groups[g]
 		if agg == nil {
 			agg = &groupAgg{}

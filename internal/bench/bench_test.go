@@ -59,7 +59,7 @@ func TestReportSchema(t *testing.T) {
 	sv := raw["serve"].([]any)[0].(map[string]any)
 	for _, key := range []string{"name", "conns", "procs", "batch", "ops", "seconds",
 		"ops_per_sec", "syncs_per_op", "persists_per_op", "retried", "batch_fill_mean",
-		"p50_micros", "p99_micros"} {
+		"p50_micros", "p99_micros", "fault_rate", "reconnects", "sheds", "timeouts"} {
 		if _, ok := sv[key]; !ok {
 			t.Fatalf("serve JSON is missing key %q", key)
 		}
@@ -130,6 +130,21 @@ func TestReportSchema(t *testing.T) {
 			t.Fatalf("serve conns=%d batches = %v, want batch=1 plus a batched size", conns, batches)
 		}
 	}
+	// The fault axis must actually run: at least one hostile-wire cell per
+	// conns value, each named distinctly from its fault-free twin (the
+	// Reconnects > 0 requirement on those cells is Validate's gate).
+	faultConns := map[int]bool{}
+	for _, pt := range rep.Serve {
+		if pt.FaultRate > 0 {
+			faultConns[pt.Conns] = true
+			if !strings.Contains(pt.Name, "fault=") {
+				t.Fatalf("fault cell %s is not name-distinguished from the fault-free cells", pt.Name)
+			}
+		}
+	}
+	if len(faultConns) != len(serveGroups) {
+		t.Fatalf("fault cells cover conns %v, want every conns group %v", faultConns, serveGroups)
+	}
 }
 
 // TestValidateRejectsMalformed pins the failure modes the CI gate relies
@@ -137,7 +152,7 @@ func TestReportSchema(t *testing.T) {
 func TestValidateRejectsMalformed(t *testing.T) {
 	// validPrefix carries well-formed scenarios/sweeps/reclaim sections so
 	// each case below trips exactly the serve-or-later check it names.
-	const validPrefix = `{"schema_version": 4, "label": "x", "scenarios": [
+	const validPrefix = `{"schema_version": 5, "label": "x", "scenarios": [
 		{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"read-heavy","batch":1,"ops":1,"seconds":1},
 		{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","batch":1,"ops":1,"seconds":1},
 		{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"write-heavy","batch":1,"ops":1,"seconds":1}],
@@ -145,20 +160,20 @@ func TestValidateRejectsMalformed(t *testing.T) {
 		"reclaim": [{"name":"r","engine":"isb","reclaim":false,"churn_ops":10,
 		 "heap_words_mid":100,"heap_words":200}]`
 	for name, data := range map[string]string{
-		"truncated":    `{"schema_version": 4, "label": "x"`,
+		"truncated":    `{"schema_version": 5, "label": "x"`,
 		"wrong-schema": `{"schema_version": 99, "label": "x", "scenarios": [], "sweeps": []}`,
-		"no-scenarios": `{"schema_version": 4, "label": "x", "scenarios": [], "sweeps": []}`,
-		"nan-metric": `{"schema_version": 4, "label": "x", "scenarios": [
+		"no-scenarios": `{"schema_version": 5, "label": "x", "scenarios": [], "sweeps": []}`,
+		"nan-metric": `{"schema_version": 5, "label": "x", "scenarios": [
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","batch":1,"ops":1,
 			 "seconds":1,"ops_per_sec":"NaN"}], "sweeps": []}`,
-		"no-batch-anchor": `{"schema_version": 4, "label": "x", "scenarios": [
+		"no-batch-anchor": `{"schema_version": 5, "label": "x", "scenarios": [
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"read-heavy","batch":8,"ops":1,"seconds":1},
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","batch":8,"ops":1,"seconds":1},
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"write-heavy","batch":8,"ops":1,"seconds":1}],
 			"sweeps": [{"name":"c","cases":1,"crash_points":1,"seconds":1}],
 			"reclaim": [{"name":"r","engine":"isb","reclaim":false,"churn_ops":10,
 			 "heap_words_mid":100,"heap_words":200}]}`,
-		"reclaim-heap-grew": `{"schema_version": 4, "label": "x", "scenarios": [
+		"reclaim-heap-grew": `{"schema_version": 5, "label": "x", "scenarios": [
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"read-heavy","batch":1,"ops":1,"seconds":1},
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"mixed","batch":1,"ops":1,"seconds":1},
 			{"name":"s","engine":"isb","procs":1,"shards":1,"mix":"write-heavy","batch":1,"ops":1,"seconds":1}],
@@ -174,6 +189,23 @@ func TestValidateRejectsMalformed(t *testing.T) {
 			 "syncs_per_op":3,"persists_per_op":5,"batch_fill_mean":1,"p50_micros":1,"p99_micros":2},
 			{"name":"sv8","conns":1,"procs":2,"batch":8,"ops":10,"seconds":1,"ops_per_sec":20,
 			 "syncs_per_op":2.9,"persists_per_op":5,"batch_fill_mean":4,"p50_micros":1,"p99_micros":2}]}`,
+		// A hostile-wire cell that never reconnected measured nothing.
+		"fault-cell-no-reconnects": validPrefix + `, "serve": [
+			{"name":"sv1","conns":1,"procs":2,"batch":1,"ops":10,"seconds":1,"ops_per_sec":10,
+			 "syncs_per_op":3,"persists_per_op":5,"batch_fill_mean":1,"p50_micros":1,"p99_micros":2},
+			{"name":"sv8","conns":1,"procs":2,"batch":8,"ops":10,"seconds":1,"ops_per_sec":20,
+			 "syncs_per_op":2,"persists_per_op":5,"batch_fill_mean":4,"p50_micros":1,"p99_micros":2},
+			{"name":"sv8f","conns":1,"procs":2,"batch":8,"ops":10,"seconds":1,"ops_per_sec":15,
+			 "syncs_per_op":2,"persists_per_op":5,"batch_fill_mean":4,"p50_micros":1,"p99_micros":2,
+			 "fault_rate":0.5,"reconnects":0}]}`,
+		// A fault-free cell must never reconnect: the serve path itself
+		// dropped a connection.
+		"fault-free-cell-reconnected": validPrefix + `, "serve": [
+			{"name":"sv1","conns":1,"procs":2,"batch":1,"ops":10,"seconds":1,"ops_per_sec":10,
+			 "syncs_per_op":3,"persists_per_op":5,"batch_fill_mean":1,"p50_micros":1,"p99_micros":2,
+			 "reconnects":2},
+			{"name":"sv8","conns":1,"procs":2,"batch":8,"ops":10,"seconds":1,"ops_per_sec":20,
+			 "syncs_per_op":2,"persists_per_op":5,"batch_fill_mean":4,"p50_micros":1,"p99_micros":2}]}`,
 	} {
 		if err := Validate([]byte(data)); err == nil {
 			t.Errorf("%s: Validate accepted malformed report", name)
@@ -243,6 +275,9 @@ func TestCompare(t *testing.T) {
 		}, Serve: []ServePoint{
 			{Name: "serve/conns=4/procs=2/batch=16", Conns: 4, Procs: 2, Batch: 16,
 				Ops: 4000, Seconds: 1.0, OpsPerSec: 4000, PersistsPerOp: 2.0},
+			{Name: "serve/conns=4/procs=2/batch=16/fault=0.5", Conns: 4, Procs: 2, Batch: 16,
+				Ops: 4000, Seconds: 2.0, OpsPerSec: 2000, PersistsPerOp: 2.0,
+				FaultRate: 0.5, Reconnects: 7},
 		}}
 		if edit != nil {
 			edit(&rep)
@@ -270,7 +305,10 @@ func TestCompare(t *testing.T) {
 	// A machine-wide slowdown (every group equally slower) normalizes away.
 	if err := Compare(base, mk(func(r *Report) {
 		for i := range r.Scenarios {
-			r.Scenarios[i].Seconds = 2.0
+			r.Scenarios[i].Seconds *= 2.0
+		}
+		for i := range r.Serve {
+			r.Serve[i].Seconds *= 2.0
 		}
 	})); err != nil {
 		t.Fatalf("uniform 2x slowdown flagged despite median normalization: %v", err)
@@ -296,6 +334,12 @@ func TestCompare(t *testing.T) {
 	err = Compare(base, mk(func(r *Report) { r.Serve[0].Seconds = 2.5 }))
 	if err == nil || !strings.Contains(err.Error(), "engine=serve") {
 		t.Fatalf("serve throughput collapse not flagged as a serve group: %v", err)
+	}
+	// Fault cells are their own pseudo-group: a hostile-wire collapse is
+	// named by its fault rate, never blended into the fault-free group.
+	err = Compare(base, mk(func(r *Report) { r.Serve[1].Seconds = 5.0 }))
+	if err == nil || !strings.Contains(err.Error(), "fault=0.5") {
+		t.Fatalf("fault-cell throughput collapse not flagged by its fault group: %v", err)
 	}
 	// Structural mismatches must error.
 	if err := Compare(base, mk(func(r *Report) { r.Schema = SchemaVersion + 1 })); err == nil {

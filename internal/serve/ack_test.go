@@ -95,3 +95,49 @@ func TestServeAckDoesNotEvictForeignIDs(t *testing.T) {
 		t.Fatalf("deduped = %d, want 1", st.Deduped)
 	}
 }
+
+// TestServeReconnectHitsResponseTable is the resurrected-client leg of the
+// exactly-once protocol: a request answered on one connection, whose reply
+// the client may have lost, must be answered from the response table on a
+// BRAND NEW connection — and a different client reconnecting must neither
+// read nor evict the first client's entries.
+func TestServeReconnectHitsResponseTable(t *testing.T) {
+	s, ln := startServer(t, serve.Config{Procs: 1, Batch: 4, HeapWords: 1 << 18})
+
+	// Client 1 answers a put, then its connection dies (reply conceivably
+	// lost in flight).
+	a := dial(t, ln, 1)
+	id := a.NextID()
+	if rep, err := a.DoWithID(serve.OpPut, id, 7); err != nil || rep.Val != 1 {
+		t.Fatalf("put = val %d, err %v; want fresh insert", rep.Val, err)
+	}
+	a.Close()
+
+	// A foreign client reconnects and churns: its acks name its OWN
+	// sequence range only, so client 1's entry survives.
+	b := dial(t, ln, 2)
+	for i := 0; i < 16; i++ {
+		if _, err := b.Put(uint64(100 + i)); err != nil {
+			t.Fatalf("b put %d: %v", i, err)
+		}
+	}
+	// The foreign client must not be able to observe a stale answer under
+	// ITS resubmission of an ID it never minted... it can read the entry
+	// (IDs are the global dedup key) but crucially cannot EVICT it, and
+	// never collides with it when sticking to its own minted range.
+	if st := s.Snapshot(); st.TableEntries == 0 {
+		t.Fatalf("client 1's unacknowledged entry was evicted by client 2's traffic")
+	}
+
+	// Client 1 resurrects on a new connection and resubmits the same ID:
+	// the answer must come from the table (still val=1 — a re-execution
+	// would answer 0, key 7 already present), via dedup, not execution.
+	before := s.Snapshot().Deduped
+	a2 := dial(t, ln, 1)
+	if rep, err := a2.DoWithID(serve.OpPut, id, 7); err != nil || rep.Val != 1 {
+		t.Fatalf("resubmit on new conn = val %d, err %v; want recorded 1", rep.Val, err)
+	}
+	if after := s.Snapshot().Deduped; after != before+1 {
+		t.Fatalf("deduped went %d -> %d; resubmitted ID was re-executed", before, after)
+	}
+}

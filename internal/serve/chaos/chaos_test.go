@@ -1,0 +1,213 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pump reads everything the peer delivers until error, returning the bytes.
+func pump(nc net.Conn, out chan<- []byte) {
+	var buf bytes.Buffer
+	tmp := make([]byte, 256)
+	for {
+		n, err := nc.Read(tmp)
+		buf.Write(tmp[:n])
+		if err != nil {
+			out <- buf.Bytes()
+			return
+		}
+	}
+}
+
+// TestKillAtWriteOffset pins the torn-write semantics: exactly the bytes
+// before the kill offset reach the peer, the writer gets ErrKilled, and
+// the peer observes the drop as a terminated stream.
+func TestKillAtWriteOffset(t *testing.T) {
+	msg := []byte("0123456789abcdef")
+	for _, off := range []uint64{1, 2, 7, 16} {
+		a, b := net.Pipe()
+		c := NewConn(a, Plan{KillWriteAt: off})
+		got := make(chan []byte, 1)
+		go pump(b, got)
+		n, err := c.Write(msg)
+		if err != ErrKilled {
+			t.Fatalf("off %d: write err = %v, want ErrKilled", off, err)
+		}
+		if uint64(n) != off-1 {
+			t.Fatalf("off %d: forwarded %d bytes, want %d", off, n, off-1)
+		}
+		if peer := <-got; !bytes.Equal(peer, msg[:off-1]) {
+			t.Fatalf("off %d: peer received %q, want %q", off, peer, msg[:off-1])
+		}
+		if _, err := c.Write([]byte("x")); err != ErrKilled {
+			t.Fatalf("off %d: write after kill = %v, want ErrKilled", off, err)
+		}
+		b.Close()
+	}
+}
+
+// TestKillAtReadOffset pins the torn-read semantics: exactly the bytes
+// before the kill offset are delivered, then ErrKilled, and the remote
+// peer's next write fails (the underlying conn is closed).
+func TestKillAtReadOffset(t *testing.T) {
+	msg := []byte("0123456789abcdef")
+	for _, off := range []uint64{1, 2, 9, 16} {
+		a, b := net.Pipe()
+		c := NewConn(a, Plan{KillReadAt: off})
+		go b.Write(msg)
+		var buf bytes.Buffer
+		tmp := make([]byte, 4)
+		var rerr error
+		for rerr == nil {
+			var n int
+			n, rerr = c.Read(tmp)
+			buf.Write(tmp[:n])
+		}
+		if rerr != ErrKilled {
+			t.Fatalf("off %d: read err = %v, want ErrKilled", off, rerr)
+		}
+		if !bytes.Equal(buf.Bytes(), msg[:off-1]) {
+			t.Fatalf("off %d: delivered %q, want %q", off, buf.Bytes(), msg[:off-1])
+		}
+		// The peer sees the teardown too.
+		b.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		if _, err := b.Write([]byte("y")); err == nil {
+			t.Fatalf("off %d: peer write succeeded after kill", off)
+		}
+		b.Close()
+	}
+}
+
+// TestShortWritesDeliverEverything pins that MaxChunk dribbles bytes but
+// loses none: the peer reassembles the full message.
+func TestShortWritesDeliverEverything(t *testing.T) {
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	a, b := net.Pipe()
+	c := NewConn(a, Plan{MaxChunk: 3})
+	got := make(chan []byte, 1)
+	go pump(b, got)
+	if n, err := c.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("chunked write = %d, %v", n, err)
+	}
+	c.Close()
+	if peer := <-got; !bytes.Equal(peer, msg) {
+		t.Fatalf("peer received %q, want %q", peer, msg)
+	}
+}
+
+// TestZeroPlanIsTransparent pins the byte accounting a zero Plan exists
+// for: data flows untouched and both counters are exact.
+func TestZeroPlanIsTransparent(t *testing.T) {
+	a, b := net.Pipe()
+	c := NewConn(a, Plan{})
+	go func() {
+		buf := make([]byte, 5)
+		io.ReadFull(b, buf)
+		b.Write([]byte("pong!"))
+	}()
+	if _, err := c.Write([]byte("ping!")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if c.BytesWritten() != 5 || c.BytesRead() != 5 {
+		t.Fatalf("counters = %d written / %d read, want 5/5", c.BytesWritten(), c.BytesRead())
+	}
+	if c.Killed() {
+		t.Fatal("zero plan reported killed")
+	}
+	c.Close()
+	b.Close()
+}
+
+// TestScheduleDeterminism pins the seeded draw: two schedules with the
+// same seed hand out identical plans, a different seed diverges.
+func TestScheduleDeterminism(t *testing.T) {
+	cfg := ScheduleConfig{Seed: 42, KillRate: 1, MaxChunk: 7, MaxDelay: time.Millisecond}
+	s1, s2 := NewSchedule(cfg), NewSchedule(cfg)
+	same := 0
+	var first1, first2 []Plan
+	for i := 0; i < 16; i++ {
+		p1, p2 := s1.Plan(), s2.Plan()
+		first1, first2 = append(first1, p1), append(first2, p2)
+		if p1 == p2 {
+			same++
+		}
+		if p1.KillWriteAt == 0 && p1.KillReadAt == 0 {
+			t.Fatalf("draw %d: KillRate=1 drew no kill: %+v", i, p1)
+		}
+	}
+	if same != 16 {
+		t.Fatalf("same-seed schedules agreed on %d/16 plans", same)
+	}
+	s3 := NewSchedule(ScheduleConfig{Seed: 43, KillRate: 1, MaxChunk: 7, MaxDelay: time.Millisecond})
+	diverged := false
+	for i := 0; i < 16; i++ {
+		if s3.Plan() != first1[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical plan streams")
+	}
+	if conns, kills := s1.Stats(); conns != 16 || kills != 16 {
+		t.Fatalf("schedule stats = %d conns / %d kills, want 16/16", conns, kills)
+	}
+	_ = first2
+}
+
+// TestListenerWrapsAccepted pins that a chaos.Listener hands accepted
+// connections their scheduled faults: with a certain kill, the conn dies.
+func TestListenerWrapsAccepted(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback listener: %v", err)
+	}
+	sched := NewSchedule(ScheduleConfig{Seed: 7, KillRate: 1024}) // mean 1 byte: kills almost immediately
+	ln := NewListener(inner, sched)
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer nc.Close()
+		buf := make([]byte, 64)
+		for {
+			if _, err := nc.Read(buf); err != nil {
+				done <- nil // fault (or peer close) surfaced as an error — either is a wrapped conn
+				return
+			}
+		}
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer nc.Close()
+	for i := 0; i < 64; i++ {
+		if _, err := nc.Write(make([]byte, 16)); err != nil {
+			break // server-side kill propagated
+		}
+	}
+	nc.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("accept: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("wrapped conn never surfaced its fault")
+	}
+	if conns, _ := sched.Stats(); conns != 1 {
+		t.Fatalf("schedule wrapped %d conns, want 1", conns)
+	}
+}

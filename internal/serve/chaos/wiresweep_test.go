@@ -1,0 +1,199 @@
+package chaos_test
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+	"repro/internal/serve/chaos"
+	"repro/internal/serve/client"
+)
+
+// The wire sweep is the serve layer's flagship conformance test: a fixed
+// workload is driven through a session client whose FIRST connection is
+// killed at EVERY byte offset of every frame in both directions —
+// optionally composed with a mid-workload server crash — and each run
+// must produce responses identical to the fault-free reference, leave the
+// store in the identical final state, and admit every request exactly
+// once (zero duplicate executions). It is the wire-layer analogue of the
+// access-offset crash sweeps: detectability extended over torn frames and
+// dropped connections.
+
+// wireOp is one workload step; moves carry key2.
+type wireOp struct {
+	op        byte
+	key, key2 uint64
+}
+
+// wireOps exercises every op kind, including a MOVE transaction and
+// membership flips whose answers a duplicated execution would falsify.
+var wireOps = []wireOp{
+	{serve.OpPut, 5, 0},
+	{serve.OpPut, 6, 0},
+	{serve.OpGet, 5, 0},
+	{serve.OpMove, 5, 7},
+	{serve.OpDel, 6, 0},
+	{serve.OpPut, 8, 0},
+	{serve.OpGet, 6, 0},
+	{serve.OpGet, 7, 0},
+}
+
+// wireResult is everything one run is judged by.
+type wireResult struct {
+	vals     []uint64 // normalized reply values, one per workload step
+	admitted uint64   // server-side admissions: must equal len(wireOps)
+	keys     []uint64 // sorted final store contents at quiescence
+	wBytes   uint64   // bytes the first conn wrote (reference runs only)
+	rBytes   uint64   // bytes the first conn read (reference runs only)
+	span     uint64   // tracked heap accesses across the workload
+}
+
+func wireConfig(eng repro.EngineKind, crashSim bool) serve.Config {
+	return serve.Config{
+		Procs: 2, Batch: 4, HeapWords: 1 << 16,
+		Engine: eng, CrashSim: crashSim,
+	}
+}
+
+// runWire executes the fixed workload once: the first session connection
+// gets the given fault plan (zero plan = reference), every redial is
+// clean, and crashAt > 0 arms one mid-workload server crash.
+func runWire(t *testing.T, eng repro.EngineKind, crashSim bool, crashAt uint64, plan chaos.Plan) wireResult {
+	t.Helper()
+	srv := serve.New(wireConfig(eng, crashSim))
+	ln := serve.NewMemListener()
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	var first *chaos.Conn
+	dials := 0
+	s, err := client.DialSession(client.SessionConfig{
+		ClientID: 1,
+		Dial: func() (net.Conn, error) {
+			nc, err := ln.Dial()
+			if err != nil {
+				return nil, err
+			}
+			dials++
+			if dials == 1 {
+				first = chaos.NewConn(nc, plan)
+				return first, nil
+			}
+			return nc, nil
+		},
+		RequestTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("dial session: %v", err)
+	}
+	defer s.Close()
+
+	startAcc := srv.Runtime().Heap().AccessCount()
+	if crashAt > 0 {
+		srv.Runtime().ScheduleCrash(crashAt)
+	}
+
+	res := wireResult{vals: make([]uint64, len(wireOps))}
+	for i, op := range wireOps {
+		if op.op == serve.OpMove {
+			del, ins, err := s.Move(op.key, op.key2)
+			if err != nil {
+				t.Fatalf("step %d move(%d,%d): %v", i, op.key, op.key2, err)
+			}
+			if del {
+				res.vals[i] |= 1
+			}
+			if ins {
+				res.vals[i] |= 2
+			}
+			continue
+		}
+		rep, err := s.Do(op.op, op.key)
+		if err != nil {
+			t.Fatalf("step %d op %d(%d): %v", i, op.op, op.key, err)
+		}
+		res.vals[i] = rep.Val
+	}
+	res.span = srv.Runtime().Heap().AccessCount() - startAcc
+
+	res.admitted = srv.Snapshot().Admitted
+	if first != nil {
+		res.wBytes = first.BytesWritten()
+		res.rBytes = first.BytesRead()
+	}
+	s.Close()
+	srv.Close() // quiesce (joining any in-progress recovery) before the audit
+	res.keys = append([]uint64(nil), srv.Store().Keys()...)
+	sort.Slice(res.keys, func(i, j int) bool { return res.keys[i] < res.keys[j] })
+	return res
+}
+
+// checkWire compares one swept run against the fault-free reference.
+func checkWire(t *testing.T, label string, got, ref wireResult) {
+	t.Helper()
+	for i := range ref.vals {
+		if got.vals[i] != ref.vals[i] {
+			t.Fatalf("%s: step %d answered %d, want %d (responses must match the fault-free run)",
+				label, i, got.vals[i], ref.vals[i])
+		}
+	}
+	if got.admitted != uint64(len(wireOps)) {
+		t.Fatalf("%s: %d admissions for %d requests — duplicate or lost execution",
+			label, got.admitted, len(wireOps))
+	}
+	if len(got.keys) != len(ref.keys) {
+		t.Fatalf("%s: store holds %v, want %v", label, got.keys, ref.keys)
+	}
+	for i := range ref.keys {
+		if got.keys[i] != ref.keys[i] {
+			t.Fatalf("%s: store holds %v, want %v", label, got.keys, ref.keys)
+		}
+	}
+}
+
+// TestWireSweep kills the first connection at every byte offset of the
+// workload's write and read streams, for both engines, with and without a
+// composed mid-workload server crash. Every instance must be
+// indistinguishable — responses, final store, admission count — from the
+// fault-free run.
+func TestWireSweep(t *testing.T) {
+	for _, eng := range []repro.EngineKind{repro.EngineIsb, repro.EngineIsbOpt} {
+		for _, withCrash := range []bool{false, true} {
+			eng, withCrash := eng, withCrash
+			name := fmt.Sprintf("engine=%d/crash=%v", eng, withCrash)
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				// Fault-free reference fixes the expected answers, the final
+				// store, the offset space (bytes on the wire), and — for the
+				// crash legs — the access span a mid-workload crash bisects.
+				ref := runWire(t, eng, withCrash, 0, chaos.Plan{})
+				if ref.admitted != uint64(len(wireOps)) {
+					t.Fatalf("reference admitted %d of %d", ref.admitted, len(wireOps))
+				}
+				crashAt := uint64(0)
+				if withCrash {
+					crashAt = ref.span / 2
+					if crashAt == 0 {
+						t.Fatalf("reference run spanned no tracked accesses")
+					}
+				}
+				stride := uint64(1)
+				if testing.Short() {
+					stride = 13
+				}
+				for off := uint64(1); off <= ref.wBytes; off += stride {
+					got := runWire(t, eng, withCrash, crashAt, chaos.Plan{KillWriteAt: off})
+					checkWire(t, fmt.Sprintf("%s kill-write@%d", name, off), got, ref)
+				}
+				for off := uint64(1); off <= ref.rBytes; off += stride {
+					got := runWire(t, eng, withCrash, crashAt, chaos.Plan{KillReadAt: off})
+					checkWire(t, fmt.Sprintf("%s kill-read@%d", name, off), got, ref)
+				}
+			})
+		}
+	}
+}

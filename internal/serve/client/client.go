@@ -39,8 +39,11 @@ type Client struct {
 	settled map[uint64]struct{}
 
 	// RetryDelay is the pause before resubmitting after a RETRY reply
-	// (default 200µs).
+	// (default 200µs); ShedDelay is the pause after an OVERLOAD shed,
+	// which signals server-wide saturation rather than a per-connection
+	// bounce, so it defaults much larger (3ms).
 	RetryDelay time.Duration
+	ShedDelay  time.Duration
 }
 
 // New wraps an established connection. clientID must be unique among
@@ -59,6 +62,7 @@ func New(nc net.Conn, clientID uint64) *Client {
 		settled:    map[uint64]struct{}{},
 		base:       clientID << IDBits,
 		RetryDelay: 200 * time.Microsecond,
+		ShedDelay:  3 * time.Millisecond,
 	}
 	go c.readLoop()
 	return c
@@ -198,6 +202,8 @@ func (c *Client) doReq(req serve.Request) (serve.Reply, error) {
 		switch rep.Status {
 		case serve.StRetry:
 			time.Sleep(c.RetryDelay)
+		case serve.StShed:
+			time.Sleep(c.ShedDelay)
 		case serve.StOK:
 			c.settle(req.ReqID)
 			return rep, nil

@@ -2,6 +2,7 @@ package serve_test
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"repro/internal/serve"
@@ -43,4 +44,82 @@ func FuzzProto(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzFrameStream fuzzes ReadFrame over torn and interleaved frame
+// boundaries: a stream of valid frames truncated at an arbitrary byte
+// offset (the wire sweep's fault model, byte for byte). ReadFrame must
+// never panic, must deliver every complete frame intact, and must
+// distinguish a torn frame (io.ErrUnexpectedEOF: the stream died
+// mid-frame) from the clean between-frames io.EOF a closing peer
+// produces — the distinction the session layer's resubmit logic keys on.
+func FuzzFrameStream(f *testing.F) {
+	f.Add(uint8(1), uint16(0), []byte{})
+	f.Add(uint8(3), uint16(10), []byte("abcdef"))
+	f.Add(uint8(2), uint16(41), serve.EncodeRequest(serve.Request{Op: serve.OpPut, ReqID: 9, Key: 5}))
+	f.Add(uint8(5), uint16(1), []byte{0})
+
+	f.Fuzz(func(t *testing.T, nframes uint8, cut uint16, payload []byte) {
+		if len(payload) > 256 {
+			payload = payload[:256]
+		}
+		n := int(nframes%8) + 1
+		var stream bytes.Buffer
+		for i := 0; i < n; i++ {
+			// Interleave two frame shapes so boundaries vary.
+			p := payload
+			if i%2 == 1 {
+				p = serve.EncodeReply(serve.Reply{Status: serve.StOK, ReqID: uint64(i), Val: 1})
+			}
+			if err := serve.WriteFrame(&stream, p); err != nil {
+				t.Fatalf("WriteFrame: %v", err)
+			}
+		}
+		whole := stream.Bytes()
+		off := int(cut) % (len(whole) + 1)
+		torn := whole[:off]
+
+		r := bytes.NewReader(torn)
+		read := 0
+		for {
+			got, err := serve.ReadFrame(r)
+			if err == nil {
+				read++
+				if read > n {
+					t.Fatalf("read %d frames from a stream of %d", read, n)
+				}
+				_ = got
+				continue
+			}
+			// The error must classify the cut exactly: a cut on a frame
+			// boundary is a clean EOF; a cut inside a frame is
+			// io.ErrUnexpectedEOF. (A cut inside the 4-byte header of a
+			// zero-total-read is still "unexpected" only if bytes remain.)
+			atBoundary := r.Len() == 0 && boundaryOffsets(whole, n)[off]
+			if atBoundary {
+				if err != io.EOF {
+					t.Fatalf("cut at frame boundary %d: err = %v, want io.EOF", off, err)
+				}
+			} else if err != io.ErrUnexpectedEOF {
+				t.Fatalf("cut mid-frame at %d: err = %v, want io.ErrUnexpectedEOF", off, err)
+			}
+			return
+		}
+	})
+}
+
+// boundaryOffsets marks the byte offsets of sequence of frames in a
+// stream that fall exactly BETWEEN frames (including 0 and the end).
+func boundaryOffsets(whole []byte, n int) map[int]bool {
+	m := map[int]bool{0: true}
+	r := bytes.NewReader(whole)
+	for i := 0; i < n; i++ {
+		p, err := serve.ReadFrame(r)
+		if err != nil {
+			break
+		}
+		m[len(whole)-r.Len()] = true
+		_ = p
+	}
+	return m
 }

@@ -55,10 +55,13 @@ type ConnStats struct {
 	// Deduped counts requests answered from the response table without
 	// executing (a resubmitted request ID); FromReport counts replies
 	// resolved from a RecoverAll report after a crash.
-	Deduped    uint64  `json:"deduped"`
-	FromReport uint64  `json:"from_report"`
-	P50Micros  float64 `json:"p50_micros"`
-	P99Micros  float64 `json:"p99_micros"`
+	Deduped    uint64 `json:"deduped"`
+	FromReport uint64 `json:"from_report"`
+	// Shed counts OVERLOAD replies: requests bounced because the server's
+	// aggregate queues crossed Config.ShedWatermark.
+	Shed      uint64  `json:"shed"`
+	P50Micros float64 `json:"p50_micros"`
+	P99Micros float64 `json:"p99_micros"`
 }
 
 // ProcStats is one Proc's admission snapshot.
@@ -96,6 +99,14 @@ type Stats struct {
 	Retried    uint64 `json:"retried"`
 	Deduped    uint64 `json:"deduped"`
 	FromReport uint64 `json:"from_report"`
+	// Sheds counts OVERLOAD replies (aggregate queues past the shed
+	// watermark); Disconnects counts connections torn down for any reason,
+	// of which IdleClosed hit Config.IdleTimeout and WriteTimeouts hit
+	// Config.WriteTimeout mid-reply.
+	Sheds         uint64 `json:"sheds"`
+	Disconnects   uint64 `json:"disconnects"`
+	IdleClosed    uint64 `json:"idle_closed"`
+	WriteTimeouts uint64 `json:"write_timeouts"`
 }
 
 // BatchFillMean reports the mean admission-window fill across all Procs
@@ -115,7 +126,7 @@ func (s Stats) BatchFillMean() float64 {
 // connMetrics is the live (lock-guarded) counterpart of ConnStats.
 type connMetrics struct {
 	queued, admitted, retried uint64
-	deduped, fromReport       uint64
+	deduped, fromReport, shed uint64
 	lat                       latHist
 }
 
@@ -123,7 +134,7 @@ func (m *connMetrics) snapshot(id uint64, proc int) ConnStats {
 	return ConnStats{
 		ID: id, Proc: proc,
 		Queued: m.queued, Admitted: m.admitted, Retried: m.retried,
-		Deduped: m.deduped, FromReport: m.fromReport,
+		Deduped: m.deduped, FromReport: m.fromReport, Shed: m.shed,
 		P50Micros: m.lat.quantile(0.50), P99Micros: m.lat.quantile(0.99),
 	}
 }

@@ -51,6 +51,12 @@ const (
 	StRetry byte = 1
 	// StErr: malformed frame or out-of-range op/key/request ID.
 	StErr byte = 2
+	// StShed: graceful overload shedding — the server's aggregate admission
+	// queues are saturated past Config.ShedWatermark. Unlike StRetry (a
+	// transient per-connection bounce: resubmit soon), StShed means the
+	// whole server is overloaded: back off for longer before resubmitting
+	// with the SAME request ID. Nothing was recorded; the ID stays fresh.
+	StShed byte = 3
 )
 
 // KeyBits is the width of the key space: the low half of the announced
@@ -191,6 +197,13 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
+		// A stream that ends after the length prefix is a torn frame, not a
+		// clean end-of-stream: io.ReadFull reports EOF when zero payload
+		// bytes arrive, which would be indistinguishable from the
+		// between-frames EOF a closing peer produces.
+		if err == io.EOF && n > 0 {
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, err
 	}
 	return payload, nil

@@ -36,6 +36,25 @@ type Config struct {
 	// called — deterministic-harness plumbing (the crash sweep uses it to
 	// fix the queue contents, and so the heap access sequence, per run).
 	Gated bool
+	// ShedWatermark enables graceful overload shedding: when the aggregate
+	// queued-request count across ALL connections reaches this fraction of
+	// the aggregate queue capacity (open conns × QueueDepth), new requests
+	// are answered OVERLOAD (StShed) instead of queued. Unlike the
+	// per-connection RETRY bounce, a shed tells the client the whole server
+	// is saturated and to back off for longer. 0 disables (the default);
+	// sensible values are in (0, 1].
+	ShedWatermark float64
+	// IdleTimeout disconnects a connection that sends no frame for this
+	// long (0 disables): a dead or wedged peer must not hold a pinned
+	// Proc slot and its queue capacity forever. Exactly-once state is
+	// untouched — the response table is keyed by request ID, not by
+	// connection — so a client redialing after an idle-close still gets
+	// its recorded answers.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each reply-frame write (0 disables): a peer that
+	// stops draining its socket is disconnected rather than left pinning
+	// an outbox.
+	WriteTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -116,11 +135,20 @@ type Server struct {
 	crashes   int
 	recovered uint64      // table entries filled by OnRecover
 	closedAgg connMetrics // folded-in metrics of closed conns
-	connSeq   uint64
-	released  bool
-	closed    bool
-	ln        net.Listener
-	wg        sync.WaitGroup // workers
+	// totalQueued / nconns feed the shed watermark: aggregate queued
+	// requests and open connections across all procs.
+	totalQueued int
+	nconns      int
+	// disconnects counts connections torn down (any cause); idleClosed and
+	// writeTimeouts the subsets closed by the idle and write deadlines.
+	disconnects   uint64
+	idleClosed    uint64
+	writeTimeouts uint64
+	connSeq       uint64
+	released      bool
+	closed        bool
+	ln            net.Listener
+	wg            sync.WaitGroup // workers
 }
 
 // New builds the server, its Runtime and store, and starts the Proc
@@ -244,6 +272,7 @@ func (s *Server) addConn(nc net.Conn) *conn {
 		done: make(chan struct{}),
 	}
 	s.procConns[c.proc] = append(s.procConns[c.proc], c)
+	s.nconns++
 	s.mu.Unlock()
 	go c.readLoop()
 	go c.writeLoop()
@@ -271,6 +300,9 @@ func (s *Server) removeConn(c *conn) {
 	for _, pr := range c.q {
 		delete(s.inflight, pr.req.ReqID)
 	}
+	s.totalQueued -= len(c.q)
+	s.nconns--
+	s.disconnects++
 	c.q = nil
 	if c.done != nil {
 		close(c.done)
@@ -280,15 +312,27 @@ func (s *Server) removeConn(c *conn) {
 	s.closedAgg.retried += c.m.retried
 	s.closedAgg.deduped += c.m.deduped
 	s.closedAgg.fromReport += c.m.fromReport
+	s.closedAgg.shed += c.m.shed
 }
 
-// readLoop decodes frames off one connection and routes them.
+// readLoop decodes frames off one connection and routes them. With
+// Config.IdleTimeout set, each frame must arrive within it or the
+// connection is closed as idle.
 func (c *conn) readLoop() {
 	defer c.s.removeConn(c)
 	defer c.nc.Close()
+	idle := c.s.cfg.IdleTimeout
 	for {
+		if idle > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(idle))
+		}
 		payload, err := ReadFrame(c.nc)
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				c.s.mu.Lock()
+				c.s.idleClosed++
+				c.s.mu.Unlock()
+			}
 			return
 		}
 		req, err := DecodeRequest(payload)
@@ -320,10 +364,19 @@ func (c *conn) sendReply(r Reply) {
 // the socket. It retires when removeConn closes done; write errors close
 // the socket and surface as the reader's teardown.
 func (c *conn) writeLoop() {
+	wt := c.s.cfg.WriteTimeout
 	for {
 		select {
 		case r := <-c.out:
-			if WriteFrame(c.nc, EncodeReply(r)) != nil {
+			if wt > 0 {
+				c.nc.SetWriteDeadline(time.Now().Add(wt))
+			}
+			if err := WriteFrame(c.nc, EncodeReply(r)); err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					c.s.mu.Lock()
+					c.s.writeTimeouts++
+					c.s.mu.Unlock()
+				}
 				c.nc.Close()
 			}
 		case <-c.done:
@@ -411,6 +464,16 @@ func (s *Server) handle(c *conn, req Request) {
 		c.sendReply(Reply{Status: StOK, ReqID: req.ReqID, Val: val})
 		return
 	}
+	if wm := s.cfg.ShedWatermark; wm > 0 &&
+		float64(s.totalQueued) >= wm*float64(s.nconns*s.cfg.QueueDepth) {
+		// Aggregate saturation: shed. Placed after the dedup check so that
+		// resubmits of already-answered IDs are still served from the table
+		// even while the server is drowning.
+		c.m.shed++
+		s.mu.Unlock()
+		c.sendReply(Reply{Status: StShed, ReqID: req.ReqID})
+		return
+	}
 	if _, busy := s.inflight[req.ReqID]; busy {
 		c.m.retried++
 		s.mu.Unlock()
@@ -425,6 +488,7 @@ func (s *Server) handle(c *conn, req Request) {
 	}
 	c.q = append(c.q, pendingReq{c: c, req: req, enq: time.Now()})
 	s.inflight[req.ReqID] = struct{}{}
+	s.totalQueued++
 	c.m.queued++
 	s.mu.Unlock()
 	s.cond.Broadcast()
@@ -520,6 +584,7 @@ func (s *Server) takeLocked(w int) []pendingReq {
 			out = append(out, c.q[0])
 			c.q = append(c.q[:0:0], c.q[1:]...)
 			c.m.admitted++
+			s.totalQueued--
 			s.rr[w] = (start + 1) % n
 			pm := &s.procM[w]
 			pm.Moves++
@@ -535,6 +600,7 @@ func (s *Server) takeLocked(w int) []pendingReq {
 	}
 	for c, k := range taken {
 		c.q = append(c.q[:0:0], c.q[k:]...)
+		s.totalQueued -= k
 	}
 	s.rr[w] = (start + 1) % n
 	if len(out) > 0 {
@@ -742,6 +808,10 @@ func (s *Server) Snapshot() Stats {
 		Retried:          s.closedAgg.retried,
 		Deduped:          s.closedAgg.deduped,
 		FromReport:       s.closedAgg.fromReport,
+		Sheds:            s.closedAgg.shed,
+		Disconnects:      s.disconnects,
+		IdleClosed:       s.idleClosed,
+		WriteTimeouts:    s.writeTimeouts,
 	}
 	for _, pc := range s.procConns {
 		for _, c := range pc {
@@ -752,6 +822,7 @@ func (s *Server) Snapshot() Stats {
 			st.Retried += cs.Retried
 			st.Deduped += cs.Deduped
 			st.FromReport += cs.FromReport
+			st.Sheds += cs.Shed
 		}
 	}
 	for i := range s.procM {
