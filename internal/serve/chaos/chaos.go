@@ -50,9 +50,15 @@ type Plan struct {
 
 // Conn is a net.Conn wrapped with a fault Plan. It also counts bytes in
 // both directions, which is how the wire sweep fixes its offset space.
+// Calls in the same direction are serialized (rio/wio below): the kill
+// offsets promise EXACTLY k-1 bytes delivered, and two concurrent
+// readers each granted the remaining budget would together overshoot it.
 type Conn struct {
 	nc   net.Conn
 	plan Plan
+
+	rio sync.Mutex // serializes Read calls (exact KillReadAt accounting)
+	wio sync.Mutex // serializes Write calls (exact KillWriteAt accounting)
 
 	mu     sync.Mutex
 	rOff   uint64
@@ -98,6 +104,8 @@ func (c *Conn) kill() {
 // receives a torn frame), the rest are discarded. Returns the number of
 // bytes actually forwarded, with ErrKilled once the plan fires.
 func (c *Conn) Write(b []byte) (int, error) {
+	c.wio.Lock()
+	defer c.wio.Unlock()
 	if len(b) == 0 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -151,6 +159,8 @@ func (c *Conn) Write(b []byte) (int, error) {
 // planned read offset: bytes before it are delivered (possibly alongside
 // ErrKilled, torn mid-frame), nothing after.
 func (c *Conn) Read(b []byte) (int, error) {
+	c.rio.Lock()
+	defer c.rio.Unlock()
 	if c.plan.ReadDelay > 0 {
 		time.Sleep(c.plan.ReadDelay)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"net"
+	"sync"
 	"testing"
 	"time"
 )
@@ -209,5 +210,53 @@ func TestListenerWrapsAccepted(t *testing.T) {
 	}
 	if conns, _ := sched.Stats(); conns != 1 {
 		t.Fatalf("schedule wrapped %d conns, want 1", conns)
+	}
+}
+
+// TestConnConcurrentReadsRespectKillOffset pins the read-budget
+// accounting under concurrent readers: KillReadAt promises EXACTLY k-1
+// bytes delivered, and two Reads racing for the remaining budget must not
+// each be granted it (the wire sweep's offset determinism rests on this).
+// Conn serializes same-direction calls, so total delivery is exact.
+func TestConnConcurrentReadsRespectKillOffset(t *testing.T) {
+	const kill = 64
+	a, b := net.Pipe()
+	defer a.Close()
+	c := NewConn(b, Plan{KillReadAt: kill})
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			if _, err := a.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+	var (
+		mu    sync.Mutex
+		total int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 48)
+			for {
+				n, err := c.Read(buf)
+				mu.Lock()
+				total += n
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if total != kill-1 {
+		t.Fatalf("concurrent readers delivered %d bytes, want exactly %d (KillReadAt-1)", total, kill-1)
+	}
+	if !c.Killed() {
+		t.Fatal("kill plan did not fire")
 	}
 }

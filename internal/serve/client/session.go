@@ -152,7 +152,7 @@ func (s *Session) Close() {
 	s.fail(nil)
 }
 
-// Stats returns a copy of the session's hostile-network counters.
+// SessionStats returns a copy of the session's hostile-network counters.
 func (s *Session) SessionStats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -332,6 +332,20 @@ func (s *Session) readLoop(nc net.Conn, gen uint64) {
 func (s *Session) writeCall(nc net.Conn, gen uint64, c *sessionCall) bool {
 	req := c.req
 	s.mu.Lock()
+	if s.pending[req.ReqID] != c {
+		// The call settled between the resubmit snapshot and this write
+		// (its terminal reply was delivered by the dying generation's
+		// readLoop after connect() snapshotted pending). Resubmitting now
+		// could carry an ack watermark >= the call's own sequence — the
+		// server applies acks BEFORE the dedup lookup, so the frame would
+		// evict its own response-table entry and RE-EXECUTE. The pending
+		// check and the ack read share one critical section: while the
+		// call is still pending its reply has not been delivered, so
+		// ackSeq is provably below its sequence and the frame we build
+		// here can never self-evict, however late it lands.
+		s.mu.Unlock()
+		return true
+	}
 	if s.ackSeq > 0 {
 		req.Ack = s.base | s.ackSeq
 	}

@@ -199,3 +199,67 @@ func TestSessionShedBackoff(t *testing.T) {
 		t.Fatalf("session recorded no sheds: %+v", st)
 	}
 }
+
+// TestSessionWriteCallSkipsSettledCall pins the snapshot-before-delivery
+// leg of the exactly-once protocol: connect() snapshots pending for
+// resubmission, and if the dying generation's readLoop delivers a call's
+// terminal reply after the snapshot but before the resubmit write, the
+// call has settled — its sequence may already ride out as an ack
+// watermark, which the server applies BEFORE dedup, so writing the frame
+// would evict its own response-table entry and re-execute. writeCall must
+// observe the call gone from pending and skip the write.
+func TestSessionWriteCallSkipsSettledCall(t *testing.T) {
+	cli, peer := net.Pipe()
+	defer cli.Close()
+	defer peer.Close()
+	s := &Session{
+		cfg:     SessionConfig{}.withDefaults(),
+		done:    make(chan struct{}),
+		pending: map[uint64]*sessionCall{},
+		settled: map[uint64]struct{}{},
+	}
+	s.nc, s.gen = cli, 1
+	c := &sessionCall{req: serve.Request{Op: serve.OpPut, ReqID: s.base | 1, Key: 7}, ch: make(chan serve.Reply, 1)}
+	// The call is NOT registered in s.pending — exactly the state after
+	// readLoop delivered its terminal reply (which deletes it atomically)
+	// between the connect() snapshot and this resubmit write — and it has
+	// settled, so the ack watermark now covers its own sequence.
+	s.settle(c.req.ReqID)
+
+	// net.Pipe is unbuffered and nothing reads peer: a (buggy) write
+	// blocks forever, a (correct) skip returns immediately.
+	res := make(chan bool, 1)
+	go func() { res <- s.writeCall(cli, 1, c) }()
+	select {
+	case ok := <-res:
+		if !ok {
+			t.Fatal("writeCall reported a dead conn for a skipped call")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("writeCall resubmitted a settled call: its frame carries ack >= its own seq and would re-execute on the server")
+	}
+
+	// Positive control: the same call registered in pending IS written.
+	s.pending[c.req.ReqID] = c
+	drained := make(chan serve.Request, 1)
+	go func() {
+		payload, err := serve.ReadFrame(peer)
+		if err != nil {
+			return
+		}
+		req, err := serve.DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		drained <- req
+	}()
+	go s.writeCall(cli, 1, c)
+	select {
+	case req := <-drained:
+		if req.ReqID != c.req.ReqID {
+			t.Fatalf("resubmitted frame carries ReqID %d, want %d", req.ReqID, c.req.ReqID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("writeCall skipped a call that is still pending")
+	}
+}
